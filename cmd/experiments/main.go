@@ -1,0 +1,54 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation chapter (Chapter 7) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	experiments -fig all  -scale small    # every figure, fast preset
+//	experiments -fig 7.3 -scale medium    # one figure, EXPERIMENTS.md preset
+//
+// See internal/experiments for the per-figure implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"digitaltraces/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig   = flag.String("fig", "all", `figure to run ("7.1".."7.9" or "all")`)
+		scale = flag.String("scale", "small", "scale preset: small or medium")
+	)
+	flag.Parse()
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.Small
+	case "medium":
+		sc = experiments.Medium
+	default:
+		log.Fatalf("unknown scale %q (want small or medium)", *scale)
+	}
+	dir, err := os.MkdirTemp("", "dt-experiments-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	tables, err := experiments.ByName(*fig, sc, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# Top-k Queries over Digital Traces — evaluation reproduction (scale=%s)\n\n", sc.Name)
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("total: %d tables in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

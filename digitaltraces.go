@@ -1,0 +1,573 @@
+// Package digitaltraces answers top-k association queries over digital
+// traces — "which k entities are most closely associated with this one,
+// given where and when they have been?" — implementing the system of
+// "Top-k Queries over Digital Traces" (Li, SIGMOD 2019 / York University
+// thesis 2018): hierarchical MinHash signatures, the MinSigTree index, and
+// exact top-k search with early termination.
+//
+// # Model
+//
+// Entities (people, devices, MAC addresses) produce visits: presence at a
+// location during a time span. Locations live in a spatial hierarchy (city →
+// district → street → venue). Two entities are associated to the degree
+// their visits overlap — longer co-presence at finer locations scores
+// higher. The association degree measure is pluggable (see WithMeasure*
+// options); results are always exact regardless of the measure chosen, only
+// pruning effectiveness varies.
+//
+// # Quick start
+//
+//	h := digitaltraces.NewHierarchy(3)
+//	h.AddPath("downtown", "king-street", "cafe-a")
+//	h.AddPath("downtown", "king-street", "cafe-b")
+//	db, _ := digitaltraces.NewDB(h)
+//	db.AddVisit("alice", "cafe-a", t0, t0.Add(2*time.Hour))
+//	db.AddVisit("bob", "cafe-a", t0.Add(time.Hour), t0.Add(3*time.Hour))
+//	matches, _, _ := db.TopK("alice", 5)
+//
+// See examples/ for complete programs, DESIGN.md for the architecture, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package digitaltraces
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/core"
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// Hierarchy declares the spatial hierarchy (the paper's sp-index) by named
+// paths from the top level down to concrete venues. All paths must have
+// exactly the declared number of levels.
+type Hierarchy struct {
+	levels int
+	root   *hnode
+	leaves map[string]*hnode
+	err    error
+}
+
+type hnode struct {
+	name     string
+	children map[string]*hnode
+	order    []*hnode
+}
+
+// NewHierarchy creates a hierarchy with the given number of levels (≥ 1).
+// Typical city data uses 3-5 levels; the paper's default is 4.
+func NewHierarchy(levels int) *Hierarchy {
+	h := &Hierarchy{
+		levels: levels,
+		root:   &hnode{children: map[string]*hnode{}},
+		leaves: map[string]*hnode{},
+	}
+	if levels < 1 {
+		h.err = fmt.Errorf("digitaltraces: hierarchy needs at least 1 level")
+	}
+	return h
+}
+
+// AddPath declares one root-to-venue path, e.g.
+// AddPath("downtown", "king-street", "cafe-a") in a 3-level hierarchy.
+// The final name is the venue visits refer to; venue names must be unique.
+// Intermediate units are shared across paths by name.
+func (h *Hierarchy) AddPath(names ...string) *Hierarchy {
+	if h.err != nil {
+		return h
+	}
+	if len(names) != h.levels {
+		h.err = fmt.Errorf("digitaltraces: path %v has %d levels, hierarchy has %d", names, len(names), h.levels)
+		return h
+	}
+	cur := h.root
+	for i, name := range names {
+		if name == "" {
+			h.err = fmt.Errorf("digitaltraces: empty unit name in path %v", names)
+			return h
+		}
+		child, ok := cur.children[name]
+		if !ok {
+			child = &hnode{name: name, children: map[string]*hnode{}}
+			cur.children[name] = child
+			cur.order = append(cur.order, child)
+		}
+		cur = child
+		if i == len(names)-1 {
+			if prev, dup := h.leaves[name]; dup && prev != cur {
+				h.err = fmt.Errorf("digitaltraces: venue %q declared under two different parents", name)
+				return h
+			}
+			h.leaves[name] = cur
+		}
+	}
+	return h
+}
+
+// build materializes the sp-index and the venue-name → base-ID map.
+func (h *Hierarchy) build() (*spindex.Index, map[string]spindex.BaseID, error) {
+	if h.err != nil {
+		return nil, nil, h.err
+	}
+	if len(h.leaves) == 0 {
+		return nil, nil, fmt.Errorf("digitaltraces: hierarchy has no venues (call AddPath)")
+	}
+	b := spindex.NewBuilder(h.levels)
+	names := map[spindex.UnitID]string{}
+	var walk func(n *hnode, parent spindex.UnitID, level int)
+	walk = func(n *hnode, parent spindex.UnitID, level int) {
+		var id spindex.UnitID
+		if level == 1 {
+			id = b.AddRoot()
+		} else {
+			id = b.AddChild(parent)
+		}
+		names[id] = n.name
+		for _, c := range n.order {
+			walk(c, id, level+1)
+		}
+	}
+	for _, c := range h.root.order {
+		walk(c, spindex.NoUnit, 1)
+	}
+	ix, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	venues := make(map[string]spindex.BaseID, len(h.leaves))
+	for u := 0; u < ix.NumUnits(); u++ {
+		id := spindex.UnitID(u)
+		if ix.Level(id) == ix.Height() {
+			venues[names[id]] = ix.BaseOf(id)
+		}
+	}
+	return ix, venues, nil
+}
+
+// Match is one top-k answer.
+type Match struct {
+	Entity string
+	Degree float64 // exact association degree in [0, 1]
+}
+
+// QueryStats reports how much work a query performed. PE is Definition 5 of
+// the paper: the fraction of extra entities whose exact degree had to be
+// computed (lower is better); Pruned is the complementary fraction.
+type QueryStats struct {
+	Checked int
+	PE      float64
+	Pruned  float64
+	Elapsed time.Duration
+}
+
+// Option customizes a DB.
+type Option func(*DB) error
+
+// WithHashFunctions sets nh, the signature width (default 256). More
+// functions prune better at higher indexing cost (the Figure 7.3 / 7.8
+// trade-off).
+func WithHashFunctions(n int) Option {
+	return func(db *DB) error {
+		if n < 1 {
+			return fmt.Errorf("digitaltraces: hash functions %d < 1", n)
+		}
+		db.nh = n
+		return nil
+	}
+}
+
+// WithTimeUnit sets the base temporal unit (default time.Hour).
+func WithTimeUnit(d time.Duration) Option {
+	return func(db *DB) error {
+		if d <= 0 {
+			return fmt.Errorf("digitaltraces: non-positive time unit")
+		}
+		db.unit = d
+		return nil
+	}
+}
+
+// WithEpoch sets the start of the observation horizon (default: the zero
+// time is inferred from the first visit).
+func WithEpoch(t time.Time) Option {
+	return func(db *DB) error {
+		db.epoch = t
+		db.epochSet = true
+		return nil
+	}
+}
+
+// WithPaperMeasure selects the paper's association degree measure (Eq 7.1)
+// with level exponent u and duration exponent v (defaults u = v = 2).
+func WithPaperMeasure(u, v float64) Option {
+	return func(db *DB) error {
+		db.measureU, db.measureV = u, v
+		db.jaccard = false
+		return nil
+	}
+}
+
+// WithJaccardMeasure selects a uniformly weighted per-level Jaccard measure
+// instead of the paper's Eq 7.1.
+func WithJaccardMeasure() Option {
+	return func(db *DB) error {
+		db.jaccard = true
+		return nil
+	}
+}
+
+// WithSeed fixes the hash-family seed (default 1). Two DBs with the same
+// seed, data and options behave identically.
+func WithSeed(seed uint64) Option {
+	return func(db *DB) error {
+		db.seed = seed
+		return nil
+	}
+}
+
+// DB is a digital-trace database: a store of entity visits plus, after
+// BuildIndex, a MinSigTree serving exact top-k association queries.
+// A DB is not safe for concurrent mutation; concurrent TopK calls against a
+// built index are safe.
+type DB struct {
+	ix     *spindex.Index
+	venues map[string]spindex.BaseID
+
+	unit     time.Duration
+	epoch    time.Time
+	epochSet bool
+	nh       int
+	seed     uint64
+	measureU float64
+	measureV float64
+	jaccard  bool
+
+	names   map[string]trace.EntityID
+	byID    []string
+	visits  map[trace.EntityID][]trace.Record
+	dirty   map[trace.EntityID]bool
+	store   *trace.Store
+	tree    *core.Tree
+	measure adm.Measure
+	horizon trace.Time
+}
+
+// NewDB creates a database over the given hierarchy.
+func NewDB(h *Hierarchy, opts ...Option) (*DB, error) {
+	ix, venues, err := h.build()
+	if err != nil {
+		return nil, err
+	}
+	return newDB(ix, venues, opts...)
+}
+
+func newDB(ix *spindex.Index, venues map[string]spindex.BaseID, opts ...Option) (*DB, error) {
+	db := &DB{
+		ix:       ix,
+		venues:   venues,
+		unit:     time.Hour,
+		nh:       256,
+		seed:     1,
+		measureU: 2,
+		measureV: 2,
+		names:    map[string]trace.EntityID{},
+		visits:   map[trace.EntityID][]trace.Record{},
+		dirty:    map[trace.EntityID]bool{},
+	}
+	for _, opt := range opts {
+		if err := opt(db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Levels returns the number of hierarchy levels.
+func (db *DB) Levels() int { return db.ix.Height() }
+
+// NumEntities returns the number of known entities.
+func (db *DB) NumEntities() int { return len(db.names) }
+
+// NumVenues returns the number of venues (base spatial units).
+func (db *DB) NumVenues() int { return db.ix.NumBase() }
+
+// Entities returns all known entity names, sorted.
+func (db *DB) Entities() []string {
+	out := append([]string(nil), db.byID...)
+	sort.Strings(out)
+	return out
+}
+
+// AddVisit records that entity was present at venue during [start, end).
+// Visits may arrive in any order and may overlap. After BuildIndex, new
+// visits mark the entity dirty; call Refresh (or BuildIndex again) to fold
+// them in.
+func (db *DB) AddVisit(entity, venue string, start, end time.Time) error {
+	base, ok := db.venues[venue]
+	if !ok {
+		return fmt.Errorf("digitaltraces: unknown venue %q", venue)
+	}
+	if !end.After(start) {
+		return fmt.Errorf("digitaltraces: empty visit span %v..%v", start, end)
+	}
+	if !db.epochSet {
+		db.epoch = start.Truncate(db.unit)
+		db.epochSet = true
+	}
+	su := int64(start.Sub(db.epoch) / db.unit)
+	eu := int64((end.Sub(db.epoch) + db.unit - 1) / db.unit)
+	if su < 0 {
+		return fmt.Errorf("digitaltraces: visit at %v precedes the epoch %v (set WithEpoch)", start, db.epoch)
+	}
+	if eu <= su {
+		eu = su + 1
+	}
+	e, ok := db.names[entity]
+	if !ok {
+		e = trace.EntityID(len(db.byID))
+		db.names[entity] = e
+		db.byID = append(db.byID, entity)
+	}
+	db.visits[e] = append(db.visits[e], trace.Record{Entity: e, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
+	db.dirty[e] = true
+	return nil
+}
+
+// BuildIndex (re)builds the MinSigTree over all current visits. Cost is
+// O(|E|·C·nh) signature hashing plus tree insertion (Section 4.3).
+func (db *DB) BuildIndex() error {
+	if len(db.visits) == 0 {
+		return fmt.Errorf("digitaltraces: no visits to index")
+	}
+	db.horizon = 0
+	for _, recs := range db.visits {
+		for _, r := range recs {
+			if r.End > db.horizon {
+				db.horizon = r.End
+			}
+		}
+	}
+	db.store = trace.NewStore(db.ix)
+	ids := make([]trace.EntityID, 0, len(db.visits))
+	for e := range db.visits {
+		ids = append(ids, e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, e := range ids {
+		db.store.AddRecords(e, db.visits[e])
+	}
+	fam, err := sighash.NewFamily(db.ix, db.horizon, db.nh, db.seed)
+	if err != nil {
+		return err
+	}
+	tree, err := core.Build(db.ix, fam, db.store, ids)
+	if err != nil {
+		return err
+	}
+	db.tree = tree
+	db.dirty = map[trace.EntityID]bool{}
+	if db.jaccard {
+		db.measure, err = adm.NewJaccardADM(db.ix.Height())
+	} else {
+		db.measure, err = adm.NewPaperADM(db.ix.Height(), db.measureU, db.measureV)
+	}
+	return err
+}
+
+// Refresh folds dirty entities (those with visits added since the last
+// BuildIndex/Refresh) into the index incrementally (Section 4.2.3). New
+// visits with timestamps beyond the indexed horizon require BuildIndex.
+func (db *DB) Refresh() error {
+	if db.tree == nil {
+		return db.BuildIndex()
+	}
+	for e := range db.dirty {
+		for _, r := range db.visits[e] {
+			if r.End > db.horizon {
+				return fmt.Errorf("digitaltraces: visit beyond indexed horizon; call BuildIndex")
+			}
+		}
+		db.store.AddRecords(e, db.visits[e])
+		if err := db.tree.Update(e); err != nil {
+			return err
+		}
+	}
+	db.dirty = map[trace.EntityID]bool{}
+	return nil
+}
+
+// TopK returns the k entities most closely associated with the named entity
+// (Definition 4), with exact degrees, plus query statistics.
+func (db *DB) TopK(entity string, k int) ([]Match, QueryStats, error) {
+	e, ok := db.names[entity]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown entity %q", entity)
+	}
+	if err := db.ensureIndexed(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return db.topK(db.store.Get(e), k)
+}
+
+// Visit describes one presence for query-by-example.
+type Visit struct {
+	Venue string
+	Start time.Time
+	End   time.Time
+}
+
+// TopKByExample answers a query for a hypothetical entity described by the
+// given visits (the thesis' query-by-example task) without adding it to the
+// database.
+func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	var recs []trace.Record
+	for _, v := range visits {
+		base, ok := db.venues[v.Venue]
+		if !ok {
+			return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown venue %q", v.Venue)
+		}
+		su := int64(v.Start.Sub(db.epoch) / db.unit)
+		eu := int64((v.End.Sub(db.epoch) + db.unit - 1) / db.unit)
+		if su < 0 || eu <= su {
+			return nil, QueryStats{}, fmt.Errorf("digitaltraces: bad example span %v..%v", v.Start, v.End)
+		}
+		recs = append(recs, trace.Record{Entity: -1, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
+	}
+	q := trace.NewSequences(db.ix, -1, recs)
+	return db.topK(q, k)
+}
+
+func (db *DB) ensureIndexed() error {
+	if db.tree == nil || len(db.dirty) > 0 {
+		if db.tree == nil {
+			return db.BuildIndex()
+		}
+		return db.Refresh()
+	}
+	return nil
+}
+
+func (db *DB) topK(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
+	startT := time.Now()
+	res, stats, err := db.tree.TopK(q, k, db.measure)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+	}
+	return out, QueryStats{
+		Checked: stats.Checked,
+		PE:      stats.PE,
+		Pruned:  stats.Pruned,
+		Elapsed: time.Since(startT),
+	}, nil
+}
+
+// TopKApprox answers a top-k query approximately (the paper's §8.2 future
+// work): the search stops once the k-th found degree is within a factor
+// (1−epsilon) of every remaining bound. The returned guarantee is the
+// smallest epsilon that actually holds for this answer: the k-th returned
+// degree is at least (1−guarantee) times the true k-th degree. epsilon = 0
+// reproduces the exact TopK.
+func (db *DB) TopKApprox(entity string, k int, epsilon float64) ([]Match, float64, error) {
+	e, ok := db.names[entity]
+	if !ok {
+		return nil, 0, fmt.Errorf("digitaltraces: unknown entity %q", entity)
+	}
+	if err := db.ensureIndexed(); err != nil {
+		return nil, 0, err
+	}
+	res, stats, err := db.tree.ApproxTopK(db.store.Get(e), k, db.measure, core.ApproxOptions{Epsilon: epsilon})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+	}
+	return out, stats.AchievedEpsilon, nil
+}
+
+// KNNJoin answers top-k for every named entity (the paper's §8.2 future
+// work), using a bounded worker pool. The result maps each query entity to
+// its matches.
+func (db *DB) KNNJoin(entities []string, k int, workers int) (map[string][]Match, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return nil, err
+	}
+	ids := make([]trace.EntityID, len(entities))
+	for i, name := range entities {
+		e, ok := db.names[name]
+		if !ok {
+			return nil, fmt.Errorf("digitaltraces: unknown entity %q", name)
+		}
+		ids[i] = e
+	}
+	joined, _, err := db.tree.KNNJoin(ids, k, db.measure, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Match, len(joined))
+	for _, jr := range joined {
+		ms := make([]Match, len(jr.Matches))
+		for i, r := range jr.Matches {
+			ms[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+		}
+		out[db.byID[jr.Query]] = ms
+	}
+	return out, nil
+}
+
+// SaveIndex persists the built index (signature digests + hash-family
+// scalars) to w. The visit data itself is not included; LoadIndex-style
+// reconstruction happens through BuildIndex on a DB with the same visits,
+// or via cmd/buildindex + cmd/topk for file-based pipelines.
+func (db *DB) SaveIndex(w io.Writer) (int64, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return 0, err
+	}
+	return db.tree.WriteTo(w)
+}
+
+// Degree computes the exact association degree between two entities without
+// touching the index.
+func (db *DB) Degree(a, b string) (float64, error) {
+	ea, ok := db.names[a]
+	if !ok {
+		return 0, fmt.Errorf("digitaltraces: unknown entity %q", a)
+	}
+	eb, ok := db.names[b]
+	if !ok {
+		return 0, fmt.Errorf("digitaltraces: unknown entity %q", b)
+	}
+	if err := db.ensureIndexed(); err != nil {
+		return 0, err
+	}
+	return db.measure.Degree(db.store.Get(ea), db.store.Get(eb)), nil
+}
+
+// IndexStats describes the built index (nil tree → zero value).
+type IndexStats struct {
+	Entities    int
+	Nodes       int
+	Leaves      int
+	MemoryBytes int
+}
+
+// IndexStats returns current index statistics.
+func (db *DB) IndexStats() IndexStats {
+	if db.tree == nil {
+		return IndexStats{}
+	}
+	s := db.tree.Stats()
+	return IndexStats{Entities: s.Entities, Nodes: s.Nodes, Leaves: s.Leaves, MemoryBytes: s.MemoryBytes}
+}

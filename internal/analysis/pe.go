@@ -1,0 +1,169 @@
+// Package analysis implements the analytical pruning-effectiveness model of
+// Section 6.3 of "Top-k Queries over Digital Traces" (Eq 6.12-6.15): given
+// the hash-range size |S| = n·t, the average per-entity ST-cell count C, the
+// number of hash functions nh, and the minimum number nc of shared ST-cells
+// implied by the expected k-th best association degree, it predicts what
+// fraction of MinSigTree leaves a top-k search cannot discard.
+//
+// The implementation evaluates the paper's equations in their continuous
+// (CDF) form, which is numerically stable for the large ranges the model
+// targets (the thesis' SYN dataset has |S| = 1.8·10⁸): Eq 6.12 becomes the
+// CDF of the minimum of C uniform hashes, Eq 6.13 the CDF of the maximum of
+// nh such minima (the routing-index value of a leaf), and Eq 6.14 a binomial
+// tail evaluated in log space.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// PEModel parameterizes the Section 6.3 prediction.
+type PEModel struct {
+	// RangeSize is |S| = n·t, the hash range (Eq 6.12).
+	RangeSize float64
+	// C is the average number of base ST-cells per entity (|seq^m|).
+	C int
+	// NH is the number of hash functions.
+	NH int
+	// NC is the minimum number of ST-cells an entity must share with the
+	// query to reach the expected k-th best degree d_e (Section 6.3).
+	NC int
+	// NR is the number of equal sub-ranges used to discretize the hash
+	// range (Eq 6.15's nr). Defaults to 512 when zero.
+	NR int
+}
+
+// Validate reports the first invalid parameter.
+func (m PEModel) Validate() error {
+	switch {
+	case m.RangeSize < 2:
+		return fmt.Errorf("analysis: range size %v < 2", m.RangeSize)
+	case m.C < 1:
+		return fmt.Errorf("analysis: C %d < 1", m.C)
+	case m.NH < 1:
+		return fmt.Errorf("analysis: nh %d < 1", m.NH)
+	case m.NC < 1:
+		return fmt.Errorf("analysis: nc %d < 1", m.NC)
+	case m.NC > m.C:
+		return fmt.Errorf("analysis: nc %d > C %d", m.NC, m.C)
+	}
+	return nil
+}
+
+// minCDF is P(sig^m[u] ≤ v): one minus the probability that all C cells
+// hash above v (the continuous form of Eq 6.12 accumulated over [0, v]).
+func (m PEModel) minCDF(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= m.RangeSize {
+		return 1
+	}
+	p := (m.RangeSize - v) / m.RangeSize
+	return 1 - math.Pow(p, float64(m.C))
+}
+
+// routingCDF is P(SIG_N[r] ≤ v): the routing-index value is the maximum of
+// nh per-function minima (Eq 6.13 accumulated over [0, v]).
+func (m PEModel) routingCDF(v float64) float64 {
+	return math.Pow(m.minCDF(v), float64(m.NH))
+}
+
+// surviveProb is q(R[j]) of Eq 6.14: the probability that at least nc of the
+// query's C cells hash above the sub-range bound r, i.e. that a leaf with
+// routing value bounded by r cannot be discarded.
+func (m PEModel) surviveProb(r float64) float64 {
+	pAbove := (m.RangeSize - 1 - r) / (m.RangeSize - 1)
+	if pAbove <= 0 {
+		return 0
+	}
+	if pAbove >= 1 {
+		return 1
+	}
+	return binomialTail(m.C, m.NC, pAbove)
+}
+
+// FractionChecked evaluates Eq 6.15: the expected fraction of leaves (and
+// hence of entities) a top-k query cannot discard — the paper's PE in the
+// Definition-5 sense (lower is better).
+func (m PEModel) FractionChecked() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	nr := m.NR
+	if nr == 0 {
+		nr = 512
+	}
+	total := 0.0
+	prevCDF := 0.0
+	for j := 1; j <= nr; j++ {
+		r := float64(j) / float64(nr) * m.RangeSize
+		cdf := m.routingCDF(r)
+		vj := cdf - prevCDF // V[j]: share of leaves with routing value in R[j]
+		prevCDF = cdf
+		if vj <= 0 {
+			continue
+		}
+		total += vj * m.surviveProb(r)
+	}
+	return total, nil
+}
+
+// PrunedFraction is 1 − FractionChecked: the share of leaves the search
+// discards — the quantity Figure 7.3 plots on its vertical axis.
+func (m PEModel) PrunedFraction() (float64, error) {
+	c, err := m.FractionChecked()
+	if err != nil {
+		return 0, err
+	}
+	return 1 - c, nil
+}
+
+// binomialTail returns P(X ≥ k) for X ~ Binomial(n, p), evaluated in log
+// space via lgamma for stability at large n.
+func binomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	lp := math.Log(p)
+	lq := math.Log1p(-p)
+	sum := 0.0
+	for x := k; x <= n; x++ {
+		lg, _ := math.Lgamma(float64(n + 1))
+		lgx, _ := math.Lgamma(float64(x + 1))
+		lgnx, _ := math.Lgamma(float64(n - x + 1))
+		sum += math.Exp(lg - lgx - lgnx + float64(x)*lp + float64(n-x)*lq)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// DegreeAt is a helper for deriving NC: given per-level query sizes and a
+// measure-evaluation callback (typically adm.Measure.DegreeFromCounts with
+// candidate sizes equal to the overlap), it returns the smallest overlap nc
+// whose degree reaches the target d_e, assuming the overlap nc applies at the
+// base level and propagates (capped) to coarser levels. Returns C+1 when even
+// full overlap stays below the target.
+func DegreeAt(qSizes []int, target float64, degree func(overlap []int) float64) int {
+	m := len(qSizes)
+	c := qSizes[m-1]
+	for nc := 1; nc <= c; nc++ {
+		counts := make([]int, m)
+		for l := 0; l < m; l++ {
+			counts[l] = nc
+			if counts[l] > qSizes[l] {
+				counts[l] = qSizes[l]
+			}
+		}
+		if degree(counts) >= target {
+			return nc
+		}
+	}
+	return c + 1
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"digitaltraces/internal/adm"
+)
+
+func TestValidate(t *testing.T) {
+	good := PEModel{RangeSize: 1e6, C: 200, NH: 500, NC: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good model rejected: %v", err)
+	}
+	bads := []PEModel{
+		{RangeSize: 1, C: 10, NH: 10, NC: 1},
+		{RangeSize: 1e6, C: 0, NH: 10, NC: 1},
+		{RangeSize: 1e6, C: 10, NH: 0, NC: 1},
+		{RangeSize: 1e6, C: 10, NH: 10, NC: 0},
+		{RangeSize: 1e6, C: 10, NH: 10, NC: 11},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+		if _, err := b.FractionChecked(); err == nil {
+			t.Errorf("bad model %d evaluated", i)
+		}
+	}
+}
+
+func TestCDFsMonotone(t *testing.T) {
+	m := PEModel{RangeSize: 1e6, C: 300, NH: 800, NC: 20}
+	prevMin, prevRoute := -1.0, -1.0
+	for v := 0.0; v <= m.RangeSize; v += m.RangeSize / 50 {
+		a, b := m.minCDF(v), m.routingCDF(v)
+		if a < prevMin || b < prevRoute {
+			t.Fatalf("CDF not monotone at %v", v)
+		}
+		if a < 0 || a > 1 || b < 0 || b > 1 {
+			t.Fatalf("CDF outside [0,1] at %v: %v %v", v, a, b)
+		}
+		prevMin, prevRoute = a, b
+	}
+	if m.minCDF(m.RangeSize) != 1 || m.routingCDF(m.RangeSize) != 1 {
+		t.Error("CDFs must reach 1 at the range end")
+	}
+}
+
+// TestMoreHashFunctionsPruneMore is the headline Figure 7.3 prediction:
+// the pruned fraction grows with nh. The model predicts meaningful pruning
+// when the expected k-th neighbor shares most of the query's cells (nc close
+// to C) — the paper's "closely associated entities" regime.
+func TestMoreHashFunctionsPruneMore(t *testing.T) {
+	prev := -1.0
+	for _, nh := range []int{100, 400, 1600} {
+		m := PEModel{RangeSize: 1e6, C: 30, NH: nh, NC: 26}
+		p, err := m.PrunedFraction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("pruned fraction %v outside [0,1]", p)
+		}
+		if p <= prev {
+			t.Fatalf("pruned fraction not increasing with nh: %v after %v", p, prev)
+		}
+		prev = p
+	}
+	if prev < 0.5 {
+		t.Errorf("high-nh pruned fraction %v unexpectedly weak", prev)
+	}
+}
+
+// TestHigherThresholdPrunesMore: raising nc (a higher expected k-th degree)
+// increases the pruned fraction.
+func TestHigherThresholdPrunesMore(t *testing.T) {
+	prev := -1.0
+	for _, nc := range []int{18, 24, 29} {
+		m := PEModel{RangeSize: 1e6, C: 30, NH: 500, NC: nc}
+		p, err := m.PrunedFraction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("pruned fraction decreased with nc: %v after %v", p, prev)
+		}
+		prev = p
+	}
+	if prev <= 0 {
+		t.Error("no pruning predicted even at nc ≈ C")
+	}
+}
+
+// TestScaleInvariance: the prediction depends on nh and C, not on the
+// population size — the Section 6.4 scalability claim.
+func TestScaleInvariance(t *testing.T) {
+	a := PEModel{RangeSize: 1e6, C: 300, NH: 600, NC: 10}
+	b := PEModel{RangeSize: 1e6, C: 300, NH: 600, NC: 10, NR: 2048}
+	pa, err := a.FractionChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.FractionChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-pb) > 0.02 {
+		t.Errorf("resolution changed the estimate materially: %v vs %v", pa, pb)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	if got := binomialTail(10, 0, 0.3); got != 1 {
+		t.Errorf("P(X≥0) = %v, want 1", got)
+	}
+	if got := binomialTail(10, 11, 0.3); got != 0 {
+		t.Errorf("P(X≥11) = %v, want 0", got)
+	}
+	// P(X ≥ 1) = 1 - (1-p)^n.
+	want := 1 - math.Pow(0.7, 10)
+	if got := binomialTail(10, 1, 0.3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(X≥1) = %v, want %v", got, want)
+	}
+	// Symmetric case: P(X ≥ 5) for Binomial(9, 0.5) = 0.5.
+	if got := binomialTail(9, 5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("median tail = %v, want 0.5", got)
+	}
+	if got := binomialTail(100, 100, 1-1e-16); got > 1 {
+		t.Errorf("tail exceeded 1: %v", got)
+	}
+}
+
+func TestDegreeAt(t *testing.T) {
+	m, err := adm.NewPaperADM(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSizes := []int{20, 30, 50}
+	nc := DegreeAt(qSizes, 0.25, func(overlap []int) float64 {
+		return m.DegreeFromCounts(overlap, qSizes, overlap)
+	})
+	if nc < 1 || nc > 50 {
+		t.Fatalf("nc = %d out of range", nc)
+	}
+	// The returned nc reaches the target; nc-1 must not.
+	mk := func(n int) float64 {
+		counts := make([]int, 3)
+		for l := range counts {
+			counts[l] = n
+			if counts[l] > qSizes[l] {
+				counts[l] = qSizes[l]
+			}
+		}
+		return m.DegreeFromCounts(counts, qSizes, counts)
+	}
+	if mk(nc) < 0.25 {
+		t.Errorf("degree at nc=%d is %v < target", nc, mk(nc))
+	}
+	if nc > 1 && mk(nc-1) >= 0.25 {
+		t.Errorf("nc not minimal: degree at %d already %v", nc-1, mk(nc-1))
+	}
+	// Unreachable target.
+	if got := DegreeAt(qSizes, 2.0, func(overlap []int) float64 { return 0 }); got != 51 {
+		t.Errorf("unreachable target should return C+1, got %d", got)
+	}
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/core"
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+func randomWorld(t testing.TB, seed int64, entities int) (*spindex.Index, *trace.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ix := spindex.NewUniform(3, []int{3, 4})
+	st := trace.NewStore(ix)
+	const horizon = 48
+	for e := trace.EntityID(0); int(e) < entities; e++ {
+		var recs []trace.Record
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			s := trace.Time(rng.Intn(horizon - 2))
+			recs = append(recs, trace.Record{
+				Entity: e, Base: spindex.BaseID(rng.Intn(ix.NumBase())),
+				Start: s, End: s + 1 + trace.Time(rng.Intn(2)),
+			})
+		}
+		st.AddRecords(e, recs)
+	}
+	return ix, st
+}
+
+func TestBuildErrors(t *testing.T) {
+	ix, st := randomWorld(t, 1, 5)
+	if _, err := Build(ix, st, st.Entities(), Config{MinSupportFrac: 0}); err == nil {
+		t.Error("zero support fraction accepted")
+	}
+	if _, err := Build(ix, st, st.Entities(), Config{MinSupportFrac: 1.5}); err == nil {
+		t.Error("support fraction > 1 accepted")
+	}
+	if _, err := Build(ix, st, nil, DefaultConfig()); err == nil {
+		t.Error("empty entity list accepted")
+	}
+	if _, err := Build(ix, st, []trace.EntityID{999}, DefaultConfig()); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+// TestTopKMatchesBruteForce: the bitmap baseline must return exact top-k
+// degrees, the same as brute force and the MinSigTree — only its pruning
+// differs.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ix, st := randomWorld(t, seed, 35)
+		bm, err := Build(ix, st, st.Entities(), DefaultConfig())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		m, err := adm.NewPaperADM(3, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5, 34} {
+			q := st.Get(trace.EntityID(int(seed) % 35))
+			got, stats, err := bm.TopK(q, k, m)
+			if err != nil {
+				t.Fatalf("TopK: %v", err)
+			}
+			want := core.BruteForceTopK(st, st.Entities(), q, k, m)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d k=%d: %d results, want %d", seed, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Degree != want[i].Degree {
+					t.Fatalf("seed %d k=%d: degree[%d] = %v, want %v", seed, k, i, got[i].Degree, want[i].Degree)
+				}
+			}
+			if stats.Checked > st.Len() {
+				t.Fatalf("checked %d > population", stats.Checked)
+			}
+			if stats.PE < 0 || stats.PE > 1 {
+				t.Fatalf("PE = %v", stats.PE)
+			}
+		}
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	ix, st := randomWorld(t, 2, 10)
+	bm, err := Build(ix, st, st.Entities(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := adm.NewPaperADM(3, 2, 2)
+	if _, _, err := bm.TopK(st.Get(0), 0, m); err == nil {
+		t.Error("k=0 accepted")
+	}
+	other := spindex.NewUniform(2, []int{3})
+	q := trace.NewSequencesFromCells(other, 50, []trace.Cell{trace.MakeCell(0, other.BaseUnit(0))})
+	if _, _, err := bm.TopK(q, 1, m); err == nil {
+		t.Error("mismatched query levels accepted")
+	}
+}
+
+// TestClusteredDataGroups: when entities share identical hotspots, the miner
+// finds clusters and groups shrink below the population size.
+func TestClusteredDataGroups(t *testing.T) {
+	ix := spindex.NewUniform(2, []int{8})
+	st := trace.NewStore(ix)
+	// Two cohorts, each visiting its own pair of cells at the same times.
+	var ids []trace.EntityID
+	for e := trace.EntityID(0); e < 20; e++ {
+		b1, b2 := spindex.BaseID(0), spindex.BaseID(1)
+		if e >= 10 {
+			b1, b2 = 4, 5
+		}
+		st.AddRecords(e, []trace.Record{
+			{Entity: e, Base: b1, Start: 0, End: 2},
+			{Entity: e, Base: b2, Start: 5, End: 6},
+		})
+		ids = append(ids, e)
+	}
+	bm, err := Build(ix, st, ids, Config{MinSupportFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Groups() != 2 {
+		t.Errorf("Groups = %d, want 2 cohorts", bm.Groups())
+	}
+	if c := bm.Clusters(2); c != 2 {
+		t.Errorf("base-level clusters = %d, want 2", c)
+	}
+	// Query from cohort 1 must check only its own cohort before stopping.
+	m, _ := adm.NewPaperADM(2, 2, 2)
+	res, stats, err := bm.TopK(st.Get(0), 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Degree != 1 {
+		t.Fatalf("top-1 = %v, want a perfect-match cohort member", res)
+	}
+	if stats.Checked > 10 {
+		t.Errorf("checked %d entities, cohort pruning should cap at 10", stats.Checked)
+	}
+}
+
+// TestMinSigTreePrunesBetterOnDispersedData reproduces the Figure 7.7
+// relationship at unit scale: on low-locality traces, the MinSigTree checks
+// fewer entities than the bitmap baseline.
+func TestMinSigTreePrunesBetterOnDispersedData(t *testing.T) {
+	ix, st := randomWorld(t, 77, 150)
+	bm, err := Build(ix, st, st.Entities(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := sighash.NewFamily(ix, 48, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Build(ix, fam, st, st.Entities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := adm.NewPaperADM(3, 2, 2)
+	treeChecked, bmChecked := 0, 0
+	for e := trace.EntityID(0); e < 25; e++ {
+		_, ts, err := tree.TopK(st.Get(e), 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bs, err := bm.TopK(st.Get(e), 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeChecked += ts.Checked
+		bmChecked += bs.Checked
+	}
+	if treeChecked > bmChecked {
+		t.Errorf("MinSigTree checked %d vs baseline %d; expected the index to prune at least as well",
+			treeChecked, bmChecked)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/trace"
+)
+
+// Approximate top-k queries — the first item of the paper's future work
+// (Section 8.2): "many applications require the results be returned with
+// very short delay and approximate answers would suffice ... with certain
+// quality guarantees."
+//
+// ApproxTopK runs the same best-first search as TopK but relaxes the
+// termination condition: the search stops as soon as the current k-th best
+// exact degree reaches (1−ε) times the largest remaining upper bound. Every
+// entity left unexplored then has degree at most UBmax ≤ kth/(1−ε), which
+// yields the guarantee below. An optional budget caps the number of exact
+// degree computations for hard latency ceilings; when the budget trips
+// first, the achieved ε is reported instead of guaranteed.
+
+// ApproxOptions tunes the approximate search.
+type ApproxOptions struct {
+	// Epsilon ∈ [0, 1): relative slack. 0 reproduces the exact search.
+	Epsilon float64
+	// MaxChecked caps exact degree computations (0 = unlimited). When the
+	// cap fires before the ε-condition holds, the result carries the
+	// achieved epsilon instead.
+	MaxChecked int
+}
+
+// ApproxStats extends SearchStats with the achieved quality.
+type ApproxStats struct {
+	SearchStats
+	// AchievedEpsilon is the smallest ε for which the guarantee holds on
+	// this answer: every non-returned entity has degree ≤ kth/(1−ε),
+	// i.e. the returned k-th degree is ≥ (1−ε)·(true k-th degree).
+	// 0 means the answer is exact.
+	AchievedEpsilon float64
+	// BudgetExhausted reports that MaxChecked fired before the requested
+	// ε-condition held.
+	BudgetExhausted bool
+}
+
+// ApproxTopK answers a top-k query approximately, with the guarantee that
+// the returned k-th degree is at least (1−AchievedEpsilon) times the true
+// k-th degree. With Epsilon = 0 and MaxChecked = 0 it is exactly TopK.
+func (t *Tree) ApproxTopK(q *trace.Sequences, k int, measure adm.Measure, opts ApproxOptions) ([]Result, ApproxStats, error) {
+	var stats ApproxStats
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if opts.Epsilon < 0 || opts.Epsilon >= 1 {
+		return nil, stats, fmt.Errorf("core: epsilon %v outside [0,1)", opts.Epsilon)
+	}
+	if q.Levels() != t.m {
+		return nil, stats, fmt.Errorf("core: query has %d levels, index has %d", q.Levels(), t.m)
+	}
+	qCounts := make([]int, t.m)
+	for l := 1; l <= t.m; l++ {
+		qCounts[l-1] = q.Size(l)
+	}
+	var cands candidateHeap
+	heap.Init(&cands)
+	heap.Push(&cands, &candidate{
+		n:         t.root,
+		ub:        measure.UpperBound(qCounts, qCounts),
+		surviving: q.Base(),
+		counts:    qCounts,
+	})
+	var results resultHeap
+	seq := 1
+	remainingUB := 0.0
+
+	for cands.Len() > 0 {
+		c := heap.Pop(&cands).(*candidate)
+		stats.NodesPopped++
+		if results.Len() == k && results[0].Degree >= (1-opts.Epsilon)*c.ub {
+			remainingUB = c.ub
+			break
+		}
+		if opts.MaxChecked > 0 && stats.Checked >= opts.MaxChecked {
+			stats.BudgetExhausted = true
+			remainingUB = c.ub
+			break
+		}
+		if c.n.level == t.m {
+			stats.LeavesRead++
+			for _, e := range c.n.entities {
+				if e == q.Entity {
+					continue
+				}
+				s := t.src.Get(e)
+				if s == nil {
+					return nil, stats, fmt.Errorf("core: indexed entity %d missing from source", e)
+				}
+				stats.Checked++
+				d := measure.Degree(q, s)
+				if results.Len() < k {
+					heap.Push(&results, Result{Entity: e, Degree: d})
+				} else if d > results[0].Degree || (d == results[0].Degree && e < results[0].Entity) {
+					results[0] = Result{Entity: e, Degree: d}
+					heap.Fix(&results, 0)
+				}
+			}
+			continue
+		}
+		for _, child := range c.n.sortedChildren() {
+			cc := t.expand(c, child, qCounts, measure, &stats.SearchStats)
+			cc.seq = seq
+			seq++
+			heap.Push(&cands, cc)
+		}
+	}
+
+	out := make([]Result, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(Result)
+	}
+	// Achieved quality: smallest ε such that kth ≥ (1−ε)·remainingUB.
+	if remainingUB > 0 && len(out) > 0 {
+		kth := out[len(out)-1].Degree
+		if kth < remainingUB {
+			stats.AchievedEpsilon = 1 - kth/remainingUB
+		}
+	}
+	n := t.Len()
+	if t.Contains(q.Entity) {
+		n--
+	}
+	if n > 0 {
+		stats.PE = float64(stats.Checked-len(out)) / float64(n)
+		if stats.PE < 0 {
+			stats.PE = 0
+		}
+		stats.Pruned = 1 - float64(stats.Checked)/float64(n)
+	}
+	return out, stats, nil
+}

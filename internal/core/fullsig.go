@@ -1,0 +1,102 @@
+package core
+
+import (
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// Full-signature mode: the Section 5.1 ablation. The paper's index stores a
+// single signature coordinate per node ("materialize SIG_N[u] only",
+// §4.2.2) and prunes with the *partial* pruned set; the alternative stores
+// the complete nh-coordinate group signature and prunes with the full
+// Theorem-2 rule — tighter bounds at nh× the node storage and nh× the
+// per-cell filtering cost. BuildFull constructs that variant so the
+// trade-off the paper argues qualitatively can be measured
+// (BenchmarkAblationSignatures in bench_test.go).
+
+// Options controls index construction variants.
+type Options struct {
+	// FullSignatures stores the complete group signature at every node and
+	// prunes with the full pruned set (Section 5.1's PS_N instead of
+	// PPS_N).
+	FullSignatures bool
+}
+
+// BuildWithOptions is Build with construction options.
+func BuildWithOptions(ix *spindex.Index, hasher sighash.Hasher, src SequenceSource, entities []trace.EntityID, opts Options) (*Tree, error) {
+	t := &Tree{
+		ix:     ix,
+		hasher: hasher,
+		src:    src,
+		root:   &node{level: 0, children: make(map[uint32]*node)},
+		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(entities)),
+		m:      ix.Height(),
+		full:   opts.FullSignatures,
+	}
+	for _, e := range entities {
+		if err := t.Insert(e); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// insertFull descends like insertWithSig but also folds the entity's
+// complete per-level signatures into each node's group signature.
+func (t *Tree) insertFull(e trace.EntityID, s *trace.Sequences) {
+	nh := t.hasher.NumFuncs()
+	digest := make(sighash.EntitySig, t.m)
+	fulls := make([][]uint64, t.m)
+	for l := 1; l <= t.m; l++ {
+		full := sighash.FullSignature(t.hasher, s.At(l))
+		fulls[l-1] = full
+		best := 0
+		for u := 1; u < nh; u++ {
+			if full[u] > full[best] {
+				best = u
+			}
+		}
+		digest[l-1] = sighash.LevelSig{Routing: uint32(best), Value: full[best]}
+	}
+	t.sigs[e] = digest
+	cur := t.root
+	cur.count++
+	for l := 1; l <= t.m; l++ {
+		ls := digest[l-1]
+		child, ok := cur.children[ls.Routing]
+		if !ok {
+			child = &node{routing: ls.Routing, value: ls.Value, level: l}
+			if l < t.m {
+				child.children = make(map[uint32]*node)
+			}
+			child.fullSig = append([]uint64(nil), fulls[l-1]...)
+			cur.children[ls.Routing] = child
+		} else {
+			if ls.Value < child.value {
+				child.value = ls.Value
+			}
+			for u, v := range fulls[l-1] {
+				if v < child.fullSig[u] {
+					child.fullSig[u] = v
+				}
+			}
+		}
+		child.count++
+		cur = child
+	}
+	cur.entities = append(cur.entities, e)
+}
+
+// fullSurvives reports whether query base cell s survives the node's full
+// pruned set: it is pruned as soon as any coordinate certifies absence
+// (Theorem 2 over all nh functions).
+func (t *Tree) fullSurvives(n *node, s trace.Cell, stats *SearchStats) bool {
+	for u, sig := range n.fullSig {
+		stats.CellsHashed++
+		if t.hasher.Hash(u, s) < sig {
+			return false
+		}
+	}
+	return true
+}

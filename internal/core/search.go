@@ -1,0 +1,261 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/trace"
+)
+
+// Result is one top-k answer: an entity and its exact association degree
+// with the query entity.
+type Result struct {
+	Entity trace.EntityID
+	Degree float64
+}
+
+// SearchStats reports the work a TopK call performed. PE follows
+// Definition 5: (checked − k)/|E|, the fraction of extra entities whose
+// exact degree had to be computed (lower is better). Pruned is the
+// complementary fraction 1 − checked/|E| (higher is better), the quantity
+// Figure 7.3 plots.
+type SearchStats struct {
+	Checked     int     // entities whose exact degree was computed
+	NodesPopped int     // candidate nodes dequeued
+	LeavesRead  int     // leaf nodes whose entities were scanned
+	CellsHashed int     // query-cell hash evaluations
+	PE          float64 // (Checked − k) / |E|, Definition 5
+	Pruned      float64 // 1 − Checked/|E|
+}
+
+// candidate is a queue entry of Algorithm 2: a tree node together with the
+// query's surviving base ST-cells (S_q minus the partial pruned sets of the
+// node and all its ancestors) and the per-level surviving ancestor-cell
+// counts that feed the upper bound.
+type candidate struct {
+	n         *node
+	ub        float64
+	surviving []trace.Cell // surviving base cells of the query
+	counts    []int        // per level l (index l-1): |ancestors_l(surviving at the level-l ancestor node)|
+	seq       int          // tie-break: FIFO among equal bounds
+}
+
+// candidateHeap is a max-heap on upper bound (FIFO among ties).
+type candidateHeap []*candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].ub != h[j].ub {
+		return h[i].ub > h[j].ub
+	}
+	return h[i].seq < h[j].seq
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(*candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// resultHeap keeps the current k best answers as a min-heap on degree, so
+// the threshold (Result.minKey in Algorithm 2) is O(1). Ties prefer keeping
+// the smaller entity ID, for deterministic output.
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Degree != h[j].Degree {
+		return h[i].Degree < h[j].Degree
+	}
+	return h[i].Entity > h[j].Entity
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// TopK answers a top-k query over digital traces (Definition 4) for the
+// query sequences q, excluding the entity q.Entity itself, under the given
+// association degree measure. It implements Algorithm 2: best-first search
+// over MinSigTree nodes ordered by upper bound, with early termination once
+// k exact degrees dominate every remaining bound. Results are ordered by
+// descending degree (ties by ascending entity ID).
+//
+// The returned answers are exact for any admissible measure: pruning relies
+// only on Theorems 2-4, never on hash quality.
+func (t *Tree) TopK(q *trace.Sequences, k int, measure adm.Measure) ([]Result, SearchStats, error) {
+	var stats SearchStats
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if q.Levels() != t.m {
+		return nil, stats, fmt.Errorf("core: query has %d levels, index has %d", q.Levels(), t.m)
+	}
+	if measure.Levels() != t.m {
+		return nil, stats, fmt.Errorf("core: measure scores %d levels, index has %d", measure.Levels(), t.m)
+	}
+
+	qCounts := make([]int, t.m)
+	for l := 1; l <= t.m; l++ {
+		qCounts[l-1] = q.Size(l)
+	}
+	rootCand := &candidate{
+		n:         t.root,
+		ub:        measure.UpperBound(qCounts, qCounts),
+		surviving: q.Base(),
+		counts:    qCounts,
+	}
+
+	var cands candidateHeap
+	heap.Init(&cands)
+	heap.Push(&cands, rootCand)
+	var results resultHeap
+	seq := 1
+
+	for cands.Len() > 0 {
+		c := heap.Pop(&cands).(*candidate)
+		stats.NodesPopped++
+		// Early termination: the k-th best exact degree already matches or
+		// beats every remaining upper bound.
+		if results.Len() == k && results[0].Degree >= c.ub {
+			break
+		}
+		if c.n.level == t.m {
+			stats.LeavesRead++
+			for _, e := range c.n.entities {
+				if e == q.Entity {
+					continue
+				}
+				s := t.src.Get(e)
+				if s == nil {
+					return nil, stats, fmt.Errorf("core: indexed entity %d missing from source", e)
+				}
+				stats.Checked++
+				d := measure.Degree(q, s)
+				if results.Len() < k {
+					heap.Push(&results, Result{Entity: e, Degree: d})
+				} else if d > results[0].Degree ||
+					(d == results[0].Degree && e < results[0].Entity) {
+					results[0] = Result{Entity: e, Degree: d}
+					heap.Fix(&results, 0)
+				}
+			}
+			continue
+		}
+		for _, child := range c.n.sortedChildren() {
+			cc := t.expand(c, child, qCounts, measure, &stats)
+			cc.seq = seq
+			seq++
+			heap.Push(&cands, cc)
+		}
+	}
+
+	out := make([]Result, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(Result)
+	}
+	n := t.Len()
+	if t.Contains(q.Entity) {
+		n-- // the query entity itself is never an answer
+	}
+	if n > 0 {
+		stats.PE = float64(stats.Checked-len(out)) / float64(n)
+		if stats.PE < 0 {
+			stats.PE = 0
+		}
+		stats.Pruned = 1 - float64(stats.Checked)/float64(n)
+	}
+	return out, stats, nil
+}
+
+// expand builds the candidate for a child node: filter the surviving query
+// cells through the child's single-coordinate signature (Theorem 2 via the
+// partial pruned set of Section 5.1), then refresh the per-level surviving
+// ancestor counts for the child's level and below. Counts for coarser
+// levels are inherited — they were fixed by the ancestors at those levels
+// (Theorem 3 keeps the bound monotone).
+func (t *Tree) expand(parent *candidate, child *node, qCounts []int, measure adm.Measure, stats *SearchStats) *candidate {
+	fn := int(child.routing)
+	surviving := make([]trace.Cell, 0, len(parent.surviving))
+	for _, s := range parent.surviving {
+		var keep bool
+		if child.fullSig != nil {
+			// Full-signature mode (Section 5.1 ablation): prune with the
+			// complete pruned set PS_N across all nh coordinates.
+			keep = t.fullSurvives(child, s, stats)
+		} else {
+			stats.CellsHashed++
+			// h_fn(s) < SIG_N[fn] would put s in the partial pruned set:
+			// no entity under child can be present at s (Theorem 2).
+			keep = t.hasher.Hash(fn, s) >= child.value
+		}
+		if keep {
+			surviving = append(surviving, s)
+		}
+	}
+	cc := &candidate{n: child, surviving: surviving}
+	if len(surviving) == len(parent.surviving) {
+		// Nothing pruned: ancestor counts are unchanged.
+		cc.counts = parent.counts
+	} else {
+		counts := make([]int, t.m)
+		copy(counts, parent.counts[:child.level-1])
+		// Theorem 2 exclusions propagate to every level ≥ the node's own:
+		// recount distinct ancestor cells of the survivors.
+		for l := child.level; l <= t.m; l++ {
+			counts[l-1] = distinctAncestors(t, surviving, l)
+		}
+		cc.counts = counts
+	}
+	cc.ub = measure.UpperBound(cc.counts, qCounts)
+	return cc
+}
+
+// distinctAncestors counts the distinct level-l cells covering the given
+// base cells.
+func distinctAncestors(t *Tree, cells []trace.Cell, l int) int {
+	if l == t.m {
+		return len(cells)
+	}
+	seen := make(map[trace.Cell]struct{}, len(cells))
+	for _, c := range cells {
+		a := trace.MakeCell(c.Time(), t.ix.AncestorAt(c.Unit(), l))
+		seen[a] = struct{}{}
+	}
+	return len(seen)
+}
+
+// BruteForceTopK computes the exact top-k answers by scanning every entity
+// in the source — the paper's ground-truth comparator (Chapter 4 opening).
+// It shares the tie-breaking of TopK so results are directly comparable.
+func BruteForceTopK(src SequenceSource, entities []trace.EntityID, q *trace.Sequences, k int, measure adm.Measure) []Result {
+	all := make([]Result, 0, len(entities))
+	for _, e := range entities {
+		if e == q.Entity {
+			continue
+		}
+		s := src.Get(e)
+		if s == nil {
+			continue
+		}
+		all = append(all, Result{Entity: e, Degree: measure.Degree(q, s)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Degree != all[j].Degree {
+			return all[i].Degree > all[j].Degree
+		}
+		return all[i].Entity < all[j].Entity
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// Index persistence. A snapshot stores the hash-family scalars (seed,
+// horizon, nh — the family's tables are deterministic in them) and every
+// entity's per-level signature digests; the tree itself is replayed from
+// the digests on load, which both keeps the format small (16+12·m bytes per
+// entity) and revalidates the grouping invariant. The sequence data is not
+// part of the snapshot — it lives in the caller's SequenceSource
+// (trace.Store in memory, or a storage.Store block file).
+
+// snapshotMagic identifies the format; bump the trailing version digit on
+// layout changes.
+const snapshotMagic = "MSIGTREE1\n"
+
+// WriteTo serializes the index. Only trees built over a *sighash.Family can
+// be persisted (worked-example TableHashers have no compact description).
+// Implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	fam, ok := t.hasher.(*sighash.Family)
+	if !ok {
+		return 0, fmt.Errorf("core: only Family-hashed trees can be persisted, have %T", t.hasher)
+	}
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(snapshotMagic))
+	hdr := []uint64{
+		uint64(t.m),
+		uint64(fam.NumFuncs()),
+		fam.Seed(),
+		uint64(fam.Horizon()),
+		uint64(len(t.sigs)),
+	}
+	if err := write(hdr); err != nil {
+		return n, err
+	}
+	ids := make([]trace.EntityID, 0, len(t.sigs))
+	for e := range t.sigs {
+		ids = append(ids, e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, e := range ids {
+		if err := write(uint32(e)); err != nil {
+			return n, err
+		}
+		for _, ls := range t.sigs[e] {
+			if err := write(ls.Routing); err != nil {
+				return n, err
+			}
+			if err := write(ls.Value); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSnapshot reconstructs a tree from a snapshot, rebuilding the hash
+// family over the given sp-index (which must be the one the tree was built
+// against) and replaying the stored signature digests. src supplies entity
+// sequences at query time; entities missing from src load fine and only
+// fail if a query actually reaches them.
+func ReadSnapshot(r io.Reader, ix *spindex.Index, src SequenceSource) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("core: not a MinSigTree snapshot (magic %q)", magic)
+	}
+	var hdr [5]uint64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	m, nh, seed, horizon, count := int(hdr[0]), int(hdr[1]), hdr[2], trace.Time(hdr[3]), int(hdr[4])
+	if m != ix.Height() {
+		return nil, fmt.Errorf("core: snapshot has %d levels, sp-index has %d", m, ix.Height())
+	}
+	if count < 0 || nh < 1 {
+		return nil, fmt.Errorf("core: corrupt snapshot header")
+	}
+	fam, err := sighash.NewFamily(ix, horizon, nh, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		ix:     ix,
+		hasher: fam,
+		src:    src,
+		root:   &node{level: 0, children: make(map[uint32]*node)},
+		sigs:   make(map[trace.EntityID]sighash.EntitySig, count),
+		m:      m,
+	}
+	for i := 0; i < count; i++ {
+		var id uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("core: snapshot truncated at entity %d: %w", i, err)
+		}
+		sig := make(sighash.EntitySig, m)
+		for l := 0; l < m; l++ {
+			if err := binary.Read(br, binary.LittleEndian, &sig[l].Routing); err != nil {
+				return nil, fmt.Errorf("core: snapshot truncated at entity %d: %w", i, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &sig[l].Value); err != nil {
+				return nil, fmt.Errorf("core: snapshot truncated at entity %d: %w", i, err)
+			}
+			if int(sig[l].Routing) >= nh {
+				return nil, fmt.Errorf("core: snapshot entity %d: routing %d ≥ nh %d", id, sig[l].Routing, nh)
+			}
+		}
+		e := trace.EntityID(id)
+		if _, dup := t.sigs[e]; dup {
+			return nil, fmt.Errorf("core: snapshot repeats entity %d", id)
+		}
+		t.insertWithSig(e, sig)
+	}
+	return t, nil
+}
+
+// insertWithSig replays an insertion from a stored signature digest,
+// bypassing sequence access and hashing.
+func (t *Tree) insertWithSig(e trace.EntityID, sig sighash.EntitySig) {
+	t.sigs[e] = sig
+	cur := t.root
+	cur.count++
+	for l := 1; l <= t.m; l++ {
+		ls := sig[l-1]
+		child, ok := cur.children[ls.Routing]
+		if !ok {
+			child = &node{routing: ls.Routing, value: ls.Value, level: l}
+			if l < t.m {
+				child.children = make(map[uint32]*node)
+			}
+			cur.children[ls.Routing] = child
+		} else if ls.Value < child.value {
+			child.value = ls.Value
+		}
+		child.count++
+		cur = child
+	}
+	cur.entities = append(cur.entities, e)
+}

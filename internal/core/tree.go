@@ -1,0 +1,345 @@
+// Package core implements the MinSigTree (Section 4.2.2 of "Top-k Queries
+// over Digital Traces") and top-k query processing over it (Chapter 5) —
+// the paper's primary contribution.
+//
+// The MinSigTree is an m-level tree (m = sp-index height) that groups
+// entities by the routing index (argmax position) of their per-level MinHash
+// signatures. Each node stores a single signature coordinate — the minimum,
+// over its entities, of the signature value at the node's routing index —
+// which is the paper's storage-reduced "partial" signature (Section 4.2.2).
+// From that coordinate and Theorem 2, the search derives a partial pruned
+// set of query ST-cells that no entity below the node can share, yielding an
+// admissible upper bound on the association degree (Theorem 4) that
+// tightens monotonically along root-to-leaf paths (Theorem 3).
+//
+// Build is Algorithm 1; Tree.TopK is Algorithm 2 with early termination;
+// Insert/Remove/Update realize the incremental maintenance of Section 4.2.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// SequenceSource supplies entity ST-cell set sequences to the index and the
+// query processor. *trace.Store implements it in memory;
+// *storage.Store (internal/storage) implements it through a block file and
+// buffer pool for the memory-bounded experiments of Section 7.6.
+type SequenceSource interface {
+	// Get returns the sequences of an entity, or nil if unknown.
+	Get(e trace.EntityID) *trace.Sequences
+}
+
+// node is one MinSigTree node. A node at tree level l groups entities whose
+// level-l signature has routing index routing; value is the group-level
+// signature coordinate SIG_N[routing] = min over members. Level-m nodes are
+// leaves and hold their entity sets.
+type node struct {
+	routing  uint32
+	value    uint64
+	level    int // 1..m; the root sits at virtual level 0
+	children map[uint32]*node
+	entities []trace.EntityID // leaves only
+	count    int              // entities in the subtree
+	fullSig  []uint64         // full-signature mode only (Options.FullSignatures)
+}
+
+// Tree is the MinSigTree index over a fixed entity population. It is not
+// safe for concurrent mutation; concurrent TopK queries against an immutable
+// tree are safe.
+type Tree struct {
+	ix     *spindex.Index
+	hasher sighash.Hasher
+	src    SequenceSource
+	root   *node
+	sigs   map[trace.EntityID]sighash.EntitySig
+	m      int
+	full   bool // full-signature mode (Options.FullSignatures)
+
+	// removals counts Remove operations since the last Build/Rebuild;
+	// group signatures are conservative (never too large) after removals,
+	// so queries stay exact but prune slightly less until a Rebuild.
+	removals int
+}
+
+// Build constructs a MinSigTree over the given entities (Algorithm 1).
+// Sequences are fetched from src; entities without sequences are rejected.
+func Build(ix *spindex.Index, hasher sighash.Hasher, src SequenceSource, entities []trace.EntityID) (*Tree, error) {
+	t := &Tree{
+		ix:     ix,
+		hasher: hasher,
+		src:    src,
+		root:   &node{level: 0, children: make(map[uint32]*node)},
+		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(entities)),
+		m:      ix.Height(),
+	}
+	for _, e := range entities {
+		if err := t.Insert(e); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed entities (|E|).
+func (t *Tree) Len() int { return t.root.count }
+
+// Height returns m, the number of grouping levels.
+func (t *Tree) Height() int { return t.m }
+
+// Hasher returns the hash family the tree was built with.
+func (t *Tree) Hasher() sighash.Hasher { return t.hasher }
+
+// Source returns the sequence source queries read exact traces from.
+func (t *Tree) Source() SequenceSource { return t.src }
+
+// Contains reports whether the entity is indexed.
+func (t *Tree) Contains(e trace.EntityID) bool {
+	_, ok := t.sigs[e]
+	return ok
+}
+
+// Insert adds an entity to the index: compute its signature list, descend by
+// per-level routing indexes (creating nodes as needed), lower group
+// signature coordinates along the path, and append the entity to the level-m
+// leaf. Cost is O(C·nh + m) where C is the entity's cell count
+// (Section 4.2.3).
+func (t *Tree) Insert(e trace.EntityID) error {
+	if _, dup := t.sigs[e]; dup {
+		return fmt.Errorf("core: entity %d already indexed", e)
+	}
+	s := t.src.Get(e)
+	if s == nil {
+		return fmt.Errorf("core: entity %d has no sequences in the source", e)
+	}
+	if s.Levels() != t.m {
+		return fmt.Errorf("core: entity %d has %d levels, index has %d", e, s.Levels(), t.m)
+	}
+	if t.full {
+		t.insertFull(e, s)
+		return nil
+	}
+	t.insertWithSig(e, sighash.Signature(t.hasher, s))
+	return nil
+}
+
+// Remove deletes an entity from the index by retracing its signature path
+// (steps 1-2 of the Section 7.8 update procedure). Emptied nodes are pruned.
+// Group signatures of surviving ancestors are left unchanged: they remain
+// valid lower bounds of their members' signature values (never too large),
+// so query results stay exact; they may be smaller than necessary, which
+// only loosens upper bounds. Rebuild restores tight signatures.
+func (t *Tree) Remove(e trace.EntityID) error {
+	sig, ok := t.sigs[e]
+	if !ok {
+		return fmt.Errorf("core: entity %d not indexed", e)
+	}
+	delete(t.sigs, e)
+	path := make([]*node, 0, t.m+1)
+	cur := t.root
+	path = append(path, cur)
+	for l := 1; l <= t.m; l++ {
+		cur = cur.children[sig[l-1].Routing]
+		if cur == nil {
+			panic(fmt.Sprintf("core: index corrupt: entity %d signature path broken at level %d", e, l))
+		}
+		path = append(path, cur)
+	}
+	leaf := cur
+	found := false
+	for i, id := range leaf.entities {
+		if id == e {
+			leaf.entities = append(leaf.entities[:i], leaf.entities[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("core: index corrupt: entity %d missing from its leaf", e))
+	}
+	for _, n := range path {
+		n.count--
+	}
+	// Prune emptied nodes bottom-up.
+	for l := t.m; l >= 1; l-- {
+		n := path[l]
+		if n.count == 0 {
+			delete(path[l-1].children, n.routing)
+		}
+	}
+	t.removals++
+	return nil
+}
+
+// Update refreshes an entity whose sequences changed in the source: the
+// four-step procedure of Section 7.8 (locate, remove, re-sign, re-insert).
+// Inserting a previously unknown entity with Update is allowed and skips the
+// removal steps — the paper observes exactly this cost difference
+// (Figure 7.9).
+func (t *Tree) Update(e trace.EntityID) error {
+	if t.Contains(e) {
+		if err := t.Remove(e); err != nil {
+			return err
+		}
+	}
+	return t.Insert(e)
+}
+
+// Rebuild reconstructs the tree from the current entity set, restoring tight
+// group signatures after removals.
+func (t *Tree) Rebuild() error {
+	entities := make([]trace.EntityID, 0, len(t.sigs))
+	for e := range t.sigs {
+		entities = append(entities, e)
+	}
+	sort.Slice(entities, func(i, j int) bool { return entities[i] < entities[j] })
+	fresh, err := Build(t.ix, t.hasher, t.src, entities)
+	if err != nil {
+		return err
+	}
+	*t = *fresh
+	return nil
+}
+
+// Entities returns the indexed entity IDs in ascending order.
+func (t *Tree) Entities() []trace.EntityID {
+	out := make([]trace.EntityID, 0, len(t.sigs))
+	for e := range t.sigs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IndexStats describes the size and shape of the tree (Figure 7.8 reports
+// MemoryBytes as "index size").
+type IndexStats struct {
+	Entities    int
+	Nodes       int // internal + leaf nodes, excluding the virtual root
+	Leaves      int
+	MaxLeafSize int
+	MemoryBytes int // nodes + per-entity digests + hash-family tables
+}
+
+// Stats computes current index statistics.
+func (t *Tree) Stats() IndexStats {
+	st := IndexStats{Entities: t.root.count}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.level > 0 {
+			st.Nodes++
+			if n.level == t.m {
+				st.Leaves++
+				if len(n.entities) > st.MaxLeafSize {
+					st.MaxLeafSize = len(n.entities)
+				}
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	// Per node: routing (4) + value (8) + level (1) + child-map overhead
+	// estimate (16); per entity: m LevelSig digests (12 each) + leaf slot.
+	st.MemoryBytes = st.Nodes*29 + st.Entities*(t.m*12+4)
+	if t.full {
+		// Full-signature mode stores nh coordinates per node (§5.1).
+		st.MemoryBytes += st.Nodes * t.hasher.NumFuncs() * 8
+	}
+	if f, ok := t.hasher.(*sighash.Family); ok {
+		st.MemoryBytes += f.MemoryBytes()
+	}
+	return st
+}
+
+// Validate checks index invariants: counts are consistent, every entity's
+// stored signature path reaches the leaf containing it, and every node's
+// group coordinate is ≤ the signature values of all entities below it (with
+// equality guaranteed only when no Remove happened since the last build).
+func (t *Tree) Validate() error {
+	seen := 0
+	var walk func(n *node) (int, error)
+	walk = func(n *node) (int, error) {
+		if n.level == t.m {
+			for _, e := range n.entities {
+				sig, ok := t.sigs[e]
+				if !ok {
+					return 0, fmt.Errorf("core: leaf holds unknown entity %d", e)
+				}
+				if sig[n.level-1].Routing != n.routing {
+					return 0, fmt.Errorf("core: entity %d routing %d in leaf %d", e, sig[n.level-1].Routing, n.routing)
+				}
+				seen++
+			}
+			if n.count != len(n.entities) {
+				return 0, fmt.Errorf("core: leaf count %d != %d entities", n.count, len(n.entities))
+			}
+			return n.count, nil
+		}
+		total := 0
+		for r, c := range n.children {
+			if c.routing != r {
+				return 0, fmt.Errorf("core: child keyed %d has routing %d", r, c.routing)
+			}
+			if c.level != n.level+1 {
+				return 0, fmt.Errorf("core: child of level-%d node at level %d", n.level, c.level)
+			}
+			sub, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			if sub == 0 {
+				return 0, fmt.Errorf("core: empty subtree at level %d routing %d", c.level, c.routing)
+			}
+			total += sub
+		}
+		if total != n.count {
+			return 0, fmt.Errorf("core: level-%d node count %d != children sum %d", n.level, n.count, total)
+		}
+		return total, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	if seen != len(t.sigs) {
+		return fmt.Errorf("core: %d entities in leaves, %d signatures stored", seen, len(t.sigs))
+	}
+	// Signature-path and value invariants per entity.
+	for e, sig := range t.sigs {
+		cur := t.root
+		for l := 1; l <= t.m; l++ {
+			cur = cur.children[sig[l-1].Routing]
+			if cur == nil {
+				return fmt.Errorf("core: entity %d path broken at level %d", e, l)
+			}
+			if cur.value > sig[l-1].Value {
+				return fmt.Errorf("core: entity %d level %d: node value %d > entity value %d",
+					e, l, cur.value, sig[l-1].Value)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedChildren returns a node's children ordered by routing index, for
+// deterministic traversal.
+func (n *node) sortedChildren() []*node {
+	out := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].routing < out[j].routing })
+	return out
+}
+
+// ensure interface compliance of the in-memory store.
+var _ SequenceSource = (*trace.Store)(nil)
+
+// ensure adm dependency is used here (Measure threaded through search.go).
+var _ adm.Measure = (*adm.LevelWeighted)(nil)

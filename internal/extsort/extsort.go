@@ -1,0 +1,309 @@
+// Package extsort implements the B-way external merge sort of Section 4.3
+// of "Top-k Queries over Digital Traces": raw digital-trace records arrive
+// in arbitrary order (WiFi logs, check-in feeds) and must be grouped by
+// entity before the index builder can stream one entity at a time through
+// bounded memory.
+//
+// The sorter works in pages of a fixed byte size with a budget of B buffer
+// pages, exactly matching the paper's cost model: run generation reads B
+// pages, sorts them, writes a run; merge passes combine up to B runs at a
+// time. Total page I/O is 2N·(1 + ⌈log_B⌈N/B⌉⌉) for N data pages, which
+// Stats reports measured and TheoreticalPageIO predicts.
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// RecordSize is the fixed on-disk size of one trace record: four int32
+// fields (entity, base, start, end).
+const RecordSize = 16
+
+// Config controls a sort run.
+type Config struct {
+	// PageSize is the page size in bytes (must hold ≥ 1 record).
+	PageSize int
+	// BufferPages is B, the number of in-memory page buffers (≥ 3: at
+	// least two inputs and one output during merges).
+	BufferPages int
+	// TempDir holds intermediate runs; defaults to os.TempDir().
+	TempDir string
+}
+
+// DefaultConfig returns 4 KiB pages with 64 buffers.
+func DefaultConfig() Config { return Config{PageSize: 4096, BufferPages: 64} }
+
+// Stats reports the measured I/O of a sort.
+type Stats struct {
+	Records      int
+	DataPages    int // N: pages needed to hold the input
+	Runs         int // initial sorted runs
+	MergePasses  int
+	PagesRead    int
+	PagesWritten int
+}
+
+// PageIO returns total pages transferred (read + written).
+func (s Stats) PageIO() int { return s.PagesRead + s.PagesWritten }
+
+// TheoreticalPageIO evaluates the paper's cost formula
+// 2N·(1 + ⌈log_B⌈N/B⌉⌉) for N data pages and B buffers.
+func TheoreticalPageIO(n, b int) int {
+	if n == 0 {
+		return 0
+	}
+	runs := (n + b - 1) / b
+	passes := 1
+	if runs > 1 {
+		passes += int(math.Ceil(math.Log(float64(runs)) / math.Log(float64(b))))
+	}
+	return 2 * n * passes
+}
+
+// EncodeRecord writes a record into buf (len ≥ RecordSize).
+func EncodeRecord(buf []byte, r trace.Record) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(r.Entity))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(r.Base))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.Start))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(r.End))
+}
+
+// DecodeRecord reads a record from buf (len ≥ RecordSize).
+func DecodeRecord(buf []byte) trace.Record {
+	return trace.Record{
+		Entity: trace.EntityID(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		Base:   spindex.BaseID(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		Start:  trace.Time(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		End:    trace.Time(int32(binary.LittleEndian.Uint32(buf[12:]))),
+	}
+}
+
+// WriteRecords writes records to path in the fixed binary format.
+func WriteRecords(path string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	buf := make([]byte, RecordSize)
+	for _, r := range recs {
+		EncodeRecord(buf, r)
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRecords reads an entire record file.
+func ReadRecords(path string) ([]trace.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%RecordSize != 0 {
+		return nil, fmt.Errorf("extsort: %s: %d bytes is not a whole number of records", path, len(data))
+	}
+	recs := make([]trace.Record, len(data)/RecordSize)
+	for i := range recs {
+		recs[i] = DecodeRecord(data[i*RecordSize:])
+	}
+	return recs, nil
+}
+
+// less orders records by (entity, start, base) — the grouping the index
+// builder consumes.
+func less(a, b trace.Record) bool {
+	if a.Entity != b.Entity {
+		return a.Entity < b.Entity
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Base < b.Base
+}
+
+// SortFile externally sorts the record file at inPath into outPath and
+// returns measured I/O statistics.
+func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
+	var st Stats
+	if cfg.PageSize < RecordSize {
+		return st, fmt.Errorf("extsort: page size %d < record size %d", cfg.PageSize, RecordSize)
+	}
+	if cfg.BufferPages < 3 {
+		return st, fmt.Errorf("extsort: need at least 3 buffer pages, have %d", cfg.BufferPages)
+	}
+	dir := cfg.TempDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	perPage := cfg.PageSize / RecordSize
+	info, err := os.Stat(inPath)
+	if err != nil {
+		return st, err
+	}
+	if info.Size()%RecordSize != 0 {
+		return st, fmt.Errorf("extsort: %s: truncated record file", inPath)
+	}
+	st.Records = int(info.Size() / RecordSize)
+	st.DataPages = (st.Records + perPage - 1) / perPage
+	if st.Records == 0 {
+		return st, WriteRecords(outPath, nil)
+	}
+
+	// Pass 0: run generation. Read B pages at a time, sort, write a run.
+	in, err := os.Open(inPath)
+	if err != nil {
+		return st, err
+	}
+	defer in.Close()
+	runCap := cfg.BufferPages * perPage
+	var runs []string
+	chunk := make([]trace.Record, 0, runCap)
+	buf := make([]byte, cfg.PageSize)
+	pending := st.Records
+	for pending > 0 {
+		chunk = chunk[:0]
+		for len(chunk) < runCap && pending > 0 {
+			n := perPage
+			if n > pending {
+				n = pending
+			}
+			if _, err := io.ReadFull(in, buf[:n*RecordSize]); err != nil {
+				return st, err
+			}
+			st.PagesRead++
+			for i := 0; i < n; i++ {
+				chunk = append(chunk, DecodeRecord(buf[i*RecordSize:]))
+			}
+			pending -= n
+		}
+		sort.Slice(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		runPath := filepath.Join(dir, fmt.Sprintf("extsort-run-%d.tmp", len(runs)))
+		if err := WriteRecords(runPath, chunk); err != nil {
+			return st, err
+		}
+		st.PagesWritten += (len(chunk) + perPage - 1) / perPage
+		runs = append(runs, runPath)
+	}
+	st.Runs = len(runs)
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+
+	// Merge passes: combine up to B runs at a time until one remains.
+	gen := 0
+	for len(runs) > 1 {
+		st.MergePasses++
+		var next []string
+		for lo := 0; lo < len(runs); lo += cfg.BufferPages {
+			hi := lo + cfg.BufferPages
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			outPath := filepath.Join(dir, fmt.Sprintf("extsort-merge-%d-%d.tmp", gen, lo))
+			if err := mergeRuns(runs[lo:hi], outPath, perPage, &st); err != nil {
+				return st, err
+			}
+			next = append(next, outPath)
+		}
+		for _, r := range runs {
+			os.Remove(r)
+		}
+		runs = next
+		gen++
+	}
+	if err := os.Rename(runs[0], outPath); err != nil {
+		// Cross-device rename fallback: copy.
+		data, rerr := os.ReadFile(runs[0])
+		if rerr != nil {
+			return st, err
+		}
+		if werr := os.WriteFile(outPath, data, 0o644); werr != nil {
+			return st, werr
+		}
+	}
+	runs = nil
+	return st, nil
+}
+
+// mergeRuns k-way merges sorted run files into out, counting page I/O.
+func mergeRuns(paths []string, out string, perPage int, st *Stats) error {
+	type cursor struct {
+		recs []trace.Record
+		pos  int
+	}
+	cursors := make([]*cursor, len(paths))
+	for i, p := range paths {
+		recs, err := ReadRecords(p)
+		if err != nil {
+			return err
+		}
+		st.PagesRead += (len(recs) + perPage - 1) / perPage
+		cursors[i] = &cursor{recs: recs}
+	}
+	total := 0
+	for _, c := range cursors {
+		total += len(c.recs)
+	}
+	merged := make([]trace.Record, 0, total)
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.pos >= len(c.recs) {
+				continue
+			}
+			if best == -1 || less(c.recs[c.pos], cursors[best].recs[cursors[best].pos]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		merged = append(merged, cursors[best].recs[cursors[best].pos])
+		cursors[best].pos++
+	}
+	if err := WriteRecords(out, merged); err != nil {
+		return err
+	}
+	st.PagesWritten += (len(merged) + perPage - 1) / perPage
+	return nil
+}
+
+// GroupByEntity streams a sorted record file, invoking fn once per entity
+// with its contiguous records — the bounded-memory ingestion loop of
+// Section 4.3 ("fetch one entity into memory at a time and update the
+// MinSigTree incrementally").
+func GroupByEntity(path string, fn func(e trace.EntityID, recs []trace.Record) error) error {
+	recs, err := ReadRecords(path)
+	if err != nil {
+		return err
+	}
+	start := 0
+	for i := 1; i <= len(recs); i++ {
+		if i == len(recs) || recs[i].Entity != recs[start].Entity {
+			if err := fn(recs[start].Entity, recs[start:i]); err != nil {
+				return err
+			}
+			start = i
+		}
+	}
+	return nil
+}

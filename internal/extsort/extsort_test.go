@@ -1,0 +1,239 @@
+package extsort
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+func randomRecords(rng *rand.Rand, n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		s := trace.Time(rng.Intn(700))
+		recs[i] = trace.Record{
+			Entity: trace.EntityID(rng.Intn(50)),
+			Base:   spindex.BaseID(rng.Intn(1000)),
+			Start:  s,
+			End:    s + 1 + trace.Time(rng.Intn(5)),
+		}
+	}
+	return recs
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(e, b, s, d int32) bool {
+		r := trace.Record{Entity: trace.EntityID(e), Base: spindex.BaseID(b), Start: trace.Time(s), End: trace.Time(d)}
+		buf := make([]byte, RecordSize)
+		EncodeRecord(buf, r)
+		return DecodeRecord(buf) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadRecords(t *testing.T) {
+	dir := t.TempDir()
+	recs := randomRecords(rand.New(rand.NewSource(1)), 100)
+	path := filepath.Join(dir, "r.bin")
+	if err := WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestSortFileCorrectness(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	recs := randomRecords(rng, 5000)
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	if err := WriteRecords(in, recs); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PageSize: 64, BufferPages: 4, TempDir: dir} // tiny pages force multiple merge passes
+	st, err := SortFile(in, out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]trace.Record(nil), recs...)
+	sort.SliceStable(want, func(i, j int) bool { return less(want[i], want[j]) })
+	// Output must be a sorted permutation of the input.
+	if len(got) != len(want) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if less(got[i], got[i-1]) {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+	counts := map[trace.Record]int{}
+	for _, r := range recs {
+		counts[r]++
+	}
+	for _, r := range got {
+		counts[r]--
+	}
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("record multiset changed: %+v count %d", r, c)
+		}
+	}
+	if st.Records != 5000 {
+		t.Errorf("Records = %d", st.Records)
+	}
+	if st.MergePasses < 2 {
+		t.Errorf("expected multiple merge passes with B=4, got %d", st.MergePasses)
+	}
+}
+
+// TestIOMatchesFormula: measured page I/O equals the paper's
+// 2N·(1 + ⌈log_B⌈N/B⌉⌉) when N is page-aligned.
+func TestIOMatchesFormula(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	const perPage = 8 // 128-byte pages
+	cases := []struct{ pages, buffers int }{
+		{1, 4}, {4, 4}, {16, 4}, {17, 4}, {64, 4}, {65, 4}, {100, 8}, {512, 8},
+	}
+	for _, c := range cases {
+		recs := randomRecords(rng, c.pages*perPage)
+		in := filepath.Join(dir, "in.bin")
+		out := filepath.Join(dir, "out.bin")
+		if err := WriteRecords(in, recs); err != nil {
+			t.Fatal(err)
+		}
+		st, err := SortFile(in, out, Config{PageSize: perPage * RecordSize, BufferPages: c.buffers, TempDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := TheoreticalPageIO(c.pages, c.buffers)
+		if st.PageIO() != want {
+			t.Errorf("N=%d B=%d: measured %d page I/Os (r=%d w=%d, runs=%d, passes=%d), formula %d",
+				c.pages, c.buffers, st.PageIO(), st.PagesRead, st.PagesWritten, st.Runs, st.MergePasses, want)
+		}
+	}
+}
+
+func TestSortFileEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	// Empty input.
+	if err := WriteRecords(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := SortFile(in, out, Config{PageSize: 64, BufferPages: 4, TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 0 || st.PageIO() != 0 {
+		t.Errorf("empty sort stats: %+v", st)
+	}
+	got, err := ReadRecords(out)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty output: %v %v", got, err)
+	}
+	// Single record.
+	one := []trace.Record{{Entity: 1, Base: 2, Start: 3, End: 4}}
+	if err := WriteRecords(in, one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(in, out, Config{PageSize: 64, BufferPages: 4, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadRecords(out)
+	if err != nil || !reflect.DeepEqual(got, one) {
+		t.Errorf("single-record sort: %v %v", got, err)
+	}
+	// Config validation.
+	if _, err := SortFile(in, out, Config{PageSize: 8, BufferPages: 4}); err == nil {
+		t.Error("page smaller than record accepted")
+	}
+	if _, err := SortFile(in, out, Config{PageSize: 64, BufferPages: 2}); err == nil {
+		t.Error("2 buffers accepted")
+	}
+	if _, err := SortFile(filepath.Join(dir, "missing.bin"), out, Config{PageSize: 64, BufferPages: 4}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestGroupByEntity(t *testing.T) {
+	dir := t.TempDir()
+	recs := []trace.Record{
+		{Entity: 1, Base: 0, Start: 0, End: 1},
+		{Entity: 1, Base: 2, Start: 3, End: 4},
+		{Entity: 5, Base: 0, Start: 0, End: 1},
+		{Entity: 9, Base: 1, Start: 0, End: 1},
+		{Entity: 9, Base: 1, Start: 2, End: 3},
+		{Entity: 9, Base: 1, Start: 4, End: 5},
+	}
+	path := filepath.Join(dir, "sorted.bin")
+	if err := WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	var order []trace.EntityID
+	var sizes []int
+	err := GroupByEntity(path, func(e trace.EntityID, group []trace.Record) error {
+		order = append(order, e)
+		sizes = append(sizes, len(group))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []trace.EntityID{1, 5, 9}) {
+		t.Errorf("order = %v", order)
+	}
+	if !reflect.DeepEqual(sizes, []int{2, 1, 3}) {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+// TestSortProperty: random sizes and buffer counts always produce sorted
+// permutations.
+func TestSortProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, rng.Intn(900)+1)
+		in := filepath.Join(dir, "p-in.bin")
+		out := filepath.Join(dir, "p-out.bin")
+		if WriteRecords(in, recs) != nil {
+			return false
+		}
+		cfg := Config{PageSize: RecordSize * (1 + rng.Intn(8)), BufferPages: 3 + rng.Intn(6), TempDir: dir}
+		if _, err := SortFile(in, out, cfg); err != nil {
+			return false
+		}
+		got, err := ReadRecords(out)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if less(got[i], got[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

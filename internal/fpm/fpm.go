@@ -1,0 +1,272 @@
+// Package fpm implements frequent pattern mining with FP-growth (Han et
+// al.), the substrate behind the locality-based baseline of Section 7.2 of
+// "Top-k Queries over Digital Traces": ST-cell sets are treated as
+// transactions and frequently co-occurring ST-cells are clustered.
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Itemset is a frequent itemset with its support count.
+type Itemset struct {
+	Items   []uint64 // ascending
+	Support int
+}
+
+// Config bounds a mining run.
+type Config struct {
+	// MinSupport is the minimum number of transactions an itemset must
+	// appear in (absolute count, ≥ 1).
+	MinSupport int
+	// MaxLen caps the itemset length (0 = unbounded). The Section 7.2
+	// baseline only needs pairwise co-occurrence (MaxLen = 2): by the
+	// Apriori property, clustering on frequent pairs yields the same
+	// connected components as clustering on longer patterns.
+	MaxLen int
+}
+
+// Mine runs FP-growth over the transactions and returns all frequent
+// itemsets (singletons included), ordered by descending support then items.
+func Mine(transactions [][]uint64, cfg Config) ([]Itemset, error) {
+	if cfg.MinSupport < 1 {
+		return nil, fmt.Errorf("fpm: min support %d < 1", cfg.MinSupport)
+	}
+	if cfg.MaxLen < 0 {
+		return nil, fmt.Errorf("fpm: max length %d < 0", cfg.MaxLen)
+	}
+	// Pass 1: global item supports.
+	support := make(map[uint64]int)
+	for _, tx := range transactions {
+		seen := make(map[uint64]bool, len(tx))
+		for _, it := range tx {
+			if !seen[it] {
+				seen[it] = true
+				support[it]++
+			}
+		}
+	}
+	frequent := make([]uint64, 0, len(support))
+	for it, s := range support {
+		if s >= cfg.MinSupport {
+			frequent = append(frequent, it)
+		}
+	}
+	// Order items by descending support (ties by value) — the FP-tree
+	// insertion order.
+	sort.Slice(frequent, func(i, j int) bool {
+		if support[frequent[i]] != support[frequent[j]] {
+			return support[frequent[i]] > support[frequent[j]]
+		}
+		return frequent[i] < frequent[j]
+	})
+	rank := make(map[uint64]int, len(frequent))
+	for i, it := range frequent {
+		rank[it] = i
+	}
+
+	// Pass 2: build the FP-tree.
+	tree := newFPTree()
+	buf := make([]uint64, 0, 32)
+	for _, tx := range transactions {
+		buf = buf[:0]
+		seen := make(map[uint64]bool, len(tx))
+		for _, it := range tx {
+			if _, ok := rank[it]; ok && !seen[it] {
+				seen[it] = true
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		tree.insert(buf, 1)
+	}
+
+	var out []Itemset
+	mineTree(tree, nil, cfg, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessItems(out[i].Items, out[j].Items)
+	})
+	return out, nil
+}
+
+type fpNode struct {
+	item     uint64
+	count    int
+	parent   *fpNode
+	children map[uint64]*fpNode
+	next     *fpNode // header-list chain
+}
+
+type fpTree struct {
+	root   *fpNode
+	header map[uint64]*fpNode // item -> first node in chain
+	items  []uint64           // items present, insertion order
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:   &fpNode{children: make(map[uint64]*fpNode)},
+		header: make(map[uint64]*fpNode),
+	}
+}
+
+func (t *fpTree) insert(tx []uint64, count int) {
+	cur := t.root
+	for _, it := range tx {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: cur, children: make(map[uint64]*fpNode)}
+			cur.children[it] = child
+			child.next = t.header[it]
+			if child.next == nil {
+				t.items = append(t.items, it)
+			}
+			t.header[it] = child
+		}
+		child.count += count
+		cur = child
+	}
+}
+
+// mineTree recursively emits frequent itemsets from the conditional tree.
+// prefix is the current conditional pattern (ascending).
+func mineTree(t *fpTree, prefix []uint64, cfg Config, out *[]Itemset) {
+	// Deterministic item order: ascending support within this tree, ties by
+	// value — the classic bottom-up header traversal.
+	type hs struct {
+		item uint64
+		sup  int
+	}
+	hdr := make([]hs, 0, len(t.items))
+	for _, it := range t.items {
+		s := 0
+		for n := t.header[it]; n != nil; n = n.next {
+			s += n.count
+		}
+		if s >= cfg.MinSupport {
+			hdr = append(hdr, hs{it, s})
+		}
+	}
+	sort.Slice(hdr, func(i, j int) bool {
+		if hdr[i].sup != hdr[j].sup {
+			return hdr[i].sup < hdr[j].sup
+		}
+		return hdr[i].item < hdr[j].item
+	})
+	for _, h := range hdr {
+		items := insertSorted(prefix, h.item)
+		*out = append(*out, Itemset{Items: items, Support: h.sup})
+		if cfg.MaxLen > 0 && len(items) >= cfg.MaxLen {
+			continue
+		}
+		// Conditional pattern base for this item.
+		cond := newFPTree()
+		for n := t.header[h.item]; n != nil; n = n.next {
+			var path []uint64
+			for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf→root; reverse to root→leaf insertion order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			if len(path) > 0 {
+				cond.insert(path, n.count)
+			}
+		}
+		mineTree(cond, items, cfg, out)
+	}
+}
+
+func insertSorted(xs []uint64, v uint64) []uint64 {
+	out := make([]uint64, 0, len(xs)+1)
+	placed := false
+	for _, x := range xs {
+		if !placed && v < x {
+			out = append(out, v)
+			placed = true
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, v)
+	}
+	return out
+}
+
+func lessItems(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// UnionFind is a disjoint-set forest over arbitrary uint64 keys, used to
+// merge frequently co-occurring items into clusters.
+type UnionFind struct {
+	parent map[uint64]uint64
+}
+
+// NewUnionFind returns an empty forest.
+func NewUnionFind() *UnionFind { return &UnionFind{parent: make(map[uint64]uint64)} }
+
+// Find returns the representative of x (inserting x if new), with path
+// compression.
+func (uf *UnionFind) Find(x uint64) uint64 {
+	p, ok := uf.parent[x]
+	if !ok {
+		uf.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := uf.Find(p)
+	uf.parent[x] = root
+	return root
+}
+
+// Union merges the sets of a and b.
+func (uf *UnionFind) Union(a, b uint64) {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra != rb {
+		uf.parent[rb] = ra
+	}
+}
+
+// ClusterItems unions every pair of items inside each frequent itemset and
+// returns a dense cluster-ID map over all items seen in the itemsets.
+func ClusterItems(itemsets []Itemset) map[uint64]int {
+	uf := NewUnionFind()
+	for _, is := range itemsets {
+		for _, it := range is.Items {
+			uf.Find(it) // register singletons
+		}
+		for i := 1; i < len(is.Items); i++ {
+			uf.Union(is.Items[0], is.Items[i])
+		}
+	}
+	ids := make(map[uint64]int)
+	roots := make(map[uint64]int)
+	keys := make([]uint64, 0, len(uf.parent))
+	for k := range uf.parent {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		r := uf.Find(k)
+		id, ok := roots[r]
+		if !ok {
+			id = len(roots)
+			roots[r] = id
+		}
+		ids[k] = id
+	}
+	return ids
+}

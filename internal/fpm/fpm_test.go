@@ -1,0 +1,238 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// classicTransactions is the textbook FP-growth example (Han et al.):
+// five transactions over items 1..6 with minsup 3.
+func classicTransactions() [][]uint64 {
+	return [][]uint64{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	}
+}
+
+func supportOf(t *testing.T, sets []Itemset, items ...uint64) int {
+	t.Helper()
+	for _, is := range sets {
+		if reflect.DeepEqual(is.Items, items) {
+			return is.Support
+		}
+	}
+	return 0
+}
+
+func TestMineClassic(t *testing.T) {
+	sets, err := Mine(classicTransactions(), Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known supports from the textbook example.
+	cases := []struct {
+		items []uint64
+		want  int
+	}{
+		{[]uint64{1}, 6},
+		{[]uint64{2}, 7},
+		{[]uint64{3}, 6},
+		{[]uint64{4}, 2},
+		{[]uint64{5}, 2},
+		{[]uint64{1, 2}, 4},
+		{[]uint64{1, 3}, 4},
+		{[]uint64{2, 3}, 4},
+		{[]uint64{1, 2, 3}, 2},
+		{[]uint64{1, 2, 5}, 2},
+		{[]uint64{2, 4}, 2},
+	}
+	for _, c := range cases {
+		if got := supportOf(t, sets, c.items...); got != c.want {
+			t.Errorf("support(%v) = %d, want %d", c.items, got, c.want)
+		}
+	}
+	// Nothing below min support.
+	for _, is := range sets {
+		if is.Support < 2 {
+			t.Errorf("itemset %v has support %d < 2", is.Items, is.Support)
+		}
+	}
+	// {3,4} co-occurs never; must be absent.
+	if got := supportOf(t, sets, 3, 4); got != 0 {
+		t.Errorf("infrequent pair {3,4} reported with support %d", got)
+	}
+}
+
+func TestMineMaxLen(t *testing.T) {
+	sets, err := Mine(classicTransactions(), Config{MinSupport: 2, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range sets {
+		if len(is.Items) > 2 {
+			t.Errorf("itemset %v exceeds MaxLen 2", is.Items)
+		}
+	}
+	// Pairs still present.
+	if supportOf(t, sets, 1, 2) != 4 {
+		t.Error("pair {1,2} missing under MaxLen 2")
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	if _, err := Mine(nil, Config{MinSupport: 0}); err == nil {
+		t.Error("min support 0 accepted")
+	}
+	if _, err := Mine(nil, Config{MinSupport: 1, MaxLen: -1}); err == nil {
+		t.Error("negative max length accepted")
+	}
+}
+
+func TestMineEmptyAndDuplicates(t *testing.T) {
+	sets, err := Mine([][]uint64{{}, {7, 7, 7}, {7}}, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates within a transaction count once.
+	if got := supportOf(t, sets, 7); got != 2 {
+		t.Errorf("support(7) = %d, want 2", got)
+	}
+	if len(sets) != 1 {
+		t.Errorf("got %d itemsets, want 1: %v", len(sets), sets)
+	}
+}
+
+// TestMineAgainstBruteForce cross-checks FP-growth with exhaustive counting
+// on small random inputs.
+func TestMineAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 4 + rng.Intn(10)
+		nItems := 3 + rng.Intn(4)
+		txs := make([][]uint64, nTx)
+		for i := range txs {
+			for it := 0; it < nItems; it++ {
+				if rng.Float64() < 0.4 {
+					txs[i] = append(txs[i], uint64(it))
+				}
+			}
+		}
+		minSup := 1 + rng.Intn(3)
+		got, err := Mine(txs, Config{MinSupport: minSup})
+		if err != nil {
+			return false
+		}
+		gotMap := map[string]int{}
+		for _, is := range got {
+			gotMap[itemKey(is.Items)] = is.Support
+		}
+		// Brute force: enumerate all non-empty subsets of item universe.
+		for mask := 1; mask < (1 << nItems); mask++ {
+			var items []uint64
+			for it := 0; it < nItems; it++ {
+				if mask&(1<<it) != 0 {
+					items = append(items, uint64(it))
+				}
+			}
+			sup := 0
+			for _, tx := range txs {
+				if containsAll(tx, items) {
+					sup++
+				}
+			}
+			key := itemKey(items)
+			if sup >= minSup {
+				if gotMap[key] != sup {
+					return false
+				}
+			} else if _, ok := gotMap[key]; ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itemKey(items []uint64) string {
+	s := append([]uint64(nil), items...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]byte, 0, len(s)*3)
+	for _, v := range s {
+		out = append(out, byte(v), ',')
+	}
+	return string(out)
+}
+
+func containsAll(tx, items []uint64) bool {
+	set := map[uint64]bool{}
+	for _, v := range tx {
+		set[v] = true
+	}
+	for _, v := range items {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind()
+	uf.Union(1, 2)
+	uf.Union(3, 4)
+	if uf.Find(1) != uf.Find(2) {
+		t.Error("1 and 2 not merged")
+	}
+	if uf.Find(1) == uf.Find(3) {
+		t.Error("1 and 3 wrongly merged")
+	}
+	uf.Union(2, 3)
+	if uf.Find(1) != uf.Find(4) {
+		t.Error("transitive merge failed")
+	}
+	if uf.Find(99) != 99 {
+		t.Error("fresh element should be its own root")
+	}
+}
+
+func TestClusterItems(t *testing.T) {
+	sets := []Itemset{
+		{Items: []uint64{1, 2}, Support: 5},
+		{Items: []uint64{2, 3}, Support: 4},
+		{Items: []uint64{10, 11}, Support: 3},
+		{Items: []uint64{20}, Support: 9},
+	}
+	ids := ClusterItems(sets)
+	if ids[1] != ids[2] || ids[2] != ids[3] {
+		t.Errorf("1,2,3 should share a cluster: %v", ids)
+	}
+	if ids[10] != ids[11] {
+		t.Errorf("10,11 should share a cluster: %v", ids)
+	}
+	if ids[1] == ids[10] || ids[1] == ids[20] || ids[10] == ids[20] {
+		t.Errorf("distinct components merged: %v", ids)
+	}
+	// Dense IDs 0..2.
+	maxID := 0
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID != 2 {
+		t.Errorf("cluster IDs not dense: %v", ids)
+	}
+}

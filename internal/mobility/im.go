@@ -1,0 +1,384 @@
+// Package mobility implements the individual mobility (IM) model of Song et
+// al. and its hierarchical extension from Chapter 6 of "Top-k Queries over
+// Digital Traces", plus a WiFi-handshake-style generator standing in for the
+// thesis' proprietary REAL dataset.
+//
+// The IM model (Section 6.1) drives each entity through the base spatial
+// units of a grid sp-index:
+//
+//   - stay durations follow a power law, P(Δt) ∝ Δt^(−1−β)      (Eq 6.1)
+//   - an entity leaving its location explores a new unit with
+//     probability ρ·S^(−γ), S = #distinct units visited          (Eq 6.2)
+//   - exploratory jumps have power-law displacement ∝ Δr^(−1−α)  (Eq 6.3)
+//   - returns favor familiar places: visit frequency to the y-th
+//     most-visited unit follows f_y ∝ y^(−ζ)                     (Eq 6.4)
+//
+// Emergent properties S(t) ∝ t^μ (Eq 6.5) and ⟨Δx²(t)⟩ ∝ t^ν (Eq 6.6) are
+// measured by Validate* helpers and exercised in tests. The hierarchical
+// layer of Section 6.2 is carried by the sp-index itself (spindex.NewGrid
+// implements Eq 6.7/6.8); the analytic quantities of Eq 6.9-6.11 live in
+// model.go.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// IMConfig holds the individual-mobility parameters of Section 6.1. The
+// paper's defaults (its "normal mobility pattern") are α=0.6, β=0.8, γ=0.2,
+// ζ=1.2, ρ=0.6 over a 30-day hourly horizon.
+type IMConfig struct {
+	Alpha float64 // jump-displacement exponent, 0 < α ≤ 2
+	Beta  float64 // stay-duration exponent, 0 < β ≤ 1
+	Gamma float64 // exploration-decay exponent, γ ≥ 0
+	Zeta  float64 // visit-frequency exponent, ζ ≥ 0
+	Rho   float64 // base exploration probability, 0 < ρ ≤ 1
+
+	Horizon trace.Time // number of base temporal units (hours)
+	MaxStay int        // cap on a single stay, in base temporal units
+	Seed    int64      // generator seed; same seed → same population
+
+	// DetectionProb is the observation model: the probability that a given
+	// (venue, hour) combination is captured as digital traces (the WiFi
+	// access point logs probes that hour, the check-in service is used
+	// there...). 0 means 1.0: every presence hour observed — the raw IM
+	// model. The schedule is per venue-hour and shared across entities, so
+	// co-present entities are detected together — exactly how handshake
+	// logs behave, and why sparse real traces still exhibit strong
+	// pairwise overlap. The thesis' REAL data records detections, not
+	// continuous presence; the evaluation datasets use values well below 1.
+	DetectionProb float64
+
+	// CompanionFrac plants social structure: within blocks of 12 entities,
+	// each non-leader becomes, with this probability, a companion that
+	// shadows the block leader's walk (family members, partners, one
+	// person's several devices). At the thesis' scale (100M entities, 400
+	// per venue) strongly associated pairs emerge from density alone — its
+	// Figure 7.2(b) shows SYN degrees up to 0.7; at laptop scale they must
+	// be planted for the top-k degree distribution to match. 0 disables
+	// (the pure IM model).
+	CompanionFrac float64
+	// CompanionDeviation is the probability that a companion replaces one
+	// of the leader's stays with an independent stay of its own (defaults
+	// to 0.4 when companions are enabled).
+	CompanionDeviation float64
+}
+
+// DefaultIMConfig returns the paper's default parameters over a 30-day
+// hourly horizon.
+func DefaultIMConfig() IMConfig {
+	return IMConfig{
+		Alpha: 0.6, Beta: 0.8, Gamma: 0.2, Zeta: 1.2, Rho: 0.6,
+		Horizon: 30 * 24, MaxStay: 24, Seed: 1,
+	}
+}
+
+// Validate checks parameter ranges.
+func (c IMConfig) Validate() error {
+	switch {
+	case !(c.Alpha > 0 && c.Alpha <= 2):
+		return fmt.Errorf("mobility: α=%v outside (0,2]", c.Alpha)
+	case !(c.Beta > 0 && c.Beta <= 1):
+		return fmt.Errorf("mobility: β=%v outside (0,1]", c.Beta)
+	case c.Gamma < 0:
+		return fmt.Errorf("mobility: γ=%v < 0", c.Gamma)
+	case c.Zeta < 0:
+		return fmt.Errorf("mobility: ζ=%v < 0", c.Zeta)
+	case !(c.Rho > 0 && c.Rho <= 1):
+		return fmt.Errorf("mobility: ρ=%v outside (0,1]", c.Rho)
+	case c.Horizon < 1:
+		return fmt.Errorf("mobility: horizon %d < 1", c.Horizon)
+	case c.MaxStay < 1:
+		return fmt.Errorf("mobility: max stay %d < 1", c.MaxStay)
+	case c.DetectionProb < 0 || c.DetectionProb > 1:
+		return fmt.Errorf("mobility: detection probability %v outside [0,1]", c.DetectionProb)
+	case c.CompanionFrac < 0 || c.CompanionFrac > 1:
+		return fmt.Errorf("mobility: companion fraction %v outside [0,1]", c.CompanionFrac)
+	case c.CompanionDeviation < 0 || c.CompanionDeviation > 1:
+		return fmt.Errorf("mobility: companion deviation %v outside [0,1]", c.CompanionDeviation)
+	}
+	return nil
+}
+
+// Generator produces synthetic digital traces by simulating the IM model on
+// the base grid of an sp-index built with spindex.NewGrid.
+type Generator struct {
+	ix          *spindex.Index
+	cfg         IMConfig
+	coordToBase []spindex.BaseID // (y*side + x) -> base ordinal
+}
+
+// NewGenerator validates the configuration and binds it to a grid sp-index
+// (the index must carry geometry). The generator is safe for concurrent use.
+func NewGenerator(ix *spindex.Index, cfg IMConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !ix.HasGeometry() {
+		return nil, fmt.Errorf("mobility: sp-index lacks grid geometry (use spindex.NewGrid)")
+	}
+	g := &Generator{ix: ix, cfg: cfg}
+	side := int(ix.GridSide())
+	g.coordToBase = make([]spindex.BaseID, side*side)
+	for b := 0; b < ix.NumBase(); b++ {
+		cx, cy := ix.Coord(spindex.BaseID(b))
+		g.coordToBase[int(cy)*side+int(cx)] = spindex.BaseID(b)
+	}
+	return g, nil
+}
+
+// Config returns the generator's parameters.
+func (g *Generator) Config() IMConfig { return g.cfg }
+
+// Entity simulates one entity's movement over the full horizon and returns
+// its trace records sorted by time.
+func (g *Generator) Entity(e trace.EntityID) []trace.Record {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ (int64(e)*0x5DEECE66D + 11)))
+	return g.entity(e, rng)
+}
+
+func (g *Generator) entity(e trace.EntityID, rng *rand.Rand) []trace.Record {
+	var recs []trace.Record
+	if leader, isCompanion := g.companionOf(e); isCompanion {
+		leaderRng := rand.New(rand.NewSource(g.cfg.Seed ^ (int64(leader)*0x5DEECE66D + 11)))
+		recs = g.shadow(e, g.walk(leader, leaderRng), rng)
+	} else {
+		recs = g.walk(e, rng)
+	}
+	if g.cfg.DetectionProb == 0 || g.cfg.DetectionProb == 1 {
+		return recs
+	}
+	return sampleDetections(recs, detectionSchedule{seed: uint64(g.cfg.Seed) * 0x2545F4914F6CDD1D, p: g.cfg.DetectionProb})
+}
+
+// companionBlock is the social-block width for CompanionFrac.
+const companionBlock = 12
+
+// companionOf reports whether e shadows a block leader, and which.
+func (g *Generator) companionOf(e trace.EntityID) (trace.EntityID, bool) {
+	if g.cfg.CompanionFrac == 0 || e%companionBlock == 0 {
+		return 0, false
+	}
+	h := splitmix64(uint64(g.cfg.Seed)*0x9E3779B97F4A7C15 ^ uint64(e))
+	if float64(h%1_000_000)/1e6 >= g.cfg.CompanionFrac {
+		return 0, false
+	}
+	return e - e%companionBlock, true
+}
+
+// shadow replays a leader's walk for a companion: each stay is kept
+// verbatim or, with probability CompanionDeviation, replaced by an
+// independent stay at a uniformly random venue (errands of their own).
+func (g *Generator) shadow(e trace.EntityID, leaderRecs []trace.Record, rng *rand.Rand) []trace.Record {
+	dev := g.cfg.CompanionDeviation
+	if dev == 0 {
+		dev = 0.4
+	}
+	out := make([]trace.Record, len(leaderRecs))
+	for i, r := range leaderRecs {
+		r.Entity = e
+		if rng.Float64() < dev {
+			r.Base = spindex.BaseID(rng.Intn(g.ix.NumBase()))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// walk simulates the raw IM movement, tiling the horizon with stays.
+func (g *Generator) walk(e trace.EntityID, rng *rand.Rand) []trace.Record {
+	n := g.ix.NumBase()
+	side := int(g.ix.GridSide())
+	cur := spindex.BaseID(rng.Intn(n))
+	// visited units ordered by first visit; counts drive preferential
+	// return; order by descending count is maintained lazily on sampling.
+	visitedIdx := map[spindex.BaseID]int{cur: 0}
+	visited := []spindex.BaseID{cur}
+	counts := []int{1}
+
+	var recs []trace.Record
+	t := trace.Time(0)
+	for t < g.cfg.Horizon {
+		stay := g.sampleStay(rng)
+		end := t + trace.Time(stay)
+		if end > g.cfg.Horizon {
+			end = g.cfg.Horizon
+		}
+		recs = append(recs, trace.Record{Entity: e, Base: cur, Start: t, End: end})
+		t = end
+		if t >= g.cfg.Horizon {
+			break
+		}
+		// Explore vs return (Eq 6.2).
+		pNew := g.cfg.Rho * math.Pow(float64(len(visited)), -g.cfg.Gamma)
+		if len(visited) >= n {
+			pNew = 0 // nowhere new to go
+		}
+		if rng.Float64() < pNew {
+			cur = g.exploreFrom(cur, visitedIdx, rng, side)
+		} else {
+			cur = g.returnTo(visited, counts, rng)
+		}
+		if i, ok := visitedIdx[cur]; ok {
+			counts[i]++
+			// Bubble toward the front to keep counts roughly sorted
+			// descending, so rank y in Eq 6.4 tracks visit frequency.
+			for i > 0 && counts[i] > counts[i-1] {
+				counts[i], counts[i-1] = counts[i-1], counts[i]
+				visited[i], visited[i-1] = visited[i-1], visited[i]
+				visitedIdx[visited[i]] = i
+				visitedIdx[visited[i-1]] = i - 1
+				i--
+			}
+		} else {
+			visitedIdx[cur] = len(visited)
+			visited = append(visited, cur)
+			counts = append(counts, 1)
+		}
+	}
+	return recs
+}
+
+// sampleStay draws a stay duration from the bounded power law of Eq 6.1.
+func (g *Generator) sampleStay(rng *rand.Rand) int {
+	x := boundedPareto(rng, g.cfg.Beta, 1, float64(g.cfg.MaxStay))
+	return int(math.Ceil(x - 1e-9))
+}
+
+// exploreFrom performs an exploratory jump (Eq 6.3): a power-law
+// displacement in a uniform direction, landing on the nearest in-grid cell.
+// Preference is given to cells not yet visited; if the landing cell was
+// already visited, the walk still moves there (the model's displacement
+// distribution dominates novelty).
+func (g *Generator) exploreFrom(cur spindex.BaseID, visited map[spindex.BaseID]int, rng *rand.Rand, side int) spindex.BaseID {
+	x0, y0 := g.ix.Coord(cur)
+	for attempt := 0; attempt < 8; attempt++ {
+		r := boundedPareto(rng, g.cfg.Alpha, 1, float64(side))
+		theta := rng.Float64() * 2 * math.Pi
+		x := int(float64(x0) + r*math.Cos(theta) + 0.5)
+		y := int(float64(y0) + r*math.Sin(theta) + 0.5)
+		if x < 0 || x >= side || y < 0 || y >= side {
+			continue
+		}
+		b := g.cellAt(x, y)
+		if _, seen := visited[b]; !seen {
+			return b
+		}
+		if attempt == 7 {
+			return b
+		}
+	}
+	// All attempts left the grid: move to a uniform random cell.
+	return spindex.BaseID(rng.Intn(g.ix.NumBase()))
+}
+
+// returnTo samples a previously visited unit with rank-based probability
+// f_y ∝ y^(−ζ) over units ordered by visit count (Eq 6.4).
+func (g *Generator) returnTo(visited []spindex.BaseID, counts []int, rng *rand.Rand) spindex.BaseID {
+	y := zipfRank(rng, g.cfg.Zeta, len(visited))
+	_ = counts
+	return visited[y]
+}
+
+// cellAt maps grid coordinates back to a base ordinal.
+func (g *Generator) cellAt(x, y int) spindex.BaseID {
+	return g.coordToBase[y*int(g.ix.GridSide())+x]
+}
+
+// GenerateStore simulates numEntities entities and loads their sequences
+// into a fresh trace store — the SYN dataset of Section 7.1 at configurable
+// scale.
+func (g *Generator) GenerateStore(numEntities int) *trace.Store {
+	st := trace.NewStore(g.ix)
+	for e := trace.EntityID(0); int(e) < numEntities; e++ {
+		st.AddRecords(e, g.Entity(e))
+	}
+	return st
+}
+
+// detectionSchedule decides, deterministically per dataset, which
+// (venue, hour) pairs produce observations. Sharing the schedule across
+// entities preserves co-presence under sparsification: two entities at the
+// same venue in the same hour are either both detected or both missed.
+type detectionSchedule struct {
+	seed uint64
+	p    float64
+}
+
+func (d detectionSchedule) observed(b spindex.BaseID, t trace.Time) bool {
+	h := splitmix64(d.seed ^ (uint64(uint32(b))<<32 | uint64(uint32(t))))
+	return float64(h%1_000_000_000)/1e9 < d.p
+}
+
+// sampleDetections applies the observation model: presence hours survive
+// when their venue-hour is on the schedule; surviving runs of consecutive
+// hours at the same unit become records. The first presence hour is always
+// kept so no entity vanishes entirely.
+func sampleDetections(recs []trace.Record, sched detectionSchedule) []trace.Record {
+	var out []trace.Record
+	for i, r := range recs {
+		runStart := trace.Time(-1)
+		for t := r.Start; t < r.End; t++ {
+			keep := sched.observed(r.Base, t) || (i == 0 && t == r.Start)
+			if keep {
+				if runStart < 0 {
+					runStart = t
+				}
+			} else if runStart >= 0 {
+				out = append(out, trace.Record{Entity: r.Entity, Base: r.Base, Start: runStart, End: t})
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			out = append(out, trace.Record{Entity: r.Entity, Base: r.Base, Start: runStart, End: r.End})
+		}
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixer, duplicated here to keep the package
+// dependency-free of internal/sighash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// boundedPareto samples from a power law with density ∝ x^(−1−k) truncated
+// to [lo, hi], via inverse-CDF.
+func boundedPareto(rng *rand.Rand, k, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	u := rng.Float64()
+	la := math.Pow(lo, -k)
+	ha := math.Pow(hi, -k)
+	return math.Pow(la-u*(la-ha), -1/k)
+}
+
+// zipfRank samples a 0-based rank in [0, n) with probability ∝ (rank+1)^(−ζ).
+func zipfRank(rng *rand.Rand, zeta float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF over the normalized weights; n is small (visited set),
+	// so a linear walk is fine and allocation-free.
+	var total float64
+	for y := 1; y <= n; y++ {
+		total += math.Pow(float64(y), -zeta)
+	}
+	u := rng.Float64() * total
+	for y := 1; y <= n; y++ {
+		u -= math.Pow(float64(y), -zeta)
+		if u <= 0 {
+			return y - 1
+		}
+	}
+	return n - 1
+}

@@ -1,0 +1,452 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+func gridIndex(t testing.TB, side int) *spindex.Index {
+	t.Helper()
+	ix, err := spindex.NewGrid(spindex.DefaultGridConfig(side))
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return ix
+}
+
+func TestIMConfigValidate(t *testing.T) {
+	good := DefaultIMConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*IMConfig){
+		func(c *IMConfig) { c.Alpha = 0 },
+		func(c *IMConfig) { c.Alpha = 2.5 },
+		func(c *IMConfig) { c.Beta = 0 },
+		func(c *IMConfig) { c.Beta = 1.5 },
+		func(c *IMConfig) { c.Gamma = -1 },
+		func(c *IMConfig) { c.Zeta = -0.1 },
+		func(c *IMConfig) { c.Rho = 0 },
+		func(c *IMConfig) { c.Horizon = 0 },
+		func(c *IMConfig) { c.MaxStay = 0 },
+	}
+	for i, mut := range bads {
+		c := DefaultIMConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorRequiresGeometry(t *testing.T) {
+	ix := spindex.NewUniform(2, []int{4})
+	if _, err := NewGenerator(ix, DefaultIMConfig()); err == nil {
+		t.Fatal("generator accepted an index without geometry")
+	}
+}
+
+func TestEntityTraceWellFormed(t *testing.T) {
+	ix := gridIndex(t, 16)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 7 * 24
+	g, err := NewGenerator(ix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := trace.EntityID(0); e < 20; e++ {
+		recs := g.Entity(e)
+		if len(recs) == 0 {
+			t.Fatalf("entity %d: empty trace", e)
+		}
+		if i, err := trace.ValidateRecords(ix, cfg.Horizon, recs); err != nil {
+			t.Fatalf("entity %d record %d: %v", e, i, err)
+		}
+		// Records tile the horizon: contiguous, non-overlapping.
+		cur := trace.Time(0)
+		for _, r := range recs {
+			if r.Start != cur {
+				t.Fatalf("entity %d: gap/overlap at %d (record starts %d)", e, cur, r.Start)
+			}
+			cur = r.End
+		}
+		if cur != cfg.Horizon {
+			t.Fatalf("entity %d: trace ends at %d, want %d", e, cur, cfg.Horizon)
+		}
+	}
+}
+
+func TestEntityDeterminism(t *testing.T) {
+	ix := gridIndex(t, 8)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 48
+	g, _ := NewGenerator(ix, cfg)
+	a := g.Entity(5)
+	b := g.Entity(5)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic record %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if g.Config().Horizon != 48 {
+		t.Error("Config not preserved")
+	}
+}
+
+// TestStayDurationPowerLaw: sampled stays are heavy-tailed: short stays
+// dominate, but the cap is reachable.
+func TestStayDurationPowerLaw(t *testing.T) {
+	ix := gridIndex(t, 8)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 90 * 24
+	g, _ := NewGenerator(ix, cfg)
+	short, long, maxStay := 0, 0, 0
+	for e := trace.EntityID(0); e < 30; e++ {
+		for _, r := range g.Entity(e) {
+			s := r.Span()
+			if s <= 2 {
+				short++
+			}
+			if s >= 12 {
+				long++
+			}
+			if s > maxStay {
+				maxStay = s
+			}
+		}
+	}
+	if short <= 3*long {
+		t.Errorf("stay distribution not heavy-tailed: %d short vs %d long", short, long)
+	}
+	if maxStay > cfg.MaxStay {
+		t.Errorf("stay %d exceeds cap %d", maxStay, cfg.MaxStay)
+	}
+}
+
+// TestVisitedGrowth validates Eq 6.5 qualitatively: S(t) grows sublinearly
+// (0 < μ < 1) for the default parameters.
+func TestVisitedGrowth(t *testing.T) {
+	ix := gridIndex(t, 32)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 60 * 24
+	g, _ := NewGenerator(ix, cfg)
+	horizonF := float64(cfg.Horizon)
+	var xs, ys []float64
+	for e := trace.EntityID(0); e < 25; e++ {
+		s := DistinctVisited(g.Entity(e), cfg.Horizon)
+		for _, frac := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+			tt := int(frac * horizonF)
+			xs = append(xs, float64(tt))
+			ys = append(ys, float64(s[tt]))
+		}
+	}
+	mu := FitPowerLawExponent(xs, ys)
+	if mu <= 0.05 || mu >= 1.0 {
+		t.Errorf("μ = %v, want sublinear growth in (0.05, 1)", mu)
+	}
+	// S(t) must be non-decreasing.
+	s := DistinctVisited(g.Entity(0), cfg.Horizon)
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("S(t) decreased")
+		}
+	}
+}
+
+// TestMSDGrowth validates Eq 6.6 qualitatively: mean squared displacement
+// grows with time (ν > 0).
+func TestMSDGrowth(t *testing.T) {
+	ix := gridIndex(t, 32)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 30 * 24
+	g, _ := NewGenerator(ix, cfg)
+	var traces [][]trace.Record
+	for e := trace.EntityID(0); e < 40; e++ {
+		traces = append(traces, g.Entity(e))
+	}
+	probes := []trace.Time{6, 24, 96, 360, 700}
+	msd := MSD(ix, traces, probes)
+	if msd[len(msd)-1] <= msd[0] {
+		t.Errorf("MSD not growing: %v", msd)
+	}
+	var xs, ys []float64
+	for i, p := range probes {
+		xs = append(xs, float64(p))
+		ys = append(ys, msd[i])
+	}
+	if nu := FitPowerLawExponent(xs, ys); nu <= 0 {
+		t.Errorf("ν = %v, want > 0", nu)
+	}
+}
+
+// TestLocalityParameterEffect: larger α (more local jumps) yields smaller
+// long-run displacement — the mechanism behind Figure 7.4(a).
+func TestLocalityParameterEffect(t *testing.T) {
+	ix := gridIndex(t, 32)
+	avgMSD := func(alpha float64) float64 {
+		cfg := DefaultIMConfig()
+		cfg.Alpha = alpha
+		cfg.Horizon = 20 * 24
+		g, err := NewGenerator(ix, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var traces [][]trace.Record
+		for e := trace.EntityID(0); e < 40; e++ {
+			traces = append(traces, g.Entity(e))
+		}
+		return MSD(ix, traces, []trace.Time{cfg.Horizon - 1})[0]
+	}
+	local := avgMSD(1.9)
+	roaming := avgMSD(0.3)
+	if local >= roaming {
+		t.Errorf("α=1.9 MSD %v should be below α=0.3 MSD %v", local, roaming)
+	}
+}
+
+// TestZetaControlsConcentration: high ζ concentrates visits on top-ranked
+// units (Eq 6.4) — the mechanism behind Figure 7.4(e).
+func TestZetaControlsConcentration(t *testing.T) {
+	ix := gridIndex(t, 16)
+	topShare := func(zeta float64) float64 {
+		cfg := DefaultIMConfig()
+		cfg.Zeta = zeta
+		cfg.Horizon = 30 * 24
+		g, err := NewGenerator(ix, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var share float64
+		const entities = 25
+		for e := trace.EntityID(0); e < entities; e++ {
+			counts := map[spindex.BaseID]int{}
+			total := 0
+			for _, r := range g.Entity(e) {
+				counts[r.Base] += r.Span()
+				total += r.Span()
+			}
+			best := 0
+			for _, c := range counts {
+				if c > best {
+					best = c
+				}
+			}
+			share += float64(best) / float64(total)
+		}
+		return share / entities
+	}
+	if hi, lo := topShare(2.0), topShare(0.0); hi <= lo {
+		t.Errorf("ζ=2 top-unit share %v should exceed ζ=0 share %v", hi, lo)
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	g, _ := NewGenerator(gridIndex(t, 8), DefaultIMConfig())
+	_ = g
+	rng := newTestRand()
+	for i := 0; i < 5000; i++ {
+		x := boundedPareto(rng, 0.8, 1, 24)
+		if x < 1 || x > 24 {
+			t.Fatalf("boundedPareto out of range: %v", x)
+		}
+	}
+	if v := boundedPareto(rng, 1, 5, 5); v != 5 {
+		t.Errorf("degenerate range: got %v, want 5", v)
+	}
+}
+
+func TestZipfRank(t *testing.T) {
+	rng := newTestRand()
+	if zipfRank(rng, 1.2, 1) != 0 {
+		t.Error("single-element rank must be 0")
+	}
+	counts := make([]int, 5)
+	for i := 0; i < 20000; i++ {
+		counts[zipfRank(rng, 1.5, 5)]++
+	}
+	for i := 1; i < 5; i++ {
+		if counts[i] > counts[0] {
+			t.Errorf("rank %d drawn more often (%d) than rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+}
+
+func TestJumpCCDF(t *testing.T) {
+	if JumpCCDF(0.6, 0.5, 32) != 1 {
+		t.Error("CCDF below lower bound must be 1")
+	}
+	if JumpCCDF(0.6, 32, 32) != 0 {
+		t.Error("CCDF at max must be 0")
+	}
+	prev := 1.0
+	for d := 1.0; d <= 32; d += 2 {
+		p := JumpCCDF(0.6, d, 32)
+		if p > prev+1e-12 {
+			t.Fatalf("CCDF not monotone at %v", d)
+		}
+		prev = p
+	}
+}
+
+func TestBoundaryEscapeProb(t *testing.T) {
+	ix := gridIndex(t, 16)
+	// Larger units are harder to escape from their interior cells on
+	// average (Eq 6.9's intuition).
+	units := ix.UnitsAt(2)
+	var small, large spindex.UnitID = units[0], units[0]
+	for _, u := range units {
+		if ix.Size(u) < ix.Size(small) {
+			small = u
+		}
+		if ix.Size(u) > ix.Size(large) {
+			large = u
+		}
+	}
+	if ix.Size(large) <= ix.Size(small) {
+		t.Skip("degenerate level sizes")
+	}
+	avg := func(u spindex.UnitID) float64 {
+		lo, hi := ix.BaseRange(u)
+		var s float64
+		for b := lo; b < hi; b++ {
+			p := BoundaryEscapeProb(ix, u, b, 0.6)
+			if p < 0 || p > 1 {
+				t.Fatalf("escape prob %v outside [0,1]", p)
+			}
+			s += p
+		}
+		return s / float64(hi-lo)
+	}
+	if avg(large) > avg(small) {
+		t.Errorf("large unit escape %v should not exceed small unit escape %v", avg(large), avg(small))
+	}
+	if p := OutProb(ix, large, 0.6, 0.5); p < 0 || p > 1 {
+		t.Errorf("OutProb = %v outside [0,1]", p)
+	}
+	cfg := DefaultIMConfig()
+	if p := NewUnitProb(ix, large, cfg, 10, 0.5); p < 0 || p > 1 {
+		t.Errorf("NewUnitProb = %v outside [0,1]", p)
+	}
+}
+
+func TestUnitVisitProb(t *testing.T) {
+	ix := gridIndex(t, 16)
+	u := ix.UnitsAt(2)[0]
+	p0 := UnitVisitProb(ix, u, 0, 0.5)
+	want := float64(ix.Size(u)) / float64(ix.NumBase())
+	if math.Abs(p0-want) > 1e-12 {
+		t.Errorf("P_U(0) = %v, want starting fraction %v", p0, want)
+	}
+	prev := 0.0
+	for _, tt := range []float64{1, 10, 100, 1000, 1e6} {
+		p := UnitVisitProb(ix, u, tt, 0.8)
+		if p < prev-1e-12 || p > 1 {
+			t.Fatalf("P_U(%v) = %v not monotone in [0,1]", tt, p)
+		}
+		prev = p
+	}
+	if p := UnitVisitProb(ix, u, 1e9, 1.0); p != 1 {
+		t.Errorf("long-horizon visit prob = %v, want 1", p)
+	}
+}
+
+func TestFitPowerLawExponent(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.7)
+	}
+	if k := FitPowerLawExponent(xs, ys); math.Abs(k-0.7) > 1e-9 {
+		t.Errorf("fit = %v, want 0.7", k)
+	}
+	if k := FitPowerLawExponent([]float64{1}, []float64{2}); k != 0 {
+		t.Errorf("underdetermined fit = %v, want 0", k)
+	}
+	if k := FitPowerLawExponent([]float64{0, 0}, []float64{0, 0}); k != 0 {
+		t.Errorf("degenerate fit = %v, want 0", k)
+	}
+}
+
+func TestWiFiGenerator(t *testing.T) {
+	ix := gridIndex(t, 16)
+	cfg := DefaultWiFiConfig()
+	cfg.Horizon = 14 * 24
+	g, err := NewWiFiGenerator(ix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popular := map[spindex.BaseID]int{}
+	for e := trace.EntityID(0); e < 60; e++ {
+		recs := g.Entity(e)
+		if len(recs) == 0 {
+			t.Fatalf("device %d: empty trace", e)
+		}
+		if i, err := trace.ValidateRecords(ix, cfg.Horizon, recs); err != nil {
+			t.Fatalf("device %d record %d: %v", e, i, err)
+		}
+		seen := map[spindex.BaseID]bool{}
+		for _, r := range recs {
+			seen[r.Base] = true
+		}
+		for b := range seen {
+			popular[b]++
+		}
+	}
+	// Popularity is skewed: the busiest hotspot sees far more devices than
+	// the median one.
+	var counts []int
+	for _, c := range popular {
+		counts = append(counts, c)
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 10 {
+		t.Errorf("max hotspot popularity %d too flat for a Zipf population", maxC)
+	}
+}
+
+func TestWiFiConfigErrors(t *testing.T) {
+	ix := gridIndex(t, 8)
+	if _, err := NewWiFiGenerator(ix, WiFiConfig{Zipf: 1, Horizon: 48}); err == nil {
+		t.Error("zipf <= 1 accepted")
+	}
+	if _, err := NewWiFiGenerator(ix, WiFiConfig{Zipf: 1.5, Horizon: 3}); err == nil {
+		t.Error("sub-day horizon accepted")
+	}
+	if _, err := NewWiFiGenerator(ix, WiFiConfig{Zipf: 1.5, Horizon: 48, ExtraVenues: -1}); err == nil {
+		t.Error("negative venues accepted")
+	}
+}
+
+func TestGenerateStores(t *testing.T) {
+	ix := gridIndex(t, 8)
+	cfg := DefaultIMConfig()
+	cfg.Horizon = 48
+	g, _ := NewGenerator(ix, cfg)
+	st := g.GenerateStore(12)
+	if st.Len() != 12 {
+		t.Fatalf("IM store has %d entities, want 12", st.Len())
+	}
+	wcfg := DefaultWiFiConfig()
+	wcfg.Horizon = 48
+	wg, _ := NewWiFiGenerator(ix, wcfg)
+	wst := wg.GenerateStore(9)
+	if wst.Len() != 9 {
+		t.Fatalf("wifi store has %d entities, want 9", wst.Len())
+	}
+	for _, e := range wst.Entities() {
+		if err := wst.Get(e).Validate(ix); err != nil {
+			t.Fatalf("device %d: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package mobility
+
+import (
+	"math"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// This file carries the analytic side of the hierarchical IM model
+// (Section 6.2, Eq 6.9-6.11) and the measurement helpers that validate the
+// emergent scaling laws (Eq 6.5-6.6) on generated traces.
+
+// JumpCCDF returns P(Δr > d) under the bounded power-law displacement of
+// Eq 6.3 with exponent α over [1, maxR].
+func JumpCCDF(alpha, d, maxR float64) float64 {
+	if d <= 1 {
+		return 1
+	}
+	if d >= maxR {
+		return 0
+	}
+	lo := 1.0
+	num := math.Pow(d, -alpha) - math.Pow(maxR, -alpha)
+	den := math.Pow(lo, -alpha) - math.Pow(maxR, -alpha)
+	return num / den
+}
+
+// BoundaryEscapeProb is H(s) of Eq 6.9: the probability that a jump starting
+// at base cell s leaves spatial unit U. The unit is approximated by the
+// bounding box of its base cells (the thesis assumes rectangles for
+// analysis); the escape probability is the jump CCDF at the distance from s
+// to the nearest box edge.
+func BoundaryEscapeProb(ix *spindex.Index, u spindex.UnitID, s spindex.BaseID, alpha float64) float64 {
+	lo, hi := ix.BaseRange(u)
+	minX, minY := int32(math.MaxInt32), int32(math.MaxInt32)
+	maxX, maxY := int32(math.MinInt32), int32(math.MinInt32)
+	for b := lo; b < hi; b++ {
+		x, y := ix.Coord(b)
+		if x < minX {
+			minX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	sx, sy := ix.Coord(s)
+	d := float64(minInt32(sx-minX, maxX-sx, sy-minY, maxY-sy)) + 1
+	return JumpCCDF(alpha, d, float64(ix.GridSide()))
+}
+
+// OutProb is Pout(U) of Eq 6.9: the probability that an exploratory jump
+// from inside unit U crosses its boundary, weighted by the fraction of
+// reachable sibling units already visited. visitedFrac stands for
+// n_visited/n_reachable, which depends on the entity's history.
+func OutProb(ix *spindex.Index, u spindex.UnitID, alpha, visitedFrac float64) float64 {
+	lo, hi := ix.BaseRange(u)
+	sum := 0.0
+	for b := lo; b < hi; b++ {
+		sum += BoundaryEscapeProb(ix, u, b, alpha)
+	}
+	return visitedFrac * sum / float64(hi-lo)
+}
+
+// NewUnitProb is P'new(U) of Eq 6.10: the probability that the next move is
+// an exploratory jump into a spatial unit (at U's level) not visited before.
+// visitedUnits is S, the number of distinct base units visited so far.
+func NewUnitProb(ix *spindex.Index, u spindex.UnitID, cfg IMConfig, visitedUnits int, visitedFrac float64) float64 {
+	pNew := cfg.Rho * math.Pow(float64(visitedUnits), -cfg.Gamma)
+	return pNew * OutProb(ix, u, cfg.Alpha, visitedFrac)
+}
+
+// UnitVisitProb is P_U(t) of Eq 6.11: the probability an entity has visited
+// unit U within t time units, combining the chance of starting inside U
+// (|S_U|/|S|) with drift from elsewhere modeled through the mean-squared
+// displacement growth ⟨Δx²(t)⟩ ∝ t^ν: a start at distance d reaches U
+// within t roughly when sqrt(t^ν) ≥ d.
+func UnitVisitProb(ix *spindex.Index, u spindex.UnitID, t float64, nu float64) float64 {
+	n := float64(ix.NumBase())
+	inside := float64(ix.Size(u)) / n
+	if t <= 0 {
+		return inside
+	}
+	// Reach radius after t steps.
+	reach := math.Sqrt(math.Pow(t, nu))
+	side := float64(ix.GridSide())
+	// Fraction of the area within reach of U's (approximate square) border.
+	uSide := math.Sqrt(float64(ix.Size(u)))
+	covered := math.Min(1, math.Pow(uSide+2*reach, 2)/(side*side))
+	out := covered - inside
+	if out < 0 {
+		out = 0
+	}
+	p := inside + out
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// DistinctVisited returns S(t): the number of distinct base units an entity
+// has visited by each time step, computed from its records. Eq 6.5 predicts
+// S(t) ∝ t^μ.
+func DistinctVisited(recs []trace.Record, horizon trace.Time) []int {
+	out := make([]int, horizon)
+	seen := make(map[spindex.BaseID]bool)
+	ri := 0
+	count := 0
+	for t := trace.Time(0); t < horizon; t++ {
+		for ri < len(recs) && recs[ri].Start <= t {
+			if !seen[recs[ri].Base] {
+				seen[recs[ri].Base] = true
+				count++
+			}
+			ri++
+		}
+		out[t] = count
+	}
+	return out
+}
+
+// MSD returns the mean squared displacement ⟨Δx²(t)⟩ of a population at the
+// given probe times: the average squared grid distance between each
+// entity's position at time t and its starting position. Eq 6.6 predicts
+// growth ∝ t^ν.
+func MSD(ix *spindex.Index, traces [][]trace.Record, probes []trace.Time) []float64 {
+	out := make([]float64, len(probes))
+	for pi, pt := range probes {
+		var sum float64
+		var n int
+		for _, recs := range traces {
+			if len(recs) == 0 {
+				continue
+			}
+			x0, y0 := ix.Coord(recs[0].Base)
+			cur := recs[0].Base
+			for _, r := range recs {
+				if r.Start > pt {
+					break
+				}
+				cur = r.Base
+			}
+			x, y := ix.Coord(cur)
+			dx, dy := float64(x-x0), float64(y-y0)
+			sum += dx*dx + dy*dy
+			n++
+		}
+		if n > 0 {
+			out[pi] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// FitPowerLawExponent estimates k from samples assumed to follow y ∝ x^k by
+// least squares on log-log values (zero samples are skipped). Used to check
+// Eq 6.5/6.6 on generated data.
+func FitPowerLawExponent(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+func minInt32(vals ...int32) int32 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,6 @@
+package mobility
+
+import "math/rand"
+
+// newTestRand returns a deterministic source for statistical tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }

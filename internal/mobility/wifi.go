@@ -1,0 +1,124 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// WiFiConfig parameterizes the REAL-dataset substitute. The thesis' REAL
+// data — WiFi hotspot handshakes from a large telecommunications provider
+// (30M devices, 76,739 hotspots on a 4-level sp-index) — is proprietary, so
+// this generator synthesizes the properties the experiments actually
+// exercise:
+//
+//   - Zipf-skewed hotspot popularity (a few hotspots see most devices),
+//   - per-device anchors (home/work) plus a personal tail of rare venues,
+//   - diurnal sessions: long evening dwell at home, workday dwell at work,
+//     short bursts elsewhere,
+//   - heavy-tailed AjPI counts per level (Figure 7.1a) and low ST-cell
+//     locality (the property that defeats the FP-mining baseline, §7.2).
+type WiFiConfig struct {
+	// Zipf is the hotspot-popularity skew exponent (> 1).
+	Zipf float64
+	// ExtraVenues is the maximum number of personal tail venues per device.
+	ExtraVenues int
+	// Horizon is the number of hourly time units (the thesis uses 30 days).
+	Horizon trace.Time
+	// Seed fixes the population.
+	Seed int64
+	// DetectionProb is the shared venue-hour observation probability (see
+	// IMConfig.DetectionProb); 0 means every session hour is logged.
+	DetectionProb float64
+}
+
+// DefaultWiFiConfig returns a 30-day hourly horizon with moderate skew.
+func DefaultWiFiConfig() WiFiConfig {
+	return WiFiConfig{Zipf: 1.4, ExtraVenues: 8, Horizon: 30 * 24, Seed: 1}
+}
+
+// WiFiGenerator synthesizes device traces over the hotspots (base units) of
+// an sp-index.
+type WiFiGenerator struct {
+	ix  *spindex.Index
+	cfg WiFiConfig
+}
+
+// NewWiFiGenerator validates the configuration.
+func NewWiFiGenerator(ix *spindex.Index, cfg WiFiConfig) (*WiFiGenerator, error) {
+	if cfg.Zipf <= 1 {
+		return nil, fmt.Errorf("mobility: wifi zipf %v must be > 1", cfg.Zipf)
+	}
+	if cfg.Horizon < 24 {
+		return nil, fmt.Errorf("mobility: wifi horizon %d < 24", cfg.Horizon)
+	}
+	if cfg.ExtraVenues < 0 {
+		return nil, fmt.Errorf("mobility: wifi extra venues %d < 0", cfg.ExtraVenues)
+	}
+	if cfg.DetectionProb < 0 || cfg.DetectionProb > 1 {
+		return nil, fmt.Errorf("mobility: wifi detection probability %v outside [0,1]", cfg.DetectionProb)
+	}
+	return &WiFiGenerator{ix: ix, cfg: cfg}, nil
+}
+
+// Entity synthesizes one device's handshake records over the horizon.
+func (g *WiFiGenerator) Entity(e trace.EntityID) []trace.Record {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ (int64(e)*0x9E3779B9 + 7)))
+	n := uint64(g.ix.NumBase())
+	zipf := rand.NewZipf(rng, g.cfg.Zipf, 1, n-1)
+
+	home := spindex.BaseID(zipf.Uint64())
+	work := spindex.BaseID(zipf.Uint64())
+	venues := make([]spindex.BaseID, 0, g.cfg.ExtraVenues)
+	for i := 0; i < g.cfg.ExtraVenues; i++ {
+		venues = append(venues, spindex.BaseID(zipf.Uint64()))
+	}
+
+	var recs []trace.Record
+	days := int(g.cfg.Horizon) / 24
+	for d := 0; d < days; d++ {
+		base := trace.Time(d * 24)
+		// Evening at home: hours 19..23 (detected with high probability).
+		if rng.Float64() < 0.9 {
+			start := base + trace.Time(18+rng.Intn(3))
+			recs = append(recs, trace.Record{Entity: e, Base: home, Start: start, End: base + 24})
+		}
+		// Weekday at work: hours 9..17.
+		if d%7 < 5 && rng.Float64() < 0.85 {
+			start := base + trace.Time(8+rng.Intn(2))
+			end := start + trace.Time(6+rng.Intn(4))
+			if end > base+24 {
+				end = base + 24
+			}
+			recs = append(recs, trace.Record{Entity: e, Base: work, Start: start, End: end})
+		}
+		// Random short bursts at the personal tail.
+		for b := 0; b < rng.Intn(3); b++ {
+			var venue spindex.BaseID
+			if len(venues) > 0 && rng.Float64() < 0.7 {
+				venue = venues[rng.Intn(len(venues))]
+			} else {
+				venue = spindex.BaseID(zipf.Uint64())
+			}
+			start := base + trace.Time(rng.Intn(23))
+			recs = append(recs, trace.Record{Entity: e, Base: venue, Start: start, End: start + 1 + trace.Time(rng.Intn(2))})
+		}
+	}
+	trace.SortRecords(recs)
+	if g.cfg.DetectionProb > 0 && g.cfg.DetectionProb < 1 {
+		recs = sampleDetections(recs, detectionSchedule{seed: uint64(g.cfg.Seed) * 0x2545F4914F6CDD1D, p: g.cfg.DetectionProb})
+	}
+	return recs
+}
+
+// GenerateStore synthesizes numDevices devices into a fresh store — the
+// REAL-like dataset at configurable scale.
+func (g *WiFiGenerator) GenerateStore(numDevices int) *trace.Store {
+	st := trace.NewStore(g.ix)
+	for e := trace.EntityID(0); int(e) < numDevices; e++ {
+		st.AddRecords(e, g.Entity(e))
+	}
+	return st
+}

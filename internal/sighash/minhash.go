@@ -1,0 +1,184 @@
+package sighash
+
+import "fmt"
+
+// This file implements classic set MinHash with LSH banding as reviewed in
+// Section 2.3 of the thesis. The MinSigTree does not use it directly — the
+// paper modifies the strategy to give exact answers — but it is part of the
+// system the thesis describes (the worked example of Section 2.3) and is
+// useful for approximate pre-filtering.
+
+// HashFunc maps a set element to a hash value.
+type HashFunc func(uint64) uint64
+
+// LinearHash returns the modular hash h(x) = (a·x + b) mod p used throughout
+// the Section 2.3 example (e.g. h1 = x+1 mod 5, h2 = 3x+1 mod 5).
+func LinearHash(a, b, p uint64) HashFunc {
+	return func(x uint64) uint64 { return (a*x + b) % p }
+}
+
+// SeededHash returns a SplitMix64-derived hash function.
+func SeededHash(seed uint64) HashFunc {
+	return func(x uint64) uint64 { return splitmix64(seed ^ (x * 0x9e3779b97f4a7c15)) }
+}
+
+// MinHash computes m-value MinHash signatures of integer sets.
+type MinHash struct {
+	fns []HashFunc
+}
+
+// NewMinHash builds a MinHash over the given hash functions.
+func NewMinHash(fns ...HashFunc) *MinHash {
+	return &MinHash{fns: fns}
+}
+
+// NewSeededMinHash builds a MinHash with m seeded functions.
+func NewSeededMinHash(m int, seed uint64) *MinHash {
+	fns := make([]HashFunc, m)
+	for i := range fns {
+		fns[i] = SeededHash(splitmix64(seed + uint64(i)))
+	}
+	return &MinHash{fns: fns}
+}
+
+// M returns the number of hash functions (signature length).
+func (mh *MinHash) M() int { return len(mh.fns) }
+
+// Signature computes the MinHash signature of a set: per function, the
+// minimum hash value over all elements. An empty set yields all-max
+// signatures (the "positive infinity" initialization of Section 2.3).
+func (mh *MinHash) Signature(set []uint64) []uint64 {
+	sig := make([]uint64, len(mh.fns))
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, e := range set {
+		for i, h := range mh.fns {
+			if v := h(e); v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// EstimateJaccard estimates the Jaccard similarity of two sets from their
+// signatures: the fraction of positions where the signatures agree.
+func EstimateJaccard(a, b []uint64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// Jaccard computes the exact Jaccard similarity of two integer sets
+// (duplicates allowed; they are ignored).
+func Jaccard(a, b []uint64) float64 {
+	sa := make(map[uint64]bool, len(a))
+	for _, x := range a {
+		sa[x] = true
+	}
+	sb := make(map[uint64]bool, len(b))
+	for _, x := range b {
+		sb[x] = true
+	}
+	inter := 0
+	for x := range sa {
+		if sb[x] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// LSH is a banded locality-sensitive index over MinHash signatures
+// (Section 2.3): the m-row signature is split into b bands of m/b rows; two
+// sets become candidates iff they agree on at least one full band. With true
+// Jaccard similarity s, the candidate probability is 1 - (1 - s^(m/b))^b.
+type LSH struct {
+	bands   int
+	rows    int
+	buckets []map[string][]int // per band: band-value -> set ids
+}
+
+// NewLSH creates an LSH index for signatures of length m split into bands
+// bands. m must be divisible by bands.
+func NewLSH(m, bands int) (*LSH, error) {
+	if bands < 1 || m%bands != 0 {
+		return nil, fmt.Errorf("sighash: %d hash functions not divisible into %d bands", m, bands)
+	}
+	l := &LSH{bands: bands, rows: m / bands, buckets: make([]map[string][]int, bands)}
+	for i := range l.buckets {
+		l.buckets[i] = make(map[string][]int)
+	}
+	return l, nil
+}
+
+// Add indexes a signature under the given id.
+func (l *LSH) Add(id int, sig []uint64) {
+	for b := 0; b < l.bands; b++ {
+		k := bandKey(sig, b, l.rows)
+		l.buckets[b][k] = append(l.buckets[b][k], id)
+	}
+}
+
+// Candidates returns the ids sharing at least one band with the query
+// signature, excluding exclude. Order is deterministic (ascending id).
+func (l *LSH) Candidates(sig []uint64, exclude int) []int {
+	seen := map[int]bool{}
+	for b := 0; b < l.bands; b++ {
+		for _, id := range l.buckets[b][bandKey(sig, b, l.rows)] {
+			if id != exclude {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sortInts(out)
+	return out
+}
+
+// CandidateProbability returns the analytic probability 1-(1-s^r)^b that a
+// set with Jaccard similarity s to the query becomes a candidate.
+func (l *LSH) CandidateProbability(s float64) float64 {
+	p := 1.0
+	sr := 1.0
+	for i := 0; i < l.rows; i++ {
+		sr *= s
+	}
+	for i := 0; i < l.bands; i++ {
+		p *= 1 - sr
+	}
+	return 1 - p
+}
+
+func bandKey(sig []uint64, band, rows int) string {
+	buf := make([]byte, 0, rows*8)
+	for _, v := range sig[band*rows : (band+1)*rows] {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(v>>s))
+		}
+	}
+	return string(buf)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

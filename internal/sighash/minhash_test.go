@@ -1,0 +1,148 @@
+package sighash
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestClassicMinHashWorkedExample reproduces the Section 2.3 example:
+// S1={0,3}, S2={2}, S3={1,3,4}, S4={0,2,3}, h1 = x+1 mod 5,
+// h2 = 3x+1 mod 5; final signature table
+//
+//	     S1 S2 S3 S4
+//	h1    1  3  0  1
+//	h2    0  2  0  0
+//
+// and, with 2 bands, the candidates of S1 are exactly {S3, S4}.
+func TestClassicMinHashWorkedExample(t *testing.T) {
+	mh := NewMinHash(LinearHash(1, 1, 5), LinearHash(3, 1, 5))
+	sets := [][]uint64{
+		{0, 3},
+		{2},
+		{1, 3, 4},
+		{0, 2, 3},
+	}
+	want := [][]uint64{
+		{1, 0},
+		{3, 2},
+		{0, 0},
+		{1, 0},
+	}
+	sigs := make([][]uint64, len(sets))
+	for i, s := range sets {
+		sigs[i] = mh.Signature(s)
+		if !reflect.DeepEqual(sigs[i], want[i]) {
+			t.Errorf("sig(S%d) = %v, want %v", i+1, sigs[i], want[i])
+		}
+	}
+	// "the similarity between S1 and S4 is thus estimated as 1, while their
+	// true Jaccard Similarity is 2/3."
+	if est := EstimateJaccard(sigs[0], sigs[3]); est != 1 {
+		t.Errorf("estimated J(S1,S4) = %v, want 1", est)
+	}
+	if j := Jaccard(sets[0], sets[3]); math.Abs(j-2.0/3.0) > 1e-12 {
+		t.Errorf("exact J(S1,S4) = %v, want 2/3", j)
+	}
+	lsh, err := NewLSH(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sig := range sigs {
+		lsh.Add(i, sig)
+	}
+	// "When finding duplication sets to S1, we only retrieve sets S3 and S4
+	// as candidates as S2 equals to S1 in neither bands."
+	if got := lsh.Candidates(sigs[0], 0); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("candidates of S1 = %v, want [2 3] (S3, S4)", got)
+	}
+}
+
+func TestLSHErrors(t *testing.T) {
+	if _, err := NewLSH(5, 2); err == nil {
+		t.Error("5 rows in 2 bands should fail")
+	}
+	if _, err := NewLSH(4, 0); err == nil {
+		t.Error("0 bands should fail")
+	}
+}
+
+// TestMinHashEstimateConverges: with many seeded functions, the MinHash
+// estimate approaches true Jaccard similarity (the §2.3 premise).
+func TestMinHashEstimateConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mh := NewSeededMinHash(512, 11)
+	if mh.M() != 512 {
+		t.Fatalf("M = %d", mh.M())
+	}
+	for trial := 0; trial < 5; trial++ {
+		// Construct sets with known overlap.
+		shared := rng.Intn(50) + 10
+		onlyA := rng.Intn(50)
+		onlyB := rng.Intn(50)
+		var a, b []uint64
+		x := uint64(trial * 100000)
+		for i := 0; i < shared; i++ {
+			a = append(a, x)
+			b = append(b, x)
+			x++
+		}
+		for i := 0; i < onlyA; i++ {
+			a = append(a, x)
+			x++
+		}
+		for i := 0; i < onlyB; i++ {
+			b = append(b, x)
+			x++
+		}
+		truth := float64(shared) / float64(shared+onlyA+onlyB)
+		est := EstimateJaccard(mh.Signature(a), mh.Signature(b))
+		if math.Abs(est-truth) > 0.12 {
+			t.Errorf("trial %d: estimate %.3f, truth %.3f", trial, est, truth)
+		}
+	}
+}
+
+// TestLSHSensitivity: candidate probability is monotone in similarity and
+// matches 1-(1-s^r)^b.
+func TestLSHSensitivity(t *testing.T) {
+	lsh, err := NewLSH(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, s := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		p := lsh.CandidateProbability(s)
+		want := 1 - math.Pow(1-math.Pow(s, 2), 4)
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("P(candidate|s=%v) = %v, want %v", s, p, want)
+		}
+		if p < prev {
+			t.Errorf("candidate probability not monotone at s=%v", s)
+		}
+		prev = p
+	}
+}
+
+func TestEstimateJaccardDegenerate(t *testing.T) {
+	if EstimateJaccard([]uint64{1}, []uint64{1, 2}) != 0 {
+		t.Error("mismatched lengths should estimate 0")
+	}
+	if EstimateJaccard(nil, nil) != 0 {
+		t.Error("empty signatures should estimate 0")
+	}
+	if Jaccard(nil, nil) != 0 {
+		t.Error("Jaccard of empty sets should be 0")
+	}
+}
+
+func TestEmptySetSignature(t *testing.T) {
+	mh := NewSeededMinHash(4, 3)
+	sig := mh.Signature(nil)
+	for _, v := range sig {
+		if v != ^uint64(0) {
+			t.Fatalf("empty-set signature should be +inf sentinels, got %v", sig)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package sighash
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// fixture411 builds the Example 4.1.1 sp-index: L5=parent(L1,L2),
+// L6=parent(L3,L4); base ordinals L1=0..L4=3.
+func fixture411(t testing.TB) *spindex.Index {
+	t.Helper()
+	b := spindex.NewBuilder(2)
+	l5 := b.AddRoot()
+	l6 := b.AddRoot()
+	b.AddChild(l5)
+	b.AddChild(l5)
+	b.AddChild(l6)
+	b.AddChild(l6)
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return ix
+}
+
+// table41 returns the TableHasher loaded with the thesis' Table 4.1 values.
+// Time units: T1=0, T2=1; base order L1,L2,L3,L4.
+//
+//	     T1L1 T2L1 T1L2 T2L2 T1L3 T2L3 T1L4 T2L4
+//	h1     2    8    5    1    4    6    7    3
+//	h2     8    3    6    5    4    1    2    7
+func table41(ix *spindex.Index) *TableHasher {
+	h1 := []uint64{
+		// index t*n+base, t in {0,1}, base in {0..3}
+		2, 5, 4, 7, // T1: L1,L2,L3,L4
+		8, 1, 6, 3, // T2
+	}
+	h2 := []uint64{
+		8, 6, 4, 2,
+		3, 5, 1, 7,
+	}
+	return NewTableHasher(ix, [][]uint64{h1, h2}, 9)
+}
+
+// seq411 builds the four entities of Table 4.2 (ea..ed with base presences
+// per Example 4.2.1).
+func seq411(ix *spindex.Index) []*trace.Sequences {
+	const T1, T2 = 0, 1
+	mk := func(e trace.EntityID, cells ...[2]int) *trace.Sequences {
+		var base []trace.Cell
+		for _, c := range cells {
+			base = append(base, trace.MakeCell(trace.Time(c[0]), ix.BaseUnit(spindex.BaseID(c[1]))))
+		}
+		return trace.NewSequencesFromCells(ix, e, base)
+	}
+	return []*trace.Sequences{
+		mk(0, [2]int{T1, 1}, [2]int{T2, 0}), // ea: T1L2, T2L1
+		mk(1, [2]int{T1, 0}, [2]int{T2, 1}), // eb: T1L1, T2L2
+		mk(2, [2]int{T1, 2}, [2]int{T2, 0}), // ec: T1L3, T2L1
+		mk(3, [2]int{T1, 3}, [2]int{T2, 3}), // ed: T1L4, T2L4
+	}
+}
+
+// TestSignatureTableExample reproduces Table 4.3 of the thesis:
+//
+//	ea ⟨⟨1,3⟩, ⟨5,3⟩⟩   eb ⟨⟨1,3⟩, ⟨1,5⟩⟩
+//	ec ⟨⟨1,2⟩, ⟨4,3⟩⟩   ed ⟨⟨3,1⟩, ⟨3,2⟩⟩
+//
+// Note: the thesis prints ed's level-2 signature as ⟨3,7⟩, but from its own
+// Table 4.1 the value is min(h2(T1L4), h2(T2L4)) = min(2,7) = 2 — a typo in
+// the thesis (every other entry checks out). We assert the value implied by
+// Table 4.1.
+func TestSignatureTableExample(t *testing.T) {
+	ix := fixture411(t)
+	th := table41(ix)
+	seqs := seq411(ix)
+	want := [][2][]uint64{
+		{{1, 3}, {5, 3}},
+		{{1, 3}, {1, 5}},
+		{{1, 2}, {4, 3}},
+		{{3, 1}, {3, 2}},
+	}
+	for i, s := range seqs {
+		for l := 1; l <= 2; l++ {
+			got := FullSignature(th, s.At(l))
+			if !reflect.DeepEqual(got, want[i][l-1]) {
+				t.Errorf("entity %d level %d: sig = %v, want %v", i, l, got, want[i][l-1])
+			}
+		}
+	}
+	// Digest form: routing index = argmax, value = max.
+	digests := make([]EntitySig, len(seqs))
+	for i, s := range seqs {
+		digests[i] = Signature(th, s)
+	}
+	// ea level 1: sig ⟨1,3⟩ → routing 1 (h2), value 3.
+	if d := digests[0][0]; d.Routing != 1 || d.Value != 3 {
+		t.Errorf("ea level-1 digest = %+v, want routing 1 value 3", d)
+	}
+	// ed level 1: sig ⟨3,1⟩ → routing 0 (h1), value 3.
+	if d := digests[3][0]; d.Routing != 0 || d.Value != 3 {
+		t.Errorf("ed level-1 digest = %+v, want routing 0 value 3", d)
+	}
+	// ed level 2: sig ⟨3,2⟩ → routing 0 (h1), value 3.
+	if d := digests[3][1]; d.Routing != 0 || d.Value != 3 {
+		t.Errorf("ed level-2 digest = %+v, want routing 0 value 3", d)
+	}
+}
+
+// TestTableHasherParentMin checks the hierarchical constraint on the worked
+// example: h1(T1L5) = min(h1(T1L1), h1(T1L2)) = 2, h1(T2L5) = 1, etc.
+func TestTableHasherParentMin(t *testing.T) {
+	ix := fixture411(t)
+	th := table41(ix)
+	l5 := ix.Parent(ix.BaseUnit(0))
+	l6 := ix.Parent(ix.BaseUnit(2))
+	cases := []struct {
+		fn   int
+		cell trace.Cell
+		want uint64
+	}{
+		{0, trace.MakeCell(0, l5), 2},
+		{0, trace.MakeCell(1, l5), 1},
+		{1, trace.MakeCell(0, l5), 6},
+		{1, trace.MakeCell(1, l5), 3},
+		{0, trace.MakeCell(0, l6), 4},
+		{1, trace.MakeCell(1, l6), 1},
+	}
+	for _, c := range cases {
+		if got := th.Hash(c.fn, c.cell); got != c.want {
+			t.Errorf("h%d(%v) = %d, want %d", c.fn+1, c.cell, got, c.want)
+		}
+	}
+}
+
+func randomSequences(rng *rand.Rand, ix *spindex.Index, e trace.EntityID, horizon int) *trace.Sequences {
+	var recs []trace.Record
+	for i := 0; i < 1+rng.Intn(15); i++ {
+		st := trace.Time(rng.Intn(horizon - 1))
+		recs = append(recs, trace.Record{
+			Entity: e,
+			Base:   spindex.BaseID(rng.Intn(ix.NumBase())),
+			Start:  st,
+			End:    st + 1 + trace.Time(rng.Intn(min(3, horizon-int(st)))),
+		})
+	}
+	return trace.NewSequences(ix, e, recs)
+}
+
+// TestTheorem1 checks sig^i[u] ≤ sig^(i+1)[u] for random entities over
+// random hierarchies — the comparability property of Theorem 1.
+func TestTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		fan := make([]int, m-1)
+		for i := range fan {
+			fan[i] = 2 + rng.Intn(3)
+		}
+		ix := spindex.NewUniform(m, fan)
+		const horizon = 24
+		fam, err := NewFamily(ix, horizon, 8, uint64(seed)+1)
+		if err != nil {
+			return false
+		}
+		s := randomSequences(rng, ix, 1, horizon)
+		prev := FullSignature(fam, s.At(1))
+		for l := 2; l <= m; l++ {
+			cur := FullSignature(fam, s.At(l))
+			for u := range cur {
+				if prev[u] > cur[u] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem2 checks the pruning rule: for any entity, level i, function u
+// and base ST-cell s, sig^i[u] > h_u(s) implies s ∉ seq^m. Verified by the
+// contrapositive over all cells the entity does occupy.
+func TestTheorem2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := spindex.NewUniform(3, []int{3, 4})
+		const horizon = 16
+		fam, err := NewFamily(ix, horizon, 6, uint64(seed)*7+3)
+		if err != nil {
+			return false
+		}
+		s := randomSequences(rng, ix, 1, horizon)
+		for l := 1; l <= 3; l++ {
+			sig := FullSignature(fam, s.At(l))
+			for _, c := range s.Base() {
+				for u := 0; u < 6; u++ {
+					if sig[u] > fam.Hash(u, c) {
+						return false // would prune a cell the entity occupies
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFamilyHierarchicalConstraint verifies h_u(parent) = min over children
+// directly on Family.
+func TestFamilyHierarchicalConstraint(t *testing.T) {
+	ix := spindex.NewUniform(3, []int{4, 3})
+	fam, err := NewFamily(ix, 48, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range []int{1, 2} {
+		for _, u := range ix.UnitsAt(lv) {
+			for _, tm := range []trace.Time{0, 7, 47} {
+				for fn := 0; fn < 5; fn++ {
+					want := ^uint64(0)
+					for _, c := range ix.Children(u) {
+						if v := fam.Hash(fn, trace.MakeCell(tm, c)); v < want {
+							want = v
+						}
+					}
+					if got := fam.Hash(fn, trace.MakeCell(tm, u)); got != want {
+						t.Fatalf("h_%d(t%d·u%d) = %d, want child-min %d", fn, tm, u, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFamilyRange(t *testing.T) {
+	ix := spindex.NewUniform(2, []int{10})
+	fam, err := NewFamily(ix, 100, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.RangeSize() != 1000 {
+		t.Fatalf("RangeSize = %d, want 1000", fam.RangeSize())
+	}
+	if fam.Horizon() != 100 {
+		t.Fatalf("Horizon = %d", fam.Horizon())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		c := trace.MakeCell(trace.Time(rng.Intn(100)), ix.BaseUnit(spindex.BaseID(rng.Intn(10))))
+		v := fam.Hash(rng.Intn(16), c)
+		if v >= fam.RangeSize() {
+			t.Fatalf("hash %d outside range %d", v, fam.RangeSize())
+		}
+	}
+	if fam.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+}
+
+func TestFamilyErrors(t *testing.T) {
+	ix := spindex.NewUniform(2, []int{2})
+	if _, err := NewFamily(ix, 10, 0, 1); err == nil {
+		t.Error("nh=0 should fail")
+	}
+	if _, err := NewFamily(ix, 0, 4, 1); err == nil {
+		t.Error("horizon=0 should fail")
+	}
+}
+
+func TestFamilyDeterminism(t *testing.T) {
+	ix := spindex.NewUniform(3, []int{3, 3})
+	a, _ := NewFamily(ix, 24, 8, 42)
+	b, _ := NewFamily(ix, 24, 8, 42)
+	c, _ := NewFamily(ix, 24, 8, 43)
+	cell := trace.MakeCell(5, ix.BaseUnit(4))
+	diff := false
+	for fn := 0; fn < 8; fn++ {
+		if a.Hash(fn, cell) != b.Hash(fn, cell) {
+			t.Fatalf("same seed diverged at fn %d", fn)
+		}
+		if a.Hash(fn, cell) != c.Hash(fn, cell) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical families")
+	}
+}

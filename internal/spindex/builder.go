@@ -1,0 +1,144 @@
+package spindex
+
+import "fmt"
+
+// Builder assembles an sp-index unit by unit. It is the most general
+// constructor: tests and fixtures (e.g. the L1..L6 hierarchy of
+// Example 4.1.1) use it directly, and NewUniform/NewGrid are built on top.
+//
+// Usage:
+//
+//	b := spindex.NewBuilder(2)       // height m = 2
+//	l5 := b.AddRoot()                // level 1
+//	l6 := b.AddRoot()
+//	l1 := b.AddChild(l5)             // level 2 (base)
+//	l2 := b.AddChild(l5)
+//	l3 := b.AddChild(l6)
+//	l4 := b.AddChild(l6)
+//	ix, err := b.Build()
+//
+// Build assigns base ordinals in depth-first order (children in insertion
+// order), so in the example L1,L2,L3,L4 get BaseIDs 0,1,2,3.
+type Builder struct {
+	m        int
+	parent   []UnitID
+	level    []uint8
+	children [][]UnitID
+	roots    []UnitID
+}
+
+// NewBuilder returns a builder for an sp-index of height m ≥ 1.
+func NewBuilder(m int) *Builder {
+	if m < 1 {
+		panic("spindex: height must be >= 1")
+	}
+	return &Builder{m: m}
+}
+
+// AddRoot adds a level-1 unit and returns its ID.
+func (b *Builder) AddRoot() UnitID {
+	id := UnitID(len(b.parent))
+	b.parent = append(b.parent, NoUnit)
+	b.level = append(b.level, 1)
+	b.children = append(b.children, nil)
+	b.roots = append(b.roots, id)
+	return id
+}
+
+// AddChild adds a child of parent and returns its ID. The child's level is
+// parent's level + 1; AddChild panics if that would exceed the height.
+func (b *Builder) AddChild(parent UnitID) UnitID {
+	if parent < 0 || int(parent) >= len(b.parent) {
+		panic(fmt.Sprintf("spindex: AddChild of unknown parent %d", parent))
+	}
+	lv := int(b.level[parent]) + 1
+	if lv > b.m {
+		panic(fmt.Sprintf("spindex: AddChild would create unit at level %d > height %d", lv, b.m))
+	}
+	id := UnitID(len(b.parent))
+	b.parent = append(b.parent, parent)
+	b.level = append(b.level, uint8(lv))
+	b.children = append(b.children, nil)
+	b.children[parent] = append(b.children[parent], id)
+	return id
+}
+
+// Build finalizes the index. It fails if any leaf is not at level m (the
+// paper requires all base spatial units to sit at the lowest level) or no
+// unit was added.
+func (b *Builder) Build() (*Index, error) {
+	if len(b.parent) == 0 {
+		return nil, fmt.Errorf("spindex: empty builder")
+	}
+	ix := &Index{
+		m:        b.m,
+		parent:   b.parent,
+		level:    b.level,
+		children: b.children,
+		baseLo:   make([]BaseID, len(b.parent)),
+		baseHi:   make([]BaseID, len(b.parent)),
+		roots:    b.roots,
+	}
+	// Depth-first numbering of base units.
+	var next BaseID
+	var dfs func(u UnitID) error
+	dfs = func(u UnitID) error {
+		if int(ix.level[u]) == b.m {
+			if len(ix.children[u]) != 0 {
+				return fmt.Errorf("spindex: unit %d at base level has children", u)
+			}
+			ix.baseLo[u] = next
+			next++
+			ix.baseHi[u] = next
+			ix.baseUnit = append(ix.baseUnit, u)
+			return nil
+		}
+		if len(ix.children[u]) == 0 {
+			return fmt.Errorf("spindex: unit %d at level %d is a leaf above the base level %d", u, ix.level[u], b.m)
+		}
+		ix.baseLo[u] = next
+		for _, c := range ix.children[u] {
+			if err := dfs(c); err != nil {
+				return err
+			}
+		}
+		ix.baseHi[u] = next
+		return nil
+	}
+	for _, r := range b.roots {
+		if err := dfs(r); err != nil {
+			return nil, err
+		}
+	}
+	ix.levels = make([][]UnitID, b.m+1)
+	for u := range ix.parent {
+		ix.levels[ix.level[u]] = append(ix.levels[ix.level[u]], UnitID(u))
+	}
+	return ix, nil
+}
+
+// NewUniform builds a single-tree sp-index of height m where every unit at
+// level l has fanout[l-1] children (len(fanout) must be m-1). Handy for
+// tests: NewUniform(3, []int{4, 5}) yields 1 root, 4 districts, 20 base
+// units.
+func NewUniform(m int, fanout []int) *Index {
+	if len(fanout) != m-1 {
+		panic(fmt.Sprintf("spindex: NewUniform needs %d fanouts, got %d", m-1, len(fanout)))
+	}
+	b := NewBuilder(m)
+	frontier := []UnitID{b.AddRoot()}
+	for l := 1; l < m; l++ {
+		var next []UnitID
+		for _, u := range frontier {
+			for i := 0; i < fanout[l-1]; i++ {
+				next = append(next, b.AddChild(u))
+			}
+		}
+		frontier = next
+	}
+	ix, err := b.Build()
+	if err != nil {
+		panic("spindex: NewUniform: " + err.Error())
+	}
+	return ix
+}

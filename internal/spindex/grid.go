@@ -1,0 +1,226 @@
+package spindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GridConfig parameterizes the synthetic spatial environment of Section 6.2:
+// a square area of side L divided into a grid of (L/Lbsu)^2 base spatial
+// units, organized into an sp-index whose per-level width follows
+// W_l = Q·l^a (Eq 6.7) and whose per-node sizes at each level follow
+// D_il ∝ i^b (Eq 6.8).
+type GridConfig struct {
+	// Side is the number of base cells per side of the square area,
+	// i.e. L/Lbsu. The total number of base spatial units is Side².
+	Side int
+	// Levels is m, the height of the sp-index (typically 3..5; the paper's
+	// default is 4, "the typical hierarchical level in a city").
+	Levels int
+	// WidthExp is a in Eq 6.7 (W_l = Q·l^a). Real POI data takes a ∈ [1,2];
+	// the paper's default is 2.
+	WidthExp float64
+	// DensityExp is b in Eq 6.8 (D_il ∝ i^b), the relative-density
+	// parameter. Real POI data takes b ∈ [1,2]; the paper's default is 2.
+	DensityExp float64
+}
+
+// DefaultGridConfig returns the paper's default spatial settings scaled to
+// the given grid side: m = 4, a = 2, b = 2.
+func DefaultGridConfig(side int) GridConfig {
+	return GridConfig{Side: side, Levels: 4, WidthExp: 2, DensityExp: 2}
+}
+
+// NewGrid synthesizes an sp-index over a Side×Side grid per Section 6.2.
+//
+// Base cells are ordered along a Morton (Z-order) curve so that every unit —
+// a contiguous run of base ordinals — is spatially coherent, mimicking real
+// spatial units (streets within districts within cities). Widths follow
+// Eq 6.7 normalized so the base level has exactly Side² units; node sizes at
+// each level follow the power-law density of Eq 6.8. Level-(l) boundaries are
+// snapped onto level-(l+1) boundaries bottom-up so units nest exactly.
+//
+// The resulting index carries geometry: Coord(b) returns the grid cell of
+// each base unit, which the mobility model uses for Lévy-flight
+// displacements.
+func NewGrid(cfg GridConfig) (*Index, error) {
+	if cfg.Side < 1 {
+		return nil, fmt.Errorf("spindex: grid side %d < 1", cfg.Side)
+	}
+	if cfg.Levels < 1 {
+		return nil, fmt.Errorf("spindex: levels %d < 1", cfg.Levels)
+	}
+	n := cfg.Side * cfg.Side
+	m := cfg.Levels
+	if n < m {
+		return nil, fmt.Errorf("spindex: %d base units cannot fill %d levels", n, m)
+	}
+
+	// Per-level widths, Eq 6.7: W_l = Q·l^a with Q = n/m^a, so W_m = n.
+	widths := make([]int, m+1)
+	for l := 1; l <= m; l++ {
+		w := int(math.Round(float64(n) * math.Pow(float64(l)/float64(m), cfg.WidthExp)))
+		if w < 1 {
+			w = 1
+		}
+		if w > n {
+			w = n
+		}
+		widths[l] = w
+	}
+	// Widths must be non-decreasing with level for nesting to be possible.
+	for l := m - 1; l >= 1; l-- {
+		if widths[l] > widths[l+1] {
+			widths[l] = widths[l+1]
+		}
+	}
+
+	// Boundaries per level. bounds[l] holds the cut points 0 = c_0 < c_1 <
+	// ... < c_{W_l} = n delimiting the units at level l.
+	bounds := make([][]int, m+1)
+	bounds[m] = make([]int, n+1)
+	for i := range bounds[m] {
+		bounds[m][i] = i
+	}
+	for l := m - 1; l >= 1; l-- {
+		raw := powerLawCuts(n, widths[l], cfg.DensityExp)
+		bounds[l] = snapCuts(raw, bounds[l+1])
+	}
+
+	// Materialize units bottom-up is awkward with Builder (it wants parents
+	// first); instead create top-down, tracking each level's units.
+	b := NewBuilder(m)
+	prev := make([]UnitID, 0, len(bounds[1])-1) // units at level l-1 aligned with bounds[l-1]
+	for i := 0; i+1 < len(bounds[1]); i++ {
+		prev = append(prev, b.AddRoot())
+	}
+	prevCuts := bounds[1]
+	for l := 2; l <= m; l++ {
+		cuts := bounds[l]
+		cur := make([]UnitID, 0, len(cuts)-1)
+		pi := 0
+		for i := 0; i+1 < len(cuts); i++ {
+			lo := cuts[i]
+			for prevCuts[pi+1] <= lo {
+				pi++
+			}
+			cur = append(cur, b.AddChild(prev[pi]))
+		}
+		prev, prevCuts = cur, cuts
+	}
+	ix, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Geometry: base ordinal k (DFS order == boundary order at level m) is
+	// the k-th cell in Morton order.
+	ix.side = int32(cfg.Side)
+	ix.xs = make([]int32, n)
+	ix.ys = make([]int32, n)
+	order := mortonOrder(cfg.Side)
+	for k, cell := range order {
+		ix.xs[k] = int32(cell % cfg.Side)
+		ix.ys[k] = int32(cell / cfg.Side)
+	}
+	return ix, nil
+}
+
+// powerLawCuts returns W+1 cut points over [0,n] where the i-th chunk
+// (1-indexed) has size proportional to i^b (Eq 6.8), each chunk non-empty.
+func powerLawCuts(n, w int, b float64) []int {
+	if w > n {
+		w = n
+	}
+	weights := make([]float64, w)
+	var total float64
+	for i := 1; i <= w; i++ {
+		weights[i-1] = math.Pow(float64(i), b)
+		total += weights[i-1]
+	}
+	cuts := make([]int, w+1)
+	var acc float64
+	for i := 1; i < w; i++ {
+		acc += weights[i-1]
+		c := int(math.Round(acc / total * float64(n)))
+		// Keep at least one base unit per chunk on both sides.
+		if c <= cuts[i-1] {
+			c = cuts[i-1] + 1
+		}
+		if c > n-(w-i) {
+			c = n - (w - i)
+		}
+		cuts[i] = c
+	}
+	cuts[w] = n
+	return cuts
+}
+
+// snapCuts moves every interior cut of raw onto the nearest value present in
+// finer (sorted), preserving strict monotonicity, so that coarse units nest
+// exactly inside finer boundaries. Duplicate snaps are dropped, which may
+// shrink the level's width — acceptable, since Eq 6.7 is a model of real
+// hierarchies, not an exact constraint.
+func snapCuts(raw, finer []int) []int {
+	out := make([]int, 0, len(raw))
+	out = append(out, 0)
+	last := 0
+	end := raw[len(raw)-1]
+	for _, c := range raw[1 : len(raw)-1] {
+		s := nearest(finer, c)
+		if s <= last || s >= end {
+			continue
+		}
+		out = append(out, s)
+		last = s
+	}
+	out = append(out, end)
+	return out
+}
+
+// nearest returns the element of sorted xs closest to v (ties to the lower).
+func nearest(xs []int, v int) int {
+	i := sort.SearchInts(xs, v)
+	if i == 0 {
+		return xs[0]
+	}
+	if i == len(xs) {
+		return xs[len(xs)-1]
+	}
+	if xs[i]-v < v-xs[i-1] {
+		return xs[i]
+	}
+	return xs[i-1]
+}
+
+// mortonOrder returns the row-major cell indices of a side×side grid sorted
+// by Morton (Z-order) code, so consecutive ranks are spatially close.
+func mortonOrder(side int) []int {
+	cells := make([]int, side*side)
+	for i := range cells {
+		cells[i] = i
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		xa, ya := uint32(cells[a]%side), uint32(cells[a]/side)
+		xb, yb := uint32(cells[b]%side), uint32(cells[b]/side)
+		return morton2(xa, ya) < morton2(xb, yb)
+	})
+	return cells
+}
+
+// morton2 interleaves the bits of x and y into a single Z-order code.
+func morton2(x, y uint32) uint64 {
+	return spreadBits(x) | spreadBits(y)<<1
+}
+
+// spreadBits spaces the low 32 bits of v out to even bit positions.
+func spreadBits(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}

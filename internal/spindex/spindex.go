@@ -1,0 +1,235 @@
+// Package spindex implements the sp-index: the hierarchical organization of
+// spatial units described in Section 3.1 of "Top-k Queries over Digital
+// Traces" (Li, SIGMOD 2019 / York University thesis, 2018).
+//
+// An sp-index organizes locations from coarsest to finest in a tree (or a
+// forest of trees). Levels are labeled 1 (roots) through m (base spatial
+// units, the atomic locations at which entities can be present). Every unit
+// at level l < m partitions into units at level l+1; units at the same level
+// are non-overlapping.
+//
+// Base spatial units receive dense ordinal identifiers (BaseID) assigned in
+// depth-first order, so every unit at any level covers a contiguous range of
+// BaseIDs. This range property is what makes hierarchical minimum hashing
+// (internal/sighash) cheap: the minimum hash value over all base descendants
+// of a unit is a per-unit precomputable scalar.
+package spindex
+
+import "fmt"
+
+// UnitID identifies a spatial unit at any level of the sp-index.
+// IDs are dense in [0, NumUnits()).
+type UnitID int32
+
+// NoUnit is the sentinel for "no such unit" (e.g. the parent of a root).
+const NoUnit UnitID = -1
+
+// BaseID is the ordinal of a base spatial unit (level m), dense in
+// [0, NumBase()). Base ordinals are assigned in depth-first order of the
+// hierarchy, so every unit owns a contiguous [lo, hi) range of them.
+type BaseID int32
+
+// Index is an immutable sp-index: a forest of spatial-unit trees of uniform
+// height m. Construct one with a Builder, NewUniform, or NewGrid.
+type Index struct {
+	m        int
+	parent   []UnitID
+	level    []uint8
+	children [][]UnitID
+	baseLo   []BaseID // per unit: first covered base ordinal
+	baseHi   []BaseID // per unit: one past the last covered base ordinal
+	baseUnit []UnitID // BaseID -> the level-m unit
+	roots    []UnitID
+	levels   [][]UnitID // levels[l] = units at level l, 1-indexed; levels[0] unused
+
+	// Optional geometry (populated by NewGrid): coordinates of each base
+	// unit's cell on a Side x Side grid.
+	xs, ys []int32
+	side   int32
+}
+
+// Height returns m, the number of levels. Roots are level 1 and base units
+// level m.
+func (ix *Index) Height() int { return ix.m }
+
+// NumUnits returns the total number of spatial units across all levels.
+func (ix *Index) NumUnits() int { return len(ix.parent) }
+
+// NumBase returns the number of base spatial units (|L| in the paper).
+func (ix *Index) NumBase() int { return len(ix.baseUnit) }
+
+// Roots returns the root units (the level-1 units). Each root is the apex of
+// one sp-index tree; the paper's tid corresponds to the root a unit belongs
+// to.
+func (ix *Index) Roots() []UnitID { return ix.roots }
+
+// UnitsAt returns all units at the given level (1 ≤ level ≤ Height).
+func (ix *Index) UnitsAt(level int) []UnitID {
+	if level < 1 || level > ix.m {
+		return nil
+	}
+	return ix.levels[level]
+}
+
+// Level returns the level of unit u (1 = root level, Height = base level).
+func (ix *Index) Level(u UnitID) int { return int(ix.level[u]) }
+
+// Parent returns the parent of u, or NoUnit if u is a root.
+func (ix *Index) Parent(u UnitID) UnitID { return ix.parent[u] }
+
+// Children returns the child units of u (nil for base units).
+func (ix *Index) Children(u UnitID) []UnitID { return ix.children[u] }
+
+// BaseRange returns the half-open range [lo, hi) of base ordinals covered by
+// unit u. For a base unit the range has length 1.
+func (ix *Index) BaseRange(u UnitID) (lo, hi BaseID) { return ix.baseLo[u], ix.baseHi[u] }
+
+// Size returns the number of base spatial units contained in u (|S_U| in
+// Section 6.2).
+func (ix *Index) Size(u UnitID) int { return int(ix.baseHi[u] - ix.baseLo[u]) }
+
+// BaseUnit returns the level-m unit holding base ordinal b.
+func (ix *Index) BaseUnit(b BaseID) UnitID { return ix.baseUnit[b] }
+
+// BaseOf returns the base ordinal of a level-m unit u. It panics if u is not
+// a base unit.
+func (ix *Index) BaseOf(u UnitID) BaseID {
+	if int(ix.level[u]) != ix.m {
+		panic(fmt.Sprintf("spindex: BaseOf called on unit %d at level %d (height %d)", u, ix.level[u], ix.m))
+	}
+	return ix.baseLo[u]
+}
+
+// AncestorAt returns the ancestor of unit u at the requested level.
+// It panics if level is outside [1, Level(u)].
+func (ix *Index) AncestorAt(u UnitID, level int) UnitID {
+	cur := int(ix.level[u])
+	if level < 1 || level > cur {
+		panic(fmt.Sprintf("spindex: AncestorAt level %d outside [1,%d]", level, cur))
+	}
+	for cur > level {
+		u = ix.parent[u]
+		cur--
+	}
+	return u
+}
+
+// AncestorOfBase returns the ancestor unit of base ordinal b at the given
+// level. AncestorOfBase(b, Height()) is the base unit itself.
+func (ix *Index) AncestorOfBase(b BaseID, level int) UnitID {
+	return ix.AncestorAt(ix.baseUnit[b], level)
+}
+
+// Root returns the root (level-1 ancestor) of unit u. Two units belong to the
+// same sp-index tree (share a tid, in the paper's terms) iff their roots are
+// equal.
+func (ix *Index) Root(u UnitID) UnitID { return ix.AncestorAt(u, 1) }
+
+// Path returns the root-to-u path of units, one per level from 1 to
+// Level(u). This is the "path" attribute of a presence instance
+// (Definition 1).
+func (ix *Index) Path(u UnitID) []UnitID {
+	lv := int(ix.level[u])
+	path := make([]UnitID, lv)
+	for i := lv - 1; i >= 0; i-- {
+		path[i] = u
+		u = ix.parent[u]
+	}
+	return path
+}
+
+// HasGeometry reports whether base units carry grid coordinates (true for
+// indexes built with NewGrid).
+func (ix *Index) HasGeometry() bool { return ix.xs != nil }
+
+// Coord returns the grid coordinates of base ordinal b. Valid only when
+// HasGeometry() is true.
+func (ix *Index) Coord(b BaseID) (x, y int32) { return ix.xs[b], ix.ys[b] }
+
+// GridSide returns the side length of the underlying grid (0 when the index
+// carries no geometry).
+func (ix *Index) GridSide() int32 { return ix.side }
+
+// Validate checks the structural invariants of the sp-index and returns a
+// descriptive error for the first violation found. A nil error means: levels
+// are consistent, parent/child links agree, base ranges nest and partition,
+// and every leaf sits at level m.
+func (ix *Index) Validate() error {
+	n := ix.NumUnits()
+	for u := 0; u < n; u++ {
+		id := UnitID(u)
+		lv := ix.Level(id)
+		if lv < 1 || lv > ix.m {
+			return fmt.Errorf("unit %d: level %d outside [1,%d]", u, lv, ix.m)
+		}
+		p := ix.Parent(id)
+		if lv == 1 {
+			if p != NoUnit {
+				return fmt.Errorf("root unit %d has parent %d", u, p)
+			}
+		} else {
+			if p == NoUnit {
+				return fmt.Errorf("non-root unit %d at level %d has no parent", u, lv)
+			}
+			if ix.Level(p) != lv-1 {
+				return fmt.Errorf("unit %d at level %d has parent %d at level %d", u, lv, p, ix.Level(p))
+			}
+			plo, phi := ix.BaseRange(p)
+			lo, hi := ix.BaseRange(id)
+			if lo < plo || hi > phi {
+				return fmt.Errorf("unit %d range [%d,%d) escapes parent range [%d,%d)", u, lo, hi, plo, phi)
+			}
+		}
+		lo, hi := ix.BaseRange(id)
+		if lo >= hi {
+			return fmt.Errorf("unit %d has empty base range [%d,%d)", u, lo, hi)
+		}
+		if lv == ix.m {
+			if hi != lo+1 {
+				return fmt.Errorf("base unit %d covers %d ordinals", u, hi-lo)
+			}
+			if len(ix.Children(id)) != 0 {
+				return fmt.Errorf("base unit %d has children", u)
+			}
+		} else {
+			kids := ix.Children(id)
+			if len(kids) == 0 {
+				return fmt.Errorf("internal unit %d at level %d has no children", u, lv)
+			}
+			// Children must exactly partition the parent's base range.
+			want := lo
+			for _, c := range kids {
+				clo, chi := ix.BaseRange(c)
+				if clo != want {
+					return fmt.Errorf("unit %d: child %d starts at %d, want %d", u, c, clo, want)
+				}
+				want = chi
+			}
+			if want != hi {
+				return fmt.Errorf("unit %d: children end at %d, range ends at %d", u, want, hi)
+			}
+		}
+	}
+	// Base ordinals must partition [0, NumBase()) across roots.
+	covered := BaseID(0)
+	for _, r := range ix.roots {
+		lo, hi := ix.BaseRange(r)
+		if lo != covered {
+			return fmt.Errorf("root %d starts at base %d, want %d", r, lo, covered)
+		}
+		covered = hi
+	}
+	if int(covered) != ix.NumBase() {
+		return fmt.Errorf("roots cover %d base units, index has %d", covered, ix.NumBase())
+	}
+	for b := 0; b < ix.NumBase(); b++ {
+		u := ix.baseUnit[b]
+		if ix.Level(u) != ix.m {
+			return fmt.Errorf("base ordinal %d maps to unit %d at level %d", b, u, ix.Level(u))
+		}
+		if ix.baseLo[u] != BaseID(b) {
+			return fmt.Errorf("base ordinal %d maps to unit %d covering %d", b, u, ix.baseLo[u])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package spindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// example411 builds the hierarchy from Example 4.1.1: base units L1..L4 at
+// level 2, parents L5 (of L1, L2) and L6 (of L3, L4) at level 1.
+func example411(t *testing.T) (ix *Index, l5, l6, l1, l2, l3, l4 UnitID) {
+	t.Helper()
+	b := NewBuilder(2)
+	l5 = b.AddRoot()
+	l6 = b.AddRoot()
+	l1 = b.AddChild(l5)
+	l2 = b.AddChild(l5)
+	l3 = b.AddChild(l6)
+	l4 = b.AddChild(l6)
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return
+}
+
+func TestExample411Structure(t *testing.T) {
+	ix, l5, l6, l1, l2, l3, l4 := example411(t)
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := ix.Height(); got != 2 {
+		t.Errorf("Height = %d, want 2", got)
+	}
+	if got := ix.NumBase(); got != 4 {
+		t.Errorf("NumBase = %d, want 4", got)
+	}
+	if got := ix.NumUnits(); got != 6 {
+		t.Errorf("NumUnits = %d, want 6", got)
+	}
+	if p := ix.Parent(l1); p != l5 {
+		t.Errorf("Parent(L1) = %d, want L5=%d", p, l5)
+	}
+	if p := ix.Parent(l4); p != l6 {
+		t.Errorf("Parent(L4) = %d, want L6=%d", p, l6)
+	}
+	if p := ix.Parent(l5); p != NoUnit {
+		t.Errorf("Parent(L5) = %d, want NoUnit", p)
+	}
+	for i, u := range []UnitID{l1, l2, l3, l4} {
+		if got := ix.BaseOf(u); got != BaseID(i) {
+			t.Errorf("BaseOf(%d) = %d, want %d (DFS order)", u, got, i)
+		}
+	}
+	if lo, hi := ix.BaseRange(l5); lo != 0 || hi != 2 {
+		t.Errorf("BaseRange(L5) = [%d,%d), want [0,2)", lo, hi)
+	}
+	if lo, hi := ix.BaseRange(l6); lo != 2 || hi != 4 {
+		t.Errorf("BaseRange(L6) = [%d,%d), want [2,4)", lo, hi)
+	}
+	if got := ix.AncestorOfBase(2, 1); got != l6 {
+		t.Errorf("AncestorOfBase(2,1) = %d, want L6=%d", got, l6)
+	}
+	if got := ix.Root(l2); got != l5 {
+		t.Errorf("Root(L2) = %d, want L5=%d", got, l5)
+	}
+	path := ix.Path(l3)
+	if len(path) != 2 || path[0] != l6 || path[1] != l3 {
+		t.Errorf("Path(L3) = %v, want [L6 L3]", path)
+	}
+}
+
+func TestUniformTree(t *testing.T) {
+	ix := NewUniform(3, []int{4, 5})
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := ix.NumBase(); got != 20 {
+		t.Errorf("NumBase = %d, want 20", got)
+	}
+	if got := len(ix.UnitsAt(2)); got != 4 {
+		t.Errorf("level-2 units = %d, want 4", got)
+	}
+	if got := len(ix.Roots()); got != 1 {
+		t.Errorf("roots = %d, want 1", got)
+	}
+	// Every base's level-2 ancestor must contain exactly 5 bases.
+	for b := BaseID(0); int(b) < ix.NumBase(); b++ {
+		u := ix.AncestorOfBase(b, 2)
+		if got := ix.Size(u); got != 5 {
+			t.Errorf("Size(ancestor2(%d)) = %d, want 5", b, got)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(3)
+	r := b.AddRoot()
+	b.AddChild(r) // leaf at level 2 < m=3
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should reject a leaf above the base level")
+	}
+	if _, err := NewBuilder(2).Build(); err == nil {
+		t.Fatal("Build should reject an empty builder")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics(t, "height 0", func() { NewBuilder(0) })
+	assertPanics(t, "bad parent", func() { NewBuilder(2).AddChild(7) })
+	assertPanics(t, "too deep", func() {
+		b := NewBuilder(1)
+		b.AddChild(b.AddRoot())
+	})
+	assertPanics(t, "BaseOf non-base", func() {
+		ix := NewUniform(2, []int{3})
+		ix.BaseOf(ix.Roots()[0])
+	})
+	assertPanics(t, "AncestorAt out of range", func() {
+		ix := NewUniform(2, []int{3})
+		ix.AncestorAt(ix.Roots()[0], 2)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestGridDefault(t *testing.T) {
+	ix, err := NewGrid(DefaultGridConfig(32))
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := ix.NumBase(); got != 1024 {
+		t.Errorf("NumBase = %d, want 1024", got)
+	}
+	if ix.Height() != 4 {
+		t.Errorf("Height = %d, want 4", ix.Height())
+	}
+	if !ix.HasGeometry() {
+		t.Fatal("grid index must carry geometry")
+	}
+	// All coordinates in range, all distinct.
+	seen := make(map[[2]int32]bool)
+	for b := 0; b < ix.NumBase(); b++ {
+		x, y := ix.Coord(BaseID(b))
+		if x < 0 || x >= 32 || y < 0 || y >= 32 {
+			t.Fatalf("Coord(%d) = (%d,%d) out of grid", b, x, y)
+		}
+		if seen[[2]int32{x, y}] {
+			t.Fatalf("duplicate coordinate (%d,%d)", x, y)
+		}
+		seen[[2]int32{x, y}] = true
+	}
+}
+
+// TestGridWidths checks that level widths track Eq 6.7 (W_l ∝ l^a): widths
+// increase with level and the base level has exactly Side² units.
+func TestGridWidths(t *testing.T) {
+	cfg := GridConfig{Side: 40, Levels: 4, WidthExp: 2, DensityExp: 1.5}
+	ix, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	prev := 0
+	for l := 1; l <= 4; l++ {
+		w := len(ix.UnitsAt(l))
+		if w <= prev && l > 1 {
+			t.Errorf("width at level %d = %d, not greater than level %d = %d", l, w, l-1, prev)
+		}
+		prev = w
+	}
+	if got := len(ix.UnitsAt(4)); got != 1600 {
+		t.Errorf("base width = %d, want 1600", got)
+	}
+}
+
+// TestGridDensitySkew checks Eq 6.8: with a large density exponent, unit
+// sizes at a level should be strongly skewed (max far above min).
+func TestGridDensitySkew(t *testing.T) {
+	ix, err := NewGrid(GridConfig{Side: 64, Levels: 3, WidthExp: 1, DensityExp: 2})
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	units := ix.UnitsAt(2)
+	minSz, maxSz := ix.NumBase(), 0
+	for _, u := range units {
+		s := ix.Size(u)
+		if s < minSz {
+			minSz = s
+		}
+		if s > maxSz {
+			maxSz = s
+		}
+	}
+	if maxSz < 4*minSz {
+		t.Errorf("density exponent 2 should skew sizes: min=%d max=%d", minSz, maxSz)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := NewGrid(GridConfig{Side: 0, Levels: 3}); err == nil {
+		t.Error("side 0 should fail")
+	}
+	if _, err := NewGrid(GridConfig{Side: 4, Levels: 0}); err == nil {
+		t.Error("levels 0 should fail")
+	}
+	if _, err := NewGrid(GridConfig{Side: 1, Levels: 5}); err == nil {
+		t.Error("1 base unit cannot fill 5 levels")
+	}
+}
+
+// TestGridNesting is the property test for boundary snapping: for random
+// configurations, the produced index must pass full structural validation
+// and every base must reach a root in exactly m-1 steps.
+func TestGridNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := GridConfig{
+			Side:       4 + rng.Intn(28),
+			Levels:     2 + rng.Intn(4),
+			WidthExp:   0.5 + 2*rng.Float64(),
+			DensityExp: 2 * rng.Float64(),
+		}
+		ix, err := NewGrid(cfg)
+		if err != nil {
+			return false
+		}
+		if ix.Validate() != nil {
+			return false
+		}
+		for b := 0; b < ix.NumBase(); b += 7 {
+			u := ix.BaseUnit(BaseID(b))
+			steps := 0
+			for ix.Parent(u) != NoUnit {
+				u = ix.Parent(u)
+				steps++
+			}
+			if steps != cfg.Levels-1 {
+				return false
+			}
+			if ix.Level(u) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorton(t *testing.T) {
+	if morton2(0, 0) != 0 {
+		t.Error("morton2(0,0) != 0")
+	}
+	if morton2(1, 0) != 1 {
+		t.Error("morton2(1,0) != 1")
+	}
+	if morton2(0, 1) != 2 {
+		t.Error("morton2(0,1) != 2")
+	}
+	if morton2(1, 1) != 3 {
+		t.Error("morton2(1,1) != 3")
+	}
+	// Z-order locality: the first 4 ranks of a 4x4 grid form the top-left
+	// 2x2 block.
+	order := mortonOrder(4)
+	want := map[int]bool{0: true, 1: true, 4: true, 5: true}
+	for _, c := range order[:4] {
+		if !want[c] {
+			t.Errorf("first Morton block contains cell %d, want top-left 2x2", c)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package storage implements the disk-resident record store used by the
+// memory-sensitivity experiments of Section 7.6 of "Top-k Queries over
+// Digital Traces": entity ST-cell sequences are serialized into a block
+// file, ordered by their MinSigTree leaf position (so closely associated
+// entities tend to share blocks), and read back through a fixed-capacity
+// LRU buffer pool. The pool capacity is the experiment's "memory size";
+// optionally each miss pays a configurable latency to stand in for the
+// thesis' EBS HDD.
+//
+// Store implements core.SequenceSource, so a MinSigTree can run queries
+// directly against it.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// PoolStats counts buffer-pool traffic.
+type PoolStats struct {
+	Hits   int
+	Misses int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (s PoolStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type span struct {
+	off    int64
+	length int32
+}
+
+// Store is a block file of serialized entity sequences behind an LRU buffer
+// pool. Safe for concurrent readers.
+type Store struct {
+	ix        *spindex.Index
+	f         *os.File
+	blockSize int
+	fileSize  int64
+	dir       map[trace.EntityID]span
+	order     []trace.EntityID
+
+	mu          sync.Mutex
+	pool        map[int64][]byte
+	lruSeq      map[int64]uint64
+	tick        uint64
+	capacity    int
+	missPenalty time.Duration
+	stats       PoolStats
+}
+
+// Options configures a store.
+type Options struct {
+	// BlockSize in bytes; defaults to 4096.
+	BlockSize int
+	// CapacityBlocks is the buffer-pool size; 0 means "all blocks"
+	// (memory fraction 1.0).
+	CapacityBlocks int
+	// MissPenalty is an artificial latency charged per block miss,
+	// standing in for the thesis' HDD seek+read. Zero disables it.
+	MissPenalty time.Duration
+}
+
+// Build serializes the sequences of the given entities (fetched from src,
+// in the given order) into a new block file at path and opens a store over
+// it. Order matters: pass MinSigTree leaf order so co-associated entities
+// cluster on blocks, as the paper does.
+func Build(path string, ix *spindex.Index, src interface {
+	Get(trace.EntityID) *trace.Sequences
+}, order []trace.EntityID, opts Options) (*Store, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 4096
+	}
+	if opts.BlockSize < 64 {
+		return nil, fmt.Errorf("storage: block size %d < 64", opts.BlockSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		ix:        ix,
+		f:         f,
+		blockSize: opts.BlockSize,
+		dir:       make(map[trace.EntityID]span, len(order)),
+		order:     append([]trace.EntityID(nil), order...),
+		pool:      make(map[int64][]byte),
+		lruSeq:    make(map[int64]uint64),
+	}
+	var off int64
+	for _, e := range order {
+		s := src.Get(e)
+		if s == nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("storage: entity %d missing from source", e)
+		}
+		buf := encodeSequences(s)
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return nil, err
+		}
+		st.dir[e] = span{off: off, length: int32(len(buf))}
+		off += int64(len(buf))
+	}
+	st.fileSize = off
+	st.capacity = opts.CapacityBlocks
+	if st.capacity <= 0 {
+		st.capacity = st.TotalBlocks()
+	}
+	st.missPenalty = opts.MissPenalty
+	return st, nil
+}
+
+// Close releases the underlying file.
+func (st *Store) Close() error { return st.f.Close() }
+
+// Len returns the number of stored entities.
+func (st *Store) Len() int { return len(st.dir) }
+
+// Entities returns the stored entity IDs in file order.
+func (st *Store) Entities() []trace.EntityID { return st.order }
+
+// TotalBlocks returns the number of blocks in the file.
+func (st *Store) TotalBlocks() int {
+	if st.fileSize == 0 {
+		return 0
+	}
+	return int((st.fileSize + int64(st.blockSize) - 1) / int64(st.blockSize))
+}
+
+// DataBytes returns the raw size of the serialized data.
+func (st *Store) DataBytes() int64 { return st.fileSize }
+
+// SetMemoryFraction sizes the buffer pool to the given fraction of the data
+// (Figure 7.6's horizontal axis), evicting any excess, and resets pool
+// statistics.
+func (st *Store) SetMemoryFraction(frac float64) {
+	n := int(frac * float64(st.TotalBlocks()))
+	if n < 1 {
+		n = 1
+	}
+	st.SetCapacityBlocks(n)
+}
+
+// SetCapacityBlocks sets the pool capacity in blocks and resets statistics.
+func (st *Store) SetCapacityBlocks(n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	st.capacity = n
+	for len(st.pool) > st.capacity {
+		st.evictLocked()
+	}
+	st.stats = PoolStats{}
+}
+
+// Stats returns a snapshot of pool statistics.
+func (st *Store) Stats() PoolStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// Get implements core.SequenceSource: it reads the entity's bytes through
+// the buffer pool and decodes them. Returns nil for unknown entities.
+func (st *Store) Get(e trace.EntityID) *trace.Sequences {
+	sp, ok := st.dir[e]
+	if !ok {
+		return nil
+	}
+	buf := make([]byte, sp.length)
+	bs := int64(st.blockSize)
+	for rel := int64(0); rel < int64(sp.length); {
+		abs := sp.off + rel
+		blk := abs / bs
+		block := st.block(blk)
+		inOff := abs % bs
+		n := copy(buf[rel:], block[inOff:])
+		rel += int64(n)
+	}
+	s, err := decodeSequences(st.ix, buf)
+	if err != nil {
+		panic(fmt.Sprintf("storage: corrupt record for entity %d: %v", e, err))
+	}
+	return s
+}
+
+// block returns the content of block id via the pool.
+func (st *Store) block(id int64) []byte {
+	st.mu.Lock()
+	if b, ok := st.pool[id]; ok {
+		st.stats.Hits++
+		st.tick++
+		st.lruSeq[id] = st.tick
+		st.mu.Unlock()
+		return b
+	}
+	st.stats.Misses++
+	st.mu.Unlock()
+
+	// Read outside the lock; duplicate reads on a race are harmless.
+	b := make([]byte, st.blockSize)
+	n, err := st.f.ReadAt(b, id*int64(st.blockSize))
+	if err != nil && n == 0 {
+		panic(fmt.Sprintf("storage: read block %d: %v", id, err))
+	}
+	b = b[:n]
+	if st.missPenalty > 0 {
+		time.Sleep(st.missPenalty)
+	}
+
+	st.mu.Lock()
+	for len(st.pool) >= st.capacity {
+		st.evictLocked()
+	}
+	st.pool[id] = b
+	st.tick++
+	st.lruSeq[id] = st.tick
+	st.mu.Unlock()
+	return b
+}
+
+// evictLocked removes the least-recently-used block. Caller holds mu.
+func (st *Store) evictLocked() {
+	var victim int64 = -1
+	var oldest uint64
+	for id, seq := range st.lruSeq {
+		if victim == -1 || seq < oldest {
+			victim, oldest = id, seq
+		}
+	}
+	if victim >= 0 {
+		delete(st.pool, victim)
+		delete(st.lruSeq, victim)
+	}
+}
+
+// encodeSequences serializes one entity's sequences:
+// entity(4) m(4) [count(4) per level] [cells(8·count) per level].
+func encodeSequences(s *trace.Sequences) []byte {
+	m := s.Levels()
+	size := 8 + 4*m
+	for l := 1; l <= m; l++ {
+		size += 8 * s.Size(l)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(s.Entity))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m))
+	off := 8
+	for l := 1; l <= m; l++ {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(s.Size(l)))
+		off += 4
+	}
+	for l := 1; l <= m; l++ {
+		for _, c := range s.At(l) {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeSequences reverses encodeSequences. Only the base level is decoded
+// from storage; coarser levels are re-derived from the sp-index, which both
+// halves the I/O volume and revalidates the Section 4.1 invariant. The
+// stored coarse counts are checked against the re-derivation.
+func decodeSequences(ix *spindex.Index, buf []byte) (*trace.Sequences, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("short header")
+	}
+	e := trace.EntityID(binary.LittleEndian.Uint32(buf[0:]))
+	m := int(binary.LittleEndian.Uint32(buf[4:]))
+	if m != ix.Height() {
+		return nil, fmt.Errorf("record has %d levels, index has %d", m, ix.Height())
+	}
+	counts := make([]int, m)
+	off := 8
+	for l := 0; l < m; l++ {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("truncated counts")
+		}
+		counts[l] = int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	// Skip coarse-level cells; read the base level.
+	for l := 0; l < m-1; l++ {
+		off += 8 * counts[l]
+	}
+	base := make([]trace.Cell, counts[m-1])
+	if off+8*len(base) > len(buf) {
+		return nil, fmt.Errorf("truncated cells")
+	}
+	for i := range base {
+		base[i] = trace.Cell(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	s := trace.NewSequencesFromCells(ix, e, base)
+	for l := 1; l <= m; l++ {
+		if s.Size(l) != counts[l-1] {
+			return nil, fmt.Errorf("level %d: derived %d cells, stored %d", l, s.Size(l), counts[l-1])
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"sort"
+
+	"digitaltraces/internal/spindex"
+)
+
+// AjPI is an adjoint presence instance (Definition 3): a maximal continuous
+// co-presence of two entities at a spatial unit. Level is |path_ab|, the
+// depth of the deepest common ancestor at which the co-presence holds; the
+// same physical co-occurrence also yields AjPIs at every coarser level
+// (ancestors of Unit), which Adjoint materializes explicitly.
+type AjPI struct {
+	A, B  EntityID
+	Unit  spindex.UnitID
+	Level int
+	Start Time // inclusive
+	End   Time // exclusive
+}
+
+// Duration returns pd.length of the adjoint instance in base temporal units.
+func (p AjPI) Duration() int { return int(p.End - p.Start) }
+
+// Adjoint materializes all adjoint presence instances between two entities:
+// for every level, the shared ST-cells of the two sequences coalesced into
+// maximal continuous periods per unit. The result is ordered by (level,
+// unit, start).
+func Adjoint(a, b *Sequences) []AjPI {
+	var out []AjPI
+	m := a.Levels()
+	for l := 1; l <= m; l++ {
+		shared := Intersection(a.At(l), b.At(l))
+		out = append(out, coalesce(a.Entity, b.Entity, l, shared)...)
+	}
+	return out
+}
+
+// coalesce turns a sorted set of shared cells at one level into maximal
+// continuous AjPIs per unit.
+func coalesce(a, b EntityID, level int, cells []Cell) []AjPI {
+	byUnit := make(map[spindex.UnitID][]Time)
+	for _, c := range cells {
+		byUnit[c.Unit()] = append(byUnit[c.Unit()], c.Time())
+	}
+	units := make([]spindex.UnitID, 0, len(byUnit))
+	for u := range byUnit {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	var out []AjPI
+	for _, u := range units {
+		times := byUnit[u]
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		start, prev := times[0], times[0]
+		for _, t := range times[1:] {
+			if t != prev+1 {
+				out = append(out, AjPI{A: a, B: b, Unit: u, Level: level, Start: start, End: prev + 1})
+				start = t
+			}
+			prev = t
+		}
+		out = append(out, AjPI{A: a, B: b, Unit: u, Level: level, Start: start, End: prev + 1})
+	}
+	return out
+}
+
+// OverlapDurations returns, per level l (1-indexed position l-1), the total
+// adjoint duration |P^l_ab| between the two entities: the number of shared
+// level-l ST-cells, each contributing one base temporal unit. This is the
+// quantity the association degree measure of Section 7.1 (Eq 7.1) consumes.
+func OverlapDurations(a, b *Sequences) []int {
+	m := a.Levels()
+	out := make([]int, m)
+	for l := 1; l <= m; l++ {
+		out[l-1] = IntersectionSize(a.At(l), b.At(l))
+	}
+	return out
+}
+
+// SharesAt reports whether the entities form at least one AjPI at the given
+// level (used by the Figure 7.1 data-distribution experiment).
+func SharesAt(a, b *Sequences, level int) bool {
+	return IntersectionSize(a.At(level), b.At(level)) > 0
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"digitaltraces/internal/spindex"
+)
+
+// Sequences is the ST-cell set sequence of one entity (Section 4.1): one set
+// of cells per sp-index level. Level m (the base level) holds the entity's
+// raw ST-cells; each coarser level holds the cells obtained by replacing the
+// spatial unit with its parent (Example 4.1.1). Sets are stored sorted and
+// deduplicated, so set operations are linear merges.
+type Sequences struct {
+	Entity EntityID
+	sets   [][]Cell // sets[l-1] is seq^l, sorted ascending
+}
+
+// Levels returns m, the number of levels in the sequence.
+func (s *Sequences) Levels() int { return len(s.sets) }
+
+// At returns seq^level, the sorted cell set at the given level (1-indexed,
+// 1 = coarsest). The returned slice is shared; callers must not modify it.
+func (s *Sequences) At(level int) []Cell { return s.sets[level-1] }
+
+// Base returns seq^m: the entity's base ST-cells (S_q for a query entity,
+// Section 5.1).
+func (s *Sequences) Base() []Cell { return s.sets[len(s.sets)-1] }
+
+// Size returns |seq^level|.
+func (s *Sequences) Size(level int) int { return len(s.sets[level-1]) }
+
+// TotalCells returns the summed size over all levels; used for memory and
+// index-cost accounting (the constant C of Section 4.3 is TotalCells/Levels
+// averaged over entities).
+func (s *Sequences) TotalCells() int {
+	n := 0
+	for _, set := range s.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// Contains reports whether seq^level contains the cell.
+func (s *Sequences) Contains(level int, c Cell) bool {
+	set := s.sets[level-1]
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= c })
+	return i < len(set) && set[i] == c
+}
+
+// Clone returns a deep copy (used by update paths that mutate sequences).
+func (s *Sequences) Clone() *Sequences {
+	cp := &Sequences{Entity: s.Entity, sets: make([][]Cell, len(s.sets))}
+	for i, set := range s.sets {
+		cp.sets[i] = append([]Cell(nil), set...)
+	}
+	return cp
+}
+
+// NewSequences builds the ST-cell set sequence of an entity from its raw
+// records, per Section 4.1: seq^m comes directly from the digital trace
+// (one cell per (time unit, base unit) of presence), and seq^i for i < m is
+// derived from seq^(i+1) by mapping each cell's unit to its parent.
+//
+// Records may overlap and repeat; the resulting sets are deduplicated.
+func NewSequences(ix *spindex.Index, entity EntityID, recs []Record) *Sequences {
+	var base []Cell
+	for _, r := range recs {
+		u := ix.BaseUnit(r.Base)
+		for t := r.Start; t < r.End; t++ {
+			base = append(base, MakeCell(t, u))
+		}
+	}
+	return newSequencesFromBase(ix, entity, base)
+}
+
+// NewSequencesFromCells builds a sequence directly from base-level cells
+// (each cell's unit must be a level-m unit). Generators that already operate
+// on cells use this to skip record materialization.
+func NewSequencesFromCells(ix *spindex.Index, entity EntityID, base []Cell) *Sequences {
+	return newSequencesFromBase(ix, entity, append([]Cell(nil), base...))
+}
+
+func newSequencesFromBase(ix *spindex.Index, entity EntityID, base []Cell) *Sequences {
+	m := ix.Height()
+	s := &Sequences{Entity: entity, sets: make([][]Cell, m)}
+	s.sets[m-1] = sortDedup(base)
+	for l := m - 1; l >= 1; l-- {
+		finer := s.sets[l]
+		coarser := make([]Cell, len(finer))
+		for i, c := range finer {
+			coarser[i] = MakeCell(c.Time(), ix.Parent(c.Unit()))
+		}
+		s.sets[l-1] = sortDedup(coarser)
+	}
+	return s
+}
+
+// PresenceInstances reconstructs the entity's presence instances at a given
+// level by coalescing consecutive cells at the same unit into continuous
+// periods (the inverse of discretization, up to merging of adjacent
+// records).
+func (s *Sequences) PresenceInstances(level int) []PresenceInstance {
+	cells := s.At(level)
+	// Group by unit, then coalesce consecutive times.
+	byUnit := make(map[spindex.UnitID][]Time)
+	for _, c := range cells {
+		byUnit[c.Unit()] = append(byUnit[c.Unit()], c.Time())
+	}
+	units := make([]spindex.UnitID, 0, len(byUnit))
+	for u := range byUnit {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	var out []PresenceInstance
+	for _, u := range units {
+		times := byUnit[u]
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		start := times[0]
+		prev := times[0]
+		for _, t := range times[1:] {
+			if t != prev+1 {
+				out = append(out, PresenceInstance{Entity: s.Entity, Unit: u, Start: start, End: prev + 1})
+				start = t
+			}
+			prev = t
+		}
+		out = append(out, PresenceInstance{Entity: s.Entity, Unit: u, Start: start, End: prev + 1})
+	}
+	return out
+}
+
+// Validate checks the derivation invariant: every cell at level l>1 has its
+// parent cell present at level l-1, and every cell at level l<m has at least
+// one child cell at level l+1. Returns nil when the sequence is a valid
+// Section 4.1 derivation.
+func (s *Sequences) Validate(ix *spindex.Index) error {
+	m := s.Levels()
+	for l := 2; l <= m; l++ {
+		for _, c := range s.At(l) {
+			pc := MakeCell(c.Time(), ix.Parent(c.Unit()))
+			if !s.Contains(l-1, pc) {
+				return fmt.Errorf("trace: entity %d: cell %v at level %d lacks parent cell %v at level %d",
+					s.Entity, c, l, pc, l-1)
+			}
+		}
+	}
+	for l := 1; l < m; l++ {
+		childTimes := make(map[Cell]bool, s.Size(l+1))
+		for _, c := range s.At(l + 1) {
+			childTimes[MakeCell(c.Time(), ix.Parent(c.Unit()))] = true
+		}
+		for _, c := range s.At(l) {
+			if !childTimes[c] {
+				return fmt.Errorf("trace: entity %d: cell %v at level %d has no child cell at level %d",
+					s.Entity, c, l, l+1)
+			}
+		}
+	}
+	return nil
+}
+
+// sortDedup sorts cells ascending and removes duplicates in place.
+func sortDedup(cells []Cell) []Cell {
+	if len(cells) == 0 {
+		return cells
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	w := 1
+	for i := 1; i < len(cells); i++ {
+		if cells[i] != cells[w-1] {
+			cells[w] = cells[i]
+			w++
+		}
+	}
+	return cells[:w]
+}
+
+// IntersectionSize returns |a ∩ b| for two sorted cell sets.
+func IntersectionSize(a, b []Cell) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Intersection returns the sorted intersection of two sorted cell sets.
+func Intersection(a, b []Cell) []Cell {
+	var out []Cell
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Store is an in-memory collection of entity sequences, the "digital-trace
+// database" the index and the query processor read from. Entity IDs need not
+// be dense, but dense IDs keep it compact.
+type Store struct {
+	ix   *spindex.Index
+	seqs map[EntityID]*Sequences
+	ids  []EntityID // insertion order, for deterministic iteration
+}
+
+// NewStore returns an empty store over the given sp-index.
+func NewStore(ix *spindex.Index) *Store {
+	return &Store{ix: ix, seqs: make(map[EntityID]*Sequences)}
+}
+
+// Index returns the sp-index the store's sequences are built against.
+func (st *Store) Index() *spindex.Index { return st.ix }
+
+// Put inserts or replaces the sequences of an entity.
+func (st *Store) Put(s *Sequences) {
+	if _, ok := st.seqs[s.Entity]; !ok {
+		st.ids = append(st.ids, s.Entity)
+	}
+	st.seqs[s.Entity] = s
+}
+
+// Get returns the sequences of an entity, or nil if absent.
+func (st *Store) Get(e EntityID) *Sequences { return st.seqs[e] }
+
+// Len returns the number of entities (|E|).
+func (st *Store) Len() int { return len(st.ids) }
+
+// Entities returns entity IDs in insertion order. The slice is shared; do
+// not modify.
+func (st *Store) Entities() []EntityID { return st.ids }
+
+// AddRecords builds and stores the sequence of one entity from raw records.
+func (st *Store) AddRecords(e EntityID, recs []Record) *Sequences {
+	s := NewSequences(st.ix, e, recs)
+	st.Put(s)
+	return s
+}

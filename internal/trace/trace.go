@@ -1,0 +1,116 @@
+// Package trace implements the digital-trace data model of Chapter 3 of
+// "Top-k Queries over Digital Traces": presence instances (Definition 1),
+// digital traces (Definition 2), adjoint presence instances (Definition 3),
+// spatial-temporal cells, and the per-entity ST-cell set sequences of
+// Section 4.1 that the MinSigTree indexes.
+//
+// A digital trace is a set of tuples ⟨entity, location, timestamp⟩. Time is
+// discretized into base temporal units (hours, by default) and locations are
+// the base spatial units of an sp-index (package spindex). The combination of
+// a base temporal unit and a spatial unit is an ST-cell; this package packs a
+// cell into a single uint64 for compact set storage.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"digitaltraces/internal/spindex"
+)
+
+// EntityID identifies an entity (person, device, MAC address...). IDs are
+// dense: generators and the public API allocate them from 0 upward.
+type EntityID int32
+
+// Time is a discretized timestamp: the index of a base temporal unit since
+// the start of the observation horizon (e.g. hour 0, hour 1, ...).
+type Time int32
+
+// Cell is a packed spatial-temporal cell: the pair (time unit, spatial
+// unit). Cells at the base level are the paper's ST-cells; cells at coarser
+// levels arise in the derived ST-cell set sequences. The packing keeps the
+// time in the high 32 bits so sorted []Cell slices order by time first.
+type Cell uint64
+
+// MakeCell packs a time unit and a spatial unit into a Cell.
+func MakeCell(t Time, u spindex.UnitID) Cell {
+	return Cell(uint64(uint32(t))<<32 | uint64(uint32(u)))
+}
+
+// Time returns the base temporal unit of the cell.
+func (c Cell) Time() Time { return Time(uint32(c >> 32)) }
+
+// Unit returns the spatial unit of the cell.
+func (c Cell) Unit() spindex.UnitID { return spindex.UnitID(uint32(c)) }
+
+// String renders a cell as "t42·u17" (temporal unit 42, spatial unit 17).
+func (c Cell) String() string { return fmt.Sprintf("t%d·u%d", c.Time(), c.Unit()) }
+
+// Record is one raw digital-trace tuple: entity e was present at base
+// spatial unit Base during the half-open time span [Start, End). Raw feeds
+// (WiFi handshakes, check-ins) are modeled as streams of Records; Section
+// 4.1 turns them into per-entity ST-cell set sequences.
+type Record struct {
+	Entity EntityID
+	Base   spindex.BaseID
+	Start  Time // first base temporal unit of the presence
+	End    Time // one past the last base temporal unit; End > Start
+}
+
+// Span returns the duration of the record in base temporal units.
+func (r Record) Span() int { return int(r.End - r.Start) }
+
+// PresenceInstance is Definition 1: a continuous presence of an entity at a
+// spatial unit. Level and the root-to-unit path are derivable from the
+// sp-index, so only the unit is stored; Path reconstructs the full attribute.
+type PresenceInstance struct {
+	Entity EntityID
+	Unit   spindex.UnitID
+	Start  Time // inclusive
+	End    Time // exclusive
+}
+
+// Level returns the sp-index level at which this presence instance exists.
+func (p PresenceInstance) Level(ix *spindex.Index) int { return ix.Level(p.Unit) }
+
+// Path returns the root-to-unit path of the presence instance (the "path"
+// attribute of Definition 1).
+func (p PresenceInstance) Path(ix *spindex.Index) []spindex.UnitID { return ix.Path(p.Unit) }
+
+// Duration returns the length of the presence period in base temporal units
+// (pd.length in the paper).
+func (p PresenceInstance) Duration() int { return int(p.End - p.Start) }
+
+// ValidateRecords checks records against an sp-index horizon: base IDs in
+// range, End > Start, times within [0, horizon). It returns the first
+// offending record's index and a descriptive error, or -1 and nil.
+func ValidateRecords(ix *spindex.Index, horizon Time, recs []Record) (int, error) {
+	for i, r := range recs {
+		if r.Base < 0 || int(r.Base) >= ix.NumBase() {
+			return i, fmt.Errorf("trace: record %d: base %d outside [0,%d)", i, r.Base, ix.NumBase())
+		}
+		if r.End <= r.Start {
+			return i, fmt.Errorf("trace: record %d: empty span [%d,%d)", i, r.Start, r.End)
+		}
+		if r.Start < 0 || r.End > horizon {
+			return i, fmt.Errorf("trace: record %d: span [%d,%d) outside horizon [0,%d)", i, r.Start, r.End, horizon)
+		}
+	}
+	return -1, nil
+}
+
+// SortRecords orders records by (entity, start time, base): the layout the
+// index builder expects, and the order the external sorter (package extsort)
+// produces.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Base < b.Base
+	})
+}

@@ -1,0 +1,146 @@
+package digitaltraces
+
+import (
+	"fmt"
+	"time"
+
+	"digitaltraces/internal/mobility"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// CityConfig describes a synthetic city for SyntheticCity: a Side×Side grid
+// of venues organized into a power-law sp-index (Section 6.2 of the paper),
+// populated by entities moving under the individual-mobility model of
+// Section 6.1.
+type CityConfig struct {
+	// Side is the venue grid side; the city has Side² venues.
+	Side int
+	// Levels is the hierarchy height (default 4).
+	Levels int
+	// Entities is the population size.
+	Entities int
+	// Days is the horizon length in days (default 30).
+	Days int
+	// Mobility overrides the IM parameters; zero value uses the paper's
+	// defaults (α=0.6, β=0.8, γ=0.2, ζ=1.2, ρ=0.6).
+	Mobility *mobility.IMConfig
+	// Seed fixes the population (default 1).
+	Seed int64
+}
+
+// SyntheticCity builds a DB pre-loaded with an IM-model population — the
+// paper's SYN dataset at configurable scale. Venue names are "venue-<n>"
+// and entity names "entity-<n>". The index is not yet built; call
+// BuildIndex (or just query, which builds lazily).
+func SyntheticCity(cfg CityConfig, opts ...Option) (*DB, error) {
+	if cfg.Levels == 0 {
+		cfg.Levels = 4
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 30
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Side < 2 {
+		return nil, fmt.Errorf("digitaltraces: city side %d < 2", cfg.Side)
+	}
+	if cfg.Entities < 1 {
+		return nil, fmt.Errorf("digitaltraces: city population %d < 1", cfg.Entities)
+	}
+	ix, err := spindex.NewGrid(spindex.GridConfig{Side: cfg.Side, Levels: cfg.Levels, WidthExp: 2, DensityExp: 2})
+	if err != nil {
+		return nil, err
+	}
+	im := mobility.DefaultIMConfig()
+	if cfg.Mobility != nil {
+		im = *cfg.Mobility
+	}
+	im.Horizon = trace.Time(cfg.Days * 24)
+	im.Seed = cfg.Seed
+	gen, err := mobility.NewGenerator(ix, im)
+	if err != nil {
+		return nil, err
+	}
+	return populate(ix, cfg.Entities, gen.Entity, opts...)
+}
+
+// WiFiCityConfig describes a synthetic WiFi-handshake population for
+// SyntheticWiFiCity — the substitute for the thesis' proprietary REAL
+// dataset (see DESIGN.md for the substitution rationale).
+type WiFiCityConfig struct {
+	// Side is the hotspot grid side; the city has Side² hotspots.
+	Side int
+	// Levels is the hierarchy height (default 4, as in the REAL data).
+	Levels int
+	// Devices is the number of devices.
+	Devices int
+	// Days is the horizon length in days (default 30).
+	Days int
+	// Seed fixes the population (default 1).
+	Seed int64
+}
+
+// SyntheticWiFiCity builds a DB pre-loaded with a WiFi-handshake-style
+// population: Zipf-popular hotspots, home/work anchors, diurnal sessions.
+func SyntheticWiFiCity(cfg WiFiCityConfig, opts ...Option) (*DB, error) {
+	if cfg.Levels == 0 {
+		cfg.Levels = 4
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 30
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Side < 2 {
+		return nil, fmt.Errorf("digitaltraces: city side %d < 2", cfg.Side)
+	}
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("digitaltraces: device count %d < 1", cfg.Devices)
+	}
+	ix, err := spindex.NewGrid(spindex.GridConfig{Side: cfg.Side, Levels: cfg.Levels, WidthExp: 2, DensityExp: 2})
+	if err != nil {
+		return nil, err
+	}
+	w := mobility.DefaultWiFiConfig()
+	w.Horizon = trace.Time(cfg.Days * 24)
+	w.Seed = cfg.Seed
+	gen, err := mobility.NewWiFiGenerator(ix, w)
+	if err != nil {
+		return nil, err
+	}
+	return populate(ix, cfg.Devices, gen.Entity, opts...)
+}
+
+// populate wires a generated population into a DB with friendly names.
+func populate(ix *spindex.Index, n int, genEntity func(trace.EntityID) []trace.Record, opts ...Option) (*DB, error) {
+	venues := make(map[string]spindex.BaseID, ix.NumBase())
+	for b := 0; b < ix.NumBase(); b++ {
+		venues[fmt.Sprintf("venue-%d", b)] = spindex.BaseID(b)
+	}
+	db, err := newDB(ix, venues, opts...)
+	if err != nil {
+		return nil, err
+	}
+	db.epoch = time.Unix(0, 0).UTC()
+	db.epochSet = true
+	for i := 0; i < n; i++ {
+		e := trace.EntityID(i)
+		name := fmt.Sprintf("entity-%d", i)
+		db.names[name] = e
+		db.byID = append(db.byID, name)
+		db.visits[e] = genEntity(e)
+		db.dirty[e] = true
+	}
+	return db, nil
+}
+
+// VenueName returns the canonical name of the venue with ordinal b in
+// synthetic cities ("venue-<b>").
+func VenueName(b int) string { return fmt.Sprintf("venue-%d", b) }
+
+// TimeAt converts an hour offset into the synthetic cities' absolute time
+// (their epoch is the Unix epoch, 1 hour per unit).
+func TimeAt(hour int) time.Time { return time.Unix(0, 0).UTC().Add(time.Duration(hour) * time.Hour) }
