@@ -1,0 +1,57 @@
+package digitaltraces
+
+import (
+	"fmt"
+	"time"
+
+	"digitaltraces/internal/trace"
+)
+
+// TopKBatch answers top-k for every named entity in one call, fanning the
+// queries out over the bounded worker pool of core.Tree.KNNJoin (queries are
+// scheduled in MinSigTree leaf order for locality; workers ≤ 0 selects
+// GOMAXPROCS). It returns the per-entity matches plus aggregate statistics
+// across the whole batch: Checked sums the exact degree computations, PE
+// averages the per-query pruning effectiveness (Definition 5), Pruned is the
+// batch-wide pruned fraction, and Elapsed is wall-clock for the batch.
+//
+// Results are identical to issuing TopK for each entity sequentially — the
+// tree search is deterministic and the index is read-locked for the whole
+// batch, so no Refresh can slide in between two queries of one batch.
+func (db *DB) TopKBatch(entities []string, k, workers int) (map[string][]Match, QueryStats, error) {
+	startT := time.Now()
+	if len(entities) == 0 {
+		return nil, QueryStats{}, fmt.Errorf("digitaltraces: empty batch query set")
+	}
+	if err := db.ensureIndexed(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ids := make([]trace.EntityID, len(entities))
+	for i, name := range entities {
+		e, ok := db.names[name]
+		if !ok {
+			return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown entity %q", name)
+		}
+		ids[i] = e
+	}
+	joined, js, err := db.tree.KNNJoin(ids, k, db.measure, workers)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	out := make(map[string][]Match, len(joined))
+	for _, jr := range joined {
+		ms := make([]Match, len(jr.Matches))
+		for i, r := range jr.Matches {
+			ms[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+		}
+		out[db.byID[jr.Query]] = ms
+	}
+	stats := QueryStats{Checked: js.TotalChecked, PE: js.AvgPE, Elapsed: time.Since(startT)}
+	// Batch-wide pruned fraction: each query scans at most |E|−1 candidates.
+	if n := db.tree.Len() - 1; n > 0 && js.Queries > 0 {
+		stats.Pruned = 1 - float64(js.TotalChecked)/float64(js.Queries*n)
+	}
+	return out, stats, nil
+}

@@ -190,6 +190,73 @@ func BenchmarkTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkTopKParallel measures concurrent query throughput against one
+// immutable MinSigTree: core.Tree.TopK is read-only, so goroutines share the
+// index with no locking at all. Compare ns/op with BenchmarkTopK k=10 to see
+// multicore scaling of the serving layer's hot path.
+func BenchmarkTopKParallel(b *testing.B) {
+	_, st, tree, m := benchWorld(b, 1000, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := st.Get(trace.EntityID(i % 50))
+			if _, _, err := tree.TopK(q, 10, m); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkDBTopKParallel is BenchmarkTopKParallel through the public DB
+// facade: same search plus name resolution and the shared read lock, i.e.
+// what one HTTP query costs the server before JSON encoding.
+func BenchmarkDBTopKParallel(b *testing.B) {
+	db, err := SyntheticCity(CityConfig{Side: 7, Entities: 1000, Days: 7}, WithHashFunctions(128))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := db.TopK(fmt.Sprintf("entity-%d", i%50), 10); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkTopKBatch measures the batch API end to end at different pool
+// widths (workers=0 selects GOMAXPROCS).
+func BenchmarkTopKBatch(b *testing.B) {
+	db, err := SyntheticCity(CityConfig{Side: 7, Entities: 500, Days: 7}, WithHashFunctions(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		b.Fatal(err)
+	}
+	queries := db.Entities()[:64]
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.TopKBatch(queries, 5, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBaselineTopK measures the FP-bitmap baseline on the same world
 // as BenchmarkTopK's k=10 case.
 func BenchmarkBaselineTopK(b *testing.B) {

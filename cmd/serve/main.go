@@ -1,0 +1,101 @@
+// Command serve runs the HTTP/JSON query service (package server) over a
+// record file or a synthetic city.
+//
+// Serve a tracegen workload:
+//
+//	tracegen -out traces.bin -entities 2000 -side 24 -days 14
+//	serve -addr :8080 -in traces.bin -side 24
+//
+// Or spin up a self-contained synthetic city:
+//
+//	serve -addr :8080 -synthetic -entities 5000 -side 16 -days 14
+//
+// Then query it:
+//
+//	curl 'localhost:8080/topk?entity=entity-0&k=10'
+//	curl -d '{"entities":["entity-0","entity-1"],"k":5}' localhost:8080/topk/batch
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"digitaltraces"
+	"digitaltraces/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		in        = flag.String("in", "", "record file (tracegen format); empty with -synthetic")
+		synthetic = flag.Bool("synthetic", false, "generate a synthetic city instead of loading -in")
+		model     = flag.String("model", "im", "synthetic generator: im (SYN) or wifi (REAL substitute)")
+		entities  = flag.Int("entities", 2000, "synthetic population size")
+		side      = flag.Int("side", 16, "venue grid side (must match tracegen -side for -in)")
+		levels    = flag.Int("levels", 4, "sp-index height")
+		days      = flag.Int("days", 14, "synthetic horizon in days")
+		nh        = flag.Int("hash", 256, "number of hash functions")
+		seed      = flag.Int64("seed", 1, "generator + hash seed")
+		u         = flag.Float64("u", 2, "ADM level exponent")
+		v         = flag.Float64("v", 2, "ADM duration exponent")
+		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
+		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
+	)
+	flag.Parse()
+
+	opts := []digitaltraces.Option{
+		digitaltraces.WithHashFunctions(*nh),
+		digitaltraces.WithSeed(uint64(*seed)),
+		digitaltraces.WithPaperMeasure(*u, *v),
+	}
+	var (
+		db  *digitaltraces.DB
+		err error
+	)
+	switch {
+	case *in != "":
+		log.Printf("loading %s (side=%d levels=%d)", *in, *side, *levels)
+		db, err = digitaltraces.LoadRecordFile(*in, *side, *levels, opts...)
+	case *synthetic:
+		log.Printf("generating %s city: %d entities, %d² venues, %d days", *model, *entities, *side, *days)
+		switch *model {
+		case "im":
+			db, err = digitaltraces.SyntheticCity(digitaltraces.CityConfig{
+				Side: *side, Levels: *levels, Entities: *entities, Days: *days, Seed: *seed,
+			}, opts...)
+		case "wifi":
+			db, err = digitaltraces.SyntheticWiFiCity(digitaltraces.WiFiCityConfig{
+				Side: *side, Levels: *levels, Devices: *entities, Days: *days, Seed: *seed,
+			}, opts...)
+		default:
+			log.Fatalf("unknown model %q (want im or wifi)", *model)
+		}
+	default:
+		log.Fatal("nothing to serve: pass -in <file> or -synthetic")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := db.BuildIndex(); err != nil {
+		log.Fatal(err)
+	}
+	st := db.IndexStats()
+	log.Printf("indexed %d entities in %v: %d nodes, %d leaves, ~%.1f MiB",
+		st.Entities, time.Since(start).Round(time.Millisecond), st.Nodes, st.Leaves,
+		float64(st.MemoryBytes)/(1<<20))
+
+	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /stats /healthz)", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db, server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,250 @@
+package digitaltraces
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"digitaltraces/internal/extsort"
+	"digitaltraces/internal/trace"
+)
+
+// TestConcurrentQueriesWithWriters hammers the read API from many goroutines
+// while writers ingest visits and refresh the index. Run with -race: the
+// test's job is to prove the DB's locking discipline, not any particular
+// result (results against a moving index are whatever the captured snapshot
+// says). Every call must still either succeed or fail with a real API error.
+func TestConcurrentQueriesWithWriters(t *testing.T) {
+	const (
+		population = 60
+		days       = 4
+		readers    = 6
+		writers    = 2
+		perReader  = 120
+		perWriter  = 40
+	)
+	db, err := SyntheticCity(CityConfig{Side: 4, Entities: population, Days: days}, WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	horizonHours := days * 24
+	venues := db.NumVenues()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*perReader+writers*perWriter)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				name := fmt.Sprintf("entity-%d", (g*31+i)%population)
+				switch i % 5 {
+				case 0, 1:
+					if _, _, err := db.TopK(name, 5); err != nil {
+						errs <- fmt.Errorf("TopK: %w", err)
+					}
+				case 2:
+					if _, _, err := db.TopKApprox(name, 5, 0.3); err != nil {
+						errs <- fmt.Errorf("TopKApprox: %w", err)
+					}
+				case 3:
+					other := fmt.Sprintf("entity-%d", (g*17+i+1)%population)
+					if _, err := db.Degree(name, other); err != nil {
+						errs <- fmt.Errorf("Degree: %w", err)
+					}
+				case 4:
+					ex := []Visit{{Venue: VenueName((g + i) % venues), Start: TimeAt(1), End: TimeAt(4)}}
+					if _, _, err := db.TopKByExample(ex, 3); err != nil {
+						errs <- fmt.Errorf("TopKByExample: %w", err)
+					}
+				}
+				if i%10 == 0 {
+					db.IndexStats()
+					db.NumEntities()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Alternate between new entities and churn on existing ones,
+				// staying well inside the indexed horizon so Refresh succeeds.
+				name := fmt.Sprintf("hot-%d-%d", g, i)
+				if i%2 == 1 {
+					name = fmt.Sprintf("entity-%d", (g*13+i)%population)
+				}
+				start := (g*7 + i) % (horizonHours / 4)
+				err := db.AddVisit(name, VenueName((g*5+i)%venues), TimeAt(start), TimeAt(start+2))
+				if err != nil {
+					errs <- fmt.Errorf("AddVisit: %w", err)
+					continue
+				}
+				if err := db.Refresh(); err != nil {
+					errs <- fmt.Errorf("Refresh: %w", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The writers' entities all landed; the DB is still consistent.
+	want := population + writers*perWriter/2
+	if got := db.NumEntities(); got != want {
+		t.Fatalf("NumEntities = %d, want %d", got, want)
+	}
+	if _, _, err := db.TopK("hot-0-0", 3); err != nil {
+		t.Fatalf("post-stress TopK over ingested entity: %v", err)
+	}
+}
+
+// TestQueryAfterBeyondHorizonVisit: an ingested visit past the indexed
+// horizon must not wedge the query path — explicit Refresh surfaces
+// ErrBeyondHorizon, but queries transparently rebuild and keep serving.
+func TestQueryAfterBeyondHorizonVisit(t *testing.T) {
+	const days = 2
+	db, err := SyntheticCity(CityConfig{Side: 4, Entities: 20, Days: days}, WithHashFunctions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	far := days*24 + 100
+	if err := db.AddVisit("traveler", VenueName(0), TimeAt(far), TimeAt(far+2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Refresh(); !errors.Is(err, ErrBeyondHorizon) {
+		t.Fatalf("Refresh = %v, want ErrBeyondHorizon", err)
+	}
+	matches, _, err := db.TopK("entity-0", 3)
+	if err != nil {
+		t.Fatalf("TopK after beyond-horizon visit: %v (query path wedged)", err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	if _, _, err := db.TopK("traveler", 3); err != nil {
+		t.Fatalf("traveler not folded in by rebuild: %v", err)
+	}
+}
+
+// TestTopKBatchMatchesSequential: a batch answer is exactly the per-entity
+// sequential answers, and the aggregate stats add up.
+func TestTopKBatchMatchesSequential(t *testing.T) {
+	db, err := SyntheticCity(CityConfig{Side: 6, Entities: 80, Days: 4}, WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 7
+	names := db.Entities()
+	batch, stats, err := db.TopKBatch(names, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(names) {
+		t.Fatalf("batch has %d results, want %d", len(batch), len(names))
+	}
+	totalChecked, totalPE := 0, 0.0
+	for _, name := range names {
+		seq, qs, err := db.TopK(name, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[name], seq) {
+			t.Fatalf("batch[%s] = %v, want sequential %v", name, batch[name], seq)
+		}
+		totalChecked += qs.Checked
+		totalPE += qs.PE
+	}
+	if stats.Checked != totalChecked {
+		t.Errorf("aggregate Checked = %d, want sum of sequential %d", stats.Checked, totalChecked)
+	}
+	if want := totalPE / float64(len(names)); math.Abs(stats.PE-want) > 1e-9 {
+		t.Errorf("aggregate PE = %v, want mean %v", stats.PE, want)
+	}
+	if stats.Pruned < 0 || stats.Pruned > 1 || stats.Elapsed <= 0 {
+		t.Errorf("aggregate stats out of range: %+v", stats)
+	}
+
+	// Error paths.
+	if _, _, err := db.TopKBatch(nil, k, 2); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, _, err := db.TopKBatch([]string{"nobody"}, k, 2); err == nil {
+		t.Error("unknown entity accepted")
+	}
+	// KNNJoin is TopKBatch minus the stats.
+	join, err := db.KNNJoin(names[:5], k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names[:5] {
+		if !reflect.DeepEqual(join[name], batch[name]) {
+			t.Fatalf("KNNJoin[%s] diverges from TopKBatch", name)
+		}
+	}
+}
+
+// TestLoadRecordFile round-trips a record file through the public loader and
+// checks queries match a DB built from the same visits directly.
+func TestLoadRecordFile(t *testing.T) {
+	const side, levels = 4, 3
+	recs := []trace.Record{
+		{Entity: 3, Base: 0, Start: 0, End: 4},
+		{Entity: 3, Base: 5, Start: 6, End: 8},
+		{Entity: 9, Base: 0, Start: 1, End: 4}, // overlaps entity 3 at venue 0
+		{Entity: 12, Base: 15, Start: 0, End: 2},
+	}
+	path := filepath.Join(t.TempDir(), "traces.bin")
+	if err := extsort.WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadRecordFile(path, side, levels, WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.NumEntities(); got != 3 {
+		t.Fatalf("NumEntities = %d, want 3", got)
+	}
+	matches, _, err := db.TopK("entity-3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Entity != "entity-9" || matches[0].Degree <= 0 {
+		t.Fatalf("top match = %+v, want associated entity-9", matches[0])
+	}
+	if matches[1].Entity != "entity-12" || matches[1].Degree != 0 {
+		t.Fatalf("second match = %+v, want unassociated entity-12", matches[1])
+	}
+
+	// Bad inputs are rejected.
+	if _, err := LoadRecordFile(filepath.Join(t.TempDir(), "missing.bin"), side, levels); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecordFile(empty, side, levels); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := LoadRecordFile(path, 2, levels); err == nil {
+		t.Error("out-of-grid base accepted (side too small)")
+	}
+}

@@ -25,14 +25,26 @@
 //	db.AddVisit("bob", "cafe-a", t0.Add(time.Hour), t0.Add(3*time.Hour))
 //	matches, _, _ := db.TopK("alice", 5)
 //
-// See examples/ for complete programs, DESIGN.md for the architecture, and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// # Concurrency
+//
+// A DB is safe for concurrent use. Query methods (TopK, TopKByExample,
+// TopKApprox, TopKBatch, KNNJoin, Degree) share a read lock and run in
+// parallel with each other; mutators (AddVisit, AddVisits, BuildIndex,
+// Refresh) take the exclusive write lock. Queries against a stale index (visits added
+// since the last build) transparently refresh it first. Package server
+// exposes a DB over HTTP/JSON and cmd/serve runs it as a network service.
+//
+// See examples/ for complete programs, README.md for a tour, DESIGN.md for
+// the architecture and the concurrency model, and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
 package digitaltraces
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"digitaltraces/internal/adm"
@@ -231,9 +243,23 @@ func WithSeed(seed uint64) Option {
 
 // DB is a digital-trace database: a store of entity visits plus, after
 // BuildIndex, a MinSigTree serving exact top-k association queries.
-// A DB is not safe for concurrent mutation; concurrent TopK calls against a
-// built index are safe.
+//
+// A DB is safe for concurrent use by multiple goroutines: queries hold a
+// shared read lock for their whole search and therefore run in parallel
+// with each other, while AddVisit, BuildIndex and Refresh serialize behind
+// the write lock. A query that finds the index stale (entities with visits
+// newer than the last build) upgrades to the write lock, refreshes, and
+// then queries; concurrent visits arriving after that refresh decision are
+// simply not visible to it — every query answers exactly over the index
+// state it captured.
 type DB struct {
+	// mu guards all mutable state below: names/byID/visits/dirty/epoch on
+	// the ingest side, and store/tree/measure/horizon on the index side.
+	// ix and venues are immutable after construction. The MinSigTree itself
+	// is only ever read under RLock and mutated under Lock (core.Tree.TopK
+	// is documented read-only), so queries never race index maintenance.
+	mu sync.RWMutex
+
 	ix     *spindex.Index
 	venues map[string]spindex.BaseID
 
@@ -290,14 +316,20 @@ func newDB(ix *spindex.Index, venues map[string]spindex.BaseID, opts ...Option) 
 func (db *DB) Levels() int { return db.ix.Height() }
 
 // NumEntities returns the number of known entities.
-func (db *DB) NumEntities() int { return len(db.names) }
+func (db *DB) NumEntities() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.names)
+}
 
 // NumVenues returns the number of venues (base spatial units).
 func (db *DB) NumVenues() int { return db.ix.NumBase() }
 
 // Entities returns all known entity names, sorted.
 func (db *DB) Entities() []string {
+	db.mu.RLock()
 	out := append([]string(nil), db.byID...)
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -307,6 +339,35 @@ func (db *DB) Entities() []string {
 // visits mark the entity dirty; call Refresh (or BuildIndex again) to fold
 // them in.
 func (db *DB) AddVisit(entity, venue string, start, end time.Time) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.addVisitLocked(entity, venue, start, end)
+}
+
+// VisitRecord is one entity's presence, for bulk ingest.
+type VisitRecord struct {
+	Entity string
+	Venue  string
+	Start  time.Time
+	End    time.Time
+}
+
+// AddVisits records many visits under a single write-lock acquisition —
+// the bulk-ingest path (one AddVisit per record would interleave a lock
+// round-trip with concurrent queries for every visit). It returns the number
+// of visits stored; on error, visits before the failing one are kept.
+func (db *DB) AddVisits(visits []VisitRecord) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, v := range visits {
+		if err := db.addVisitLocked(v.Entity, v.Venue, v.Start, v.End); err != nil {
+			return i, fmt.Errorf("visit %d: %w", i, err)
+		}
+	}
+	return len(visits), nil
+}
+
+func (db *DB) addVisitLocked(entity, venue string, start, end time.Time) error {
 	base, ok := db.venues[venue]
 	if !ok {
 		return fmt.Errorf("digitaltraces: unknown venue %q", venue)
@@ -338,8 +399,16 @@ func (db *DB) AddVisit(entity, venue string, start, end time.Time) error {
 }
 
 // BuildIndex (re)builds the MinSigTree over all current visits. Cost is
-// O(|E|·C·nh) signature hashing plus tree insertion (Section 4.3).
+// O(|E|·C·nh) signature hashing plus tree insertion (Section 4.3). It holds
+// the write lock for the duration, so in-flight queries drain first and new
+// ones wait for the fresh index.
 func (db *DB) BuildIndex() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.buildIndexLocked()
+}
+
+func (db *DB) buildIndexLocked() error {
 	if len(db.visits) == 0 {
 		return fmt.Errorf("digitaltraces: no visits to index")
 	}
@@ -378,17 +447,32 @@ func (db *DB) BuildIndex() error {
 	return err
 }
 
+// ErrBeyondHorizon reports that Refresh cannot fold in a visit whose span
+// extends past the indexed time horizon: the hash family is parameterized by
+// the horizon, so only BuildIndex (which re-hashes everything over the new
+// horizon) can absorb it. Queries hitting this state transparently rebuild;
+// an explicit Refresh surfaces it so batch ingest loops can decide when to
+// pay for the rebuild.
+var ErrBeyondHorizon = errors.New("digitaltraces: visit beyond indexed horizon; call BuildIndex")
+
 // Refresh folds dirty entities (those with visits added since the last
 // BuildIndex/Refresh) into the index incrementally (Section 4.2.3). New
-// visits with timestamps beyond the indexed horizon require BuildIndex.
+// visits with timestamps beyond the indexed horizon fail with
+// ErrBeyondHorizon and require BuildIndex.
 func (db *DB) Refresh() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.refreshLocked()
+}
+
+func (db *DB) refreshLocked() error {
 	if db.tree == nil {
-		return db.BuildIndex()
+		return db.buildIndexLocked()
 	}
 	for e := range db.dirty {
 		for _, r := range db.visits[e] {
 			if r.End > db.horizon {
-				return fmt.Errorf("digitaltraces: visit beyond indexed horizon; call BuildIndex")
+				return ErrBeyondHorizon
 			}
 		}
 		db.store.AddRecords(e, db.visits[e])
@@ -401,16 +485,19 @@ func (db *DB) Refresh() error {
 }
 
 // TopK returns the k entities most closely associated with the named entity
-// (Definition 4), with exact degrees, plus query statistics.
+// (Definition 4), with exact degrees, plus query statistics. Safe to call
+// from any number of goroutines; see the DB concurrency contract.
 func (db *DB) TopK(entity string, k int) ([]Match, QueryStats, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	e, ok := db.names[entity]
 	if !ok {
 		return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown entity %q", entity)
 	}
-	if err := db.ensureIndexed(); err != nil {
-		return nil, QueryStats{}, err
-	}
-	return db.topK(db.store.Get(e), k)
+	return db.topKLocked(db.store.Get(e), k)
 }
 
 // Visit describes one presence for query-by-example.
@@ -427,6 +514,8 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 	if err := db.ensureIndexed(); err != nil {
 		return nil, QueryStats{}, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var recs []trace.Record
 	for _, v := range visits {
 		base, ok := db.venues[v.Venue]
@@ -441,20 +530,43 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 		recs = append(recs, trace.Record{Entity: -1, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
 	}
 	q := trace.NewSequences(db.ix, -1, recs)
-	return db.topK(q, k)
+	return db.topKLocked(q, k)
 }
 
+// ensureIndexed makes the index current with double-checked locking: the
+// common case (index built, nothing dirty) costs one shared read lock; only
+// a stale or missing index escalates to the write lock. Visits added by
+// writers racing past the check are picked up by the next query. A dirty
+// visit beyond the indexed horizon triggers a full rebuild here rather than
+// failing, so one out-of-horizon ingest can never wedge the query path.
 func (db *DB) ensureIndexed() error {
-	if db.tree == nil || len(db.dirty) > 0 {
-		if db.tree == nil {
-			return db.BuildIndex()
+	db.mu.RLock()
+	fresh := db.tree != nil && len(db.dirty) == 0
+	db.mu.RUnlock()
+	if fresh {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.tree == nil {
+		return db.buildIndexLocked()
+	}
+	if len(db.dirty) > 0 {
+		if err := db.refreshLocked(); err != nil {
+			if errors.Is(err, ErrBeyondHorizon) {
+				return db.buildIndexLocked()
+			}
+			return err
 		}
-		return db.Refresh()
 	}
 	return nil
 }
 
-func (db *DB) topK(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
+// topKLocked runs the search; callers must hold mu.RLock (or mu.Lock).
+func (db *DB) topKLocked(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
+	if q == nil {
+		return nil, QueryStats{}, fmt.Errorf("digitaltraces: query entity has no indexed visits")
+	}
 	startT := time.Now()
 	res, stats, err := db.tree.TopK(q, k, db.measure)
 	if err != nil {
@@ -479,14 +591,20 @@ func (db *DB) topK(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
 // degree is at least (1−guarantee) times the true k-th degree. epsilon = 0
 // reproduces the exact TopK.
 func (db *DB) TopKApprox(entity string, k int, epsilon float64) ([]Match, float64, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return nil, 0, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	e, ok := db.names[entity]
 	if !ok {
 		return nil, 0, fmt.Errorf("digitaltraces: unknown entity %q", entity)
 	}
-	if err := db.ensureIndexed(); err != nil {
-		return nil, 0, err
+	q := db.store.Get(e)
+	if q == nil { // added after this query refreshed; next query folds it in
+		return nil, 0, fmt.Errorf("digitaltraces: entity %q has no indexed visits", entity)
 	}
-	res, stats, err := db.tree.ApproxTopK(db.store.Get(e), k, db.measure, core.ApproxOptions{Epsilon: epsilon})
+	res, stats, err := db.tree.ApproxTopK(q, k, db.measure, core.ApproxOptions{Epsilon: epsilon})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -499,32 +617,10 @@ func (db *DB) TopKApprox(entity string, k int, epsilon float64) ([]Match, float6
 
 // KNNJoin answers top-k for every named entity (the paper's §8.2 future
 // work), using a bounded worker pool. The result maps each query entity to
-// its matches.
+// its matches. It is TopKBatch without the statistics.
 func (db *DB) KNNJoin(entities []string, k int, workers int) (map[string][]Match, error) {
-	if err := db.ensureIndexed(); err != nil {
-		return nil, err
-	}
-	ids := make([]trace.EntityID, len(entities))
-	for i, name := range entities {
-		e, ok := db.names[name]
-		if !ok {
-			return nil, fmt.Errorf("digitaltraces: unknown entity %q", name)
-		}
-		ids[i] = e
-	}
-	joined, _, err := db.tree.KNNJoin(ids, k, db.measure, workers)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]Match, len(joined))
-	for _, jr := range joined {
-		ms := make([]Match, len(jr.Matches))
-		for i, r := range jr.Matches {
-			ms[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
-		}
-		out[db.byID[jr.Query]] = ms
-	}
-	return out, nil
+	out, _, err := db.TopKBatch(entities, k, workers)
+	return out, err
 }
 
 // SaveIndex persists the built index (signature digests + hash-family
@@ -535,12 +631,19 @@ func (db *DB) SaveIndex(w io.Writer) (int64, error) {
 	if err := db.ensureIndexed(); err != nil {
 		return 0, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.tree.WriteTo(w)
 }
 
 // Degree computes the exact association degree between two entities without
 // touching the index.
 func (db *DB) Degree(a, b string) (float64, error) {
+	if err := db.ensureIndexed(); err != nil {
+		return 0, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ea, ok := db.names[a]
 	if !ok {
 		return 0, fmt.Errorf("digitaltraces: unknown entity %q", a)
@@ -549,10 +652,11 @@ func (db *DB) Degree(a, b string) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("digitaltraces: unknown entity %q", b)
 	}
-	if err := db.ensureIndexed(); err != nil {
-		return 0, err
+	sa, sb := db.store.Get(ea), db.store.Get(eb)
+	if sa == nil || sb == nil { // added after this query refreshed
+		return 0, fmt.Errorf("digitaltraces: entity has no indexed visits")
 	}
-	return db.measure.Degree(db.store.Get(ea), db.store.Get(eb)), nil
+	return db.measure.Degree(sa, sb), nil
 }
 
 // IndexStats describes the built index (nil tree → zero value).
@@ -565,6 +669,8 @@ type IndexStats struct {
 
 // IndexStats returns current index statistics.
 func (db *DB) IndexStats() IndexStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.tree == nil {
 		return IndexStats{}
 	}

@@ -1,0 +1,3 @@
+module digitaltraces
+
+go 1.24

@@ -52,9 +52,9 @@ func (h candidateHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(*candidate)) }
-func (h *candidateHeap) Pop() interface{} {
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(*candidate)) }
+func (h *candidateHeap) Pop() any {
 	old := *h
 	x := old[len(old)-1]
 	*h = old[:len(old)-1]
@@ -73,9 +73,9 @@ func (h resultHeap) Less(i, j int) bool {
 	}
 	return h[i].Entity > h[j].Entity
 }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)   { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
 	old := *h
 	x := old[len(old)-1]
 	*h = old[:len(old)-1]
@@ -91,6 +91,15 @@ func (h *resultHeap) Pop() interface{} {
 //
 // The returned answers are exact for any admissible measure: pruning relies
 // only on Theorems 2-4, never on hash quality.
+//
+// TopK is read-only: it never mutates the tree, the hasher, the sequence
+// source, or the measure — all search state (candidate heap, result heap,
+// surviving-cell sets, ancestor counts) lives on this call's stack. Any
+// number of TopK/ApproxTopK/KNNJoin calls may therefore run concurrently
+// against the same tree, provided no Insert/Remove/Update/Rebuild runs at
+// the same time; callers who interleave maintenance with queries must
+// provide that exclusion themselves (the public DB facade does, with an
+// RWMutex).
 func (t *Tree) TopK(q *trace.Sequences, k int, measure adm.Measure) ([]Result, SearchStats, error) {
 	var stats SearchStats
 	if k < 1 {

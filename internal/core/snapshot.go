@@ -34,7 +34,7 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	}
 	bw := bufio.NewWriter(w)
 	n := int64(0)
-	write := func(v interface{}) error {
+	write := func(v any) error {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}

@@ -50,8 +50,10 @@ type node struct {
 }
 
 // Tree is the MinSigTree index over a fixed entity population. It is not
-// safe for concurrent mutation; concurrent TopK queries against an immutable
-// tree are safe.
+// safe for concurrent mutation; concurrent TopK/ApproxTopK/KNNJoin queries
+// against a tree that no goroutine is mutating are safe (the query path is
+// verified read-only; see Tree.TopK). Callers mixing maintenance with
+// queries must serialize them — the root-package DB does so with an RWMutex.
 type Tree struct {
 	ix     *spindex.Index
 	hasher sighash.Hasher

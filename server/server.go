@@ -1,0 +1,360 @@
+// Package server exposes a digitaltraces.DB over HTTP/JSON: a thin,
+// dependency-free query-serving layer for top-k association search.
+//
+// Endpoints:
+//
+//	GET/POST /topk        one top-k query (?entity=alice&k=10, or JSON body)
+//	POST     /topk/batch  many top-k queries on the worker pool (TopKBatch)
+//	POST     /visits      ingest visit records; optional immediate refresh
+//	GET      /stats       index + server statistics
+//	GET      /healthz     liveness probe
+//
+// All concurrency control lives in the DB (queries share its read lock,
+// ingest takes its write lock), so the handlers are stateless apart from
+// monotonic counters; one Server instance safely serves any number of
+// in-flight requests. Results over HTTP are bit-identical to the library
+// API: handlers call the same TopK/TopKBatch methods with no extra
+// rounding or re-ranking.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"digitaltraces"
+)
+
+// Server is an http.Handler serving one DB.
+type Server struct {
+	db       *digitaltraces.DB
+	mux      *http.ServeMux
+	maxK     int
+	maxBatch int
+	started  time.Time
+
+	queries    atomic.Int64 // /topk requests answered
+	batches    atomic.Int64 // /topk/batch requests answered
+	ingested   atomic.Int64 // visits accepted via /visits
+	errors     atomic.Int64 // requests answered with a non-2xx status
+	queryNanos atomic.Int64 // cumulative /topk + /topk/batch wall time
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMaxK caps the k a single request may ask for (default 1000). Requests
+// beyond the cap are rejected with 400 rather than scanning the population.
+func WithMaxK(k int) Option {
+	return func(s *Server) { s.maxK = k }
+}
+
+// WithMaxBatch caps the number of entities one /topk/batch request may name
+// (default 10000). A batch holds the DB's read lock for its whole run, so an
+// unbounded batch would let a single request stall ingest — and, behind a
+// waiting writer, all other queries — for minutes.
+func WithMaxBatch(n int) Option {
+	return func(s *Server) { s.maxBatch = n }
+}
+
+// New wraps a DB in an HTTP handler. The DB may be shared with direct
+// library callers; the DB's own lock arbitrates.
+func New(db *digitaltraces.DB, opts ...Option) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), maxK: 1000, maxBatch: 10000, started: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/topk/batch", s.handleBatch)
+	s.mux.HandleFunc("/visits", s.handleVisits)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Match mirrors digitaltraces.Match on the wire.
+type Match struct {
+	Entity string  `json:"entity"`
+	Degree float64 `json:"degree"`
+}
+
+// Stats mirrors digitaltraces.QueryStats on the wire (elapsed in
+// microseconds).
+type Stats struct {
+	Checked   int     `json:"checked"`
+	PE        float64 `json:"pe"`
+	Pruned    float64 `json:"pruned"`
+	ElapsedUS int64   `json:"elapsed_us"`
+}
+
+func toStats(qs digitaltraces.QueryStats) Stats {
+	return Stats{Checked: qs.Checked, PE: qs.PE, Pruned: qs.Pruned, ElapsedUS: qs.Elapsed.Microseconds()}
+}
+
+func toMatches(ms []digitaltraces.Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Entity: m.Entity, Degree: m.Degree}
+	}
+	return out
+}
+
+// TopKRequest is the /topk POST body.
+type TopKRequest struct {
+	Entity string `json:"entity"`
+	K      int    `json:"k"`
+}
+
+// TopKResponse is the /topk reply.
+type TopKResponse struct {
+	Entity  string  `json:"entity"`
+	K       int     `json:"k"`
+	Matches []Match `json:"matches"`
+	Stats   Stats   `json:"stats"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Entity = r.URL.Query().Get("entity")
+		if kStr := r.URL.Query().Get("k"); kStr != "" {
+			k, err := strconv.Atoi(kStr)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "bad k %q", kStr)
+				return
+			}
+			req.K = k
+		}
+	case http.MethodPost:
+		if !s.decode(w, r, &req) {
+			return
+		}
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if !s.checkK(w, req.K) {
+		return
+	}
+	start := time.Now()
+	matches, qs, err := s.db.TopK(req.Entity, req.K)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queryNanos.Add(int64(time.Since(start)))
+	s.queries.Add(1)
+	s.reply(w, TopKResponse{Entity: req.Entity, K: req.K, Matches: toMatches(matches), Stats: toStats(qs)})
+}
+
+// BatchRequest is the /topk/batch POST body. Workers ≤ 0 uses GOMAXPROCS.
+type BatchRequest struct {
+	Entities []string `json:"entities"`
+	K        int      `json:"k"`
+	Workers  int      `json:"workers"`
+}
+
+// BatchResponse is the /topk/batch reply: per-entity results plus aggregate
+// statistics for the whole batch.
+type BatchResponse struct {
+	Results map[string][]Match `json:"results"`
+	K       int                `json:"k"`
+	Stats   Stats              `json:"stats"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if !s.checkK(w, req.K) {
+		return
+	}
+	if len(req.Entities) > s.maxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d entities exceeds the %d cap", len(req.Entities), s.maxBatch)
+		return
+	}
+	start := time.Now()
+	results, qs, err := s.db.TopKBatch(req.Entities, req.K, req.Workers)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queryNanos.Add(int64(time.Since(start)))
+	s.batches.Add(1)
+	resp := BatchResponse{Results: make(map[string][]Match, len(results)), K: req.K, Stats: toStats(qs)}
+	for name, ms := range results {
+		resp.Results[name] = toMatches(ms)
+	}
+	s.reply(w, resp)
+}
+
+// Visit is one ingested presence on the wire. Times are RFC 3339.
+type Visit struct {
+	Entity string    `json:"entity"`
+	Venue  string    `json:"venue"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// VisitsRequest is the /visits POST body. With Refresh true the new visits
+// are folded into the index before replying; otherwise they are folded in
+// lazily by the next query.
+type VisitsRequest struct {
+	Visits  []Visit `json:"visits"`
+	Refresh bool    `json:"refresh"`
+}
+
+// VisitsResponse is the /visits reply.
+type VisitsResponse struct {
+	Added     int  `json:"added"`
+	Refreshed bool `json:"refreshed"`
+}
+
+func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req VisitsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Visits) == 0 {
+		s.fail(w, http.StatusBadRequest, "no visits in request")
+		return
+	}
+	recs := make([]digitaltraces.VisitRecord, len(req.Visits))
+	for i, v := range req.Visits {
+		recs[i] = digitaltraces.VisitRecord{Entity: v.Entity, Venue: v.Venue, Start: v.Start, End: v.End}
+	}
+	added, err := s.db.AddVisits(recs)
+	s.ingested.Add(int64(added))
+	if err != nil {
+		// Visits before the failing one are already stored; the error names
+		// the failing index so the client can resume.
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := VisitsResponse{Added: len(req.Visits)}
+	if req.Refresh {
+		err := s.db.Refresh()
+		if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
+			// The incremental path can't extend the indexed horizon; pay for
+			// the rebuild here rather than failing the ingest.
+			err = s.db.BuildIndex()
+		}
+		if err != nil {
+			s.fail(w, http.StatusConflict, "refresh: %v", err)
+			return
+		}
+		resp.Refreshed = true
+	}
+	s.reply(w, resp)
+}
+
+// StatsResponse is the /stats reply: the index shape plus serving counters.
+type StatsResponse struct {
+	Index struct {
+		Entities    int `json:"entities"`
+		Nodes       int `json:"nodes"`
+		Leaves      int `json:"leaves"`
+		MemoryBytes int `json:"memory_bytes"`
+	} `json:"index"`
+	Entities int `json:"entities"`
+	Venues   int `json:"venues"`
+	Levels   int `json:"levels"`
+	Server   struct {
+		UptimeS        float64 `json:"uptime_s"`
+		Queries        int64   `json:"queries"`
+		BatchQueries   int64   `json:"batch_queries"`
+		VisitsIngested int64   `json:"visits_ingested"`
+		Errors         int64   `json:"errors"`
+		AvgQueryUS     float64 `json:"avg_query_us"`
+	} `json:"server"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var resp StatsResponse
+	ix := s.db.IndexStats()
+	resp.Index.Entities = ix.Entities
+	resp.Index.Nodes = ix.Nodes
+	resp.Index.Leaves = ix.Leaves
+	resp.Index.MemoryBytes = ix.MemoryBytes
+	resp.Entities = s.db.NumEntities()
+	resp.Venues = s.db.NumVenues()
+	resp.Levels = s.db.Levels()
+	q, b := s.queries.Load(), s.batches.Load()
+	resp.Server.UptimeS = time.Since(s.started).Seconds()
+	resp.Server.Queries = q
+	resp.Server.BatchQueries = b
+	resp.Server.VisitsIngested = s.ingested.Load()
+	resp.Server.Errors = s.errors.Load()
+	if q+b > 0 {
+		resp.Server.AvgQueryUS = float64(s.queryNanos.Load()) / float64(q+b) / 1e3
+	}
+	s.reply(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// checkK rejects out-of-range k values before they reach the search.
+func (s *Server) checkK(w http.ResponseWriter, k int) bool {
+	if k < 1 || k > s.maxK {
+		s.fail(w, http.StatusBadRequest, "k %d outside [1,%d]", k, s.maxK)
+		return false
+	}
+	return true
+}
+
+// decode parses a JSON body, rejecting unknown fields to catch client typos.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

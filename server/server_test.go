@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"digitaltraces"
+)
+
+func newTestServer(t *testing.T) (*digitaltraces.DB, *httptest.Server) {
+	t.Helper()
+	db, err := digitaltraces.SyntheticCity(digitaltraces.CityConfig{Side: 4, Entities: 40, Days: 3},
+		digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, WithMaxK(50), WithMaxBatch(20)))
+	t.Cleanup(ts.Close)
+	return db, ts
+}
+
+func getJSON(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+	}
+}
+
+func postJSON(t *testing.T, url string, req, dst any) (int, string) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK && dst != nil {
+		if err := json.Unmarshal(body, dst); err != nil {
+			t.Fatalf("POST %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestTopKOverHTTP: GET and POST answers are exactly the library's answers.
+func TestTopKOverHTTP(t *testing.T) {
+	db, ts := newTestServer(t)
+	want, _, err := db.TopK("entity-3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got TopKResponse
+	getJSON(t, ts.URL+"/topk?entity=entity-3&k=5", &got)
+	requireMatches(t, got.Matches, want)
+	if got.Entity != "entity-3" || got.K != 5 {
+		t.Errorf("echo fields wrong: %+v", got)
+	}
+	if got.Stats.Checked < len(want) || got.Stats.Pruned < 0 {
+		t.Errorf("stats missing: %+v", got.Stats)
+	}
+
+	var posted TopKResponse
+	if code, body := postJSON(t, ts.URL+"/topk", TopKRequest{Entity: "entity-3", K: 5}, &posted); code != http.StatusOK {
+		t.Fatalf("POST /topk: %d: %s", code, body)
+	}
+	requireMatches(t, posted.Matches, want)
+}
+
+// TestBatchOverHTTP: the batch endpoint equals per-entity library answers.
+func TestBatchOverHTTP(t *testing.T) {
+	db, ts := newTestServer(t)
+	names := []string{"entity-0", "entity-1", "entity-2", "entity-7"}
+	var got BatchResponse
+	if code, body := postJSON(t, ts.URL+"/topk/batch", BatchRequest{Entities: names, K: 4, Workers: 2}, &got); code != http.StatusOK {
+		t.Fatalf("POST /topk/batch: %d: %s", code, body)
+	}
+	if len(got.Results) != len(names) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(names))
+	}
+	for _, name := range names {
+		want, _, err := db.TopK(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireMatches(t, got.Results[name], want)
+	}
+	if got.Stats.Checked == 0 {
+		t.Errorf("aggregate stats empty: %+v", got.Stats)
+	}
+}
+
+// TestVisitIngestOverHTTP: ingested visits become queryable after refresh.
+func TestVisitIngestOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	epoch := time.Unix(0, 0).UTC()
+	visits := []Visit{
+		{Entity: "newcomer", Venue: "venue-0", Start: epoch.Add(1 * time.Hour), End: epoch.Add(5 * time.Hour)},
+		{Entity: "newcomer", Venue: "venue-1", Start: epoch.Add(6 * time.Hour), End: epoch.Add(8 * time.Hour)},
+	}
+	var ing VisitsResponse
+	if code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: visits, Refresh: true}, &ing); code != http.StatusOK {
+		t.Fatalf("POST /visits: %d: %s", code, body)
+	}
+	if ing.Added != 2 || !ing.Refreshed {
+		t.Fatalf("ingest reply = %+v", ing)
+	}
+	var got TopKResponse
+	getJSON(t, ts.URL+"/topk?entity=newcomer&k=3", &got)
+	if len(got.Matches) != 3 {
+		t.Fatalf("newcomer not queryable: %+v", got)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Entities != 41 || st.Index.Entities != 41 {
+		t.Errorf("stats after ingest: %+v", st)
+	}
+	if st.Server.VisitsIngested != 2 || st.Server.Queries == 0 {
+		t.Errorf("server counters: %+v", st.Server)
+	}
+}
+
+// TestHTTPErrors covers the rejection paths.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		do   func() (int, string)
+		want int
+	}{
+		{"unknown entity", func() (int, string) {
+			resp, err := http.Get(ts.URL + "/topk?entity=ghost")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(b)
+		}, http.StatusBadRequest},
+		{"bad k", func() (int, string) {
+			resp, err := http.Get(ts.URL + "/topk?entity=entity-0&k=9999")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(b)
+		}, http.StatusBadRequest},
+		{"batch needs POST", func() (int, string) {
+			resp, err := http.Get(ts.URL + "/topk/batch")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			return resp.StatusCode, ""
+		}, http.StatusMethodNotAllowed},
+		{"oversized batch", func() (int, string) {
+			big := make([]string, 21)
+			for i := range big {
+				big[i] = fmt.Sprintf("entity-%d", i)
+			}
+			return postJSON(t, ts.URL+"/topk/batch", BatchRequest{Entities: big, K: 3}, nil)
+		}, http.StatusBadRequest},
+		{"unknown venue", func() (int, string) {
+			return postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: []Visit{{
+				Entity: "x", Venue: "atlantis",
+				Start: time.Unix(3600, 0), End: time.Unix(7200, 0),
+			}}}, nil)
+		}, http.StatusBadRequest},
+		{"unknown field", func() (int, string) {
+			return postJSON(t, ts.URL+"/topk", map[string]any{"entty": "entity-0"}, nil)
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := tc.do()
+		if code != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, code, body, tc.want)
+		}
+		if body != "" {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+				t.Errorf("%s: error body %q not {\"error\":...}", tc.name, body)
+			}
+		}
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Server.Errors < int64(len(cases)) {
+		t.Errorf("error counter = %d, want ≥ %d", st.Server.Errors, len(cases))
+	}
+}
+
+// TestConcurrentHTTP drives mixed queries and ingest through the full HTTP
+// stack from many goroutines (run with -race).
+func TestConcurrentHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				if g == 0 && i%5 == 0 { // one writer lane
+					code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: []Visit{{
+						Entity: fmt.Sprintf("w-%d", i), Venue: "venue-2",
+						Start: time.Unix(3600, 0).UTC(), End: time.Unix(2*3600, 0).UTC(),
+					}}, Refresh: true}, nil)
+					if code != http.StatusOK {
+						done <- fmt.Errorf("ingest: %d: %s", code, body)
+						return
+					}
+					continue
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/topk?entity=entity-%d&k=3", ts.URL, (g*7+i)%40))
+				if err != nil {
+					done <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("topk status %d", resp.StatusCode)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func requireMatches(t *testing.T, got []Match, want []digitaltraces.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Entity != want[i].Entity || got[i].Degree != want[i].Degree {
+			t.Fatalf("match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -114,8 +114,10 @@ func SyntheticWiFiCity(cfg WiFiCityConfig, opts ...Option) (*DB, error) {
 	return populate(ix, cfg.Devices, gen.Entity, opts...)
 }
 
-// populate wires a generated population into a DB with friendly names.
-func populate(ix *spindex.Index, n int, genEntity func(trace.EntityID) []trace.Record, opts ...Option) (*DB, error) {
+// newGridDB wires a DB over a grid sp-index with the shared synthetic/file
+// conventions: venues named "venue-<n>" and (unless WithEpoch overrides it)
+// the Unix epoch with one base unit per hour.
+func newGridDB(ix *spindex.Index, opts ...Option) (*DB, error) {
 	venues := make(map[string]spindex.BaseID, ix.NumBase())
 	for b := 0; b < ix.NumBase(); b++ {
 		venues[fmt.Sprintf("venue-%d", b)] = spindex.BaseID(b)
@@ -124,8 +126,19 @@ func populate(ix *spindex.Index, n int, genEntity func(trace.EntityID) []trace.R
 	if err != nil {
 		return nil, err
 	}
-	db.epoch = time.Unix(0, 0).UTC()
-	db.epochSet = true
+	if !db.epochSet {
+		db.epoch = time.Unix(0, 0).UTC()
+		db.epochSet = true
+	}
+	return db, nil
+}
+
+// populate wires a generated population into a DB with friendly names.
+func populate(ix *spindex.Index, n int, genEntity func(trace.EntityID) []trace.Record, opts ...Option) (*DB, error) {
+	db, err := newGridDB(ix, opts...)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		e := trace.EntityID(i)
 		name := fmt.Sprintf("entity-%d", i)
