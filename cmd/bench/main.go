@@ -1,0 +1,223 @@
+// Command bench runs the synthetic-city serving benchmark suite — index
+// build time, query latency (p50/p99), query throughput and index size — on
+// a single DB and on shard clusters of configurable sizes, and writes the
+// results to BENCH_<label>.json. The JSON is the machine-readable
+// performance trajectory of the repository: run it with the same label
+// schema before and after a change (or in CI) and diff the files.
+//
+//	bench -label sharding -entities 2000 -side 16 -days 7 -shards 1,2,4,8
+//
+// produces BENCH_sharding.json with one run per engine configuration. The
+// single-DB run is the baseline the N-shard parallel build speedup is read
+// against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"digitaltraces"
+	"digitaltraces/shard"
+)
+
+// Run is one engine configuration's measurements. BuildSeconds is measured
+// wall clock on this machine; BuildCriticalPathSeconds is the slowest
+// shard's build — the wall clock a machine with ≥ Shards cores sees, and the
+// number to read the parallel-build speedup from when the benchmarking host
+// has fewer cores than shards (for the single DB the two coincide).
+type Run struct {
+	Engine                   string  `json:"engine"` // "db" or "cluster"
+	Shards                   int     `json:"shards"`
+	BuildSeconds             float64 `json:"build_seconds"`
+	BuildCriticalPathSeconds float64 `json:"build_critical_path_seconds"`
+	IndexBytes               int     `json:"index_bytes"`
+	Queries                  int     `json:"queries"`
+	OpsPerSec                float64 `json:"ops_per_sec"` // parallel batch throughput
+	P50Micros                float64 `json:"p50_us"`      // sequential single-query latency
+	P99Micros                float64 `json:"p99_us"`
+}
+
+// Report is the BENCH_<label>.json schema.
+type Report struct {
+	Label       string `json:"label"`
+	GeneratedAt string `json:"generated_at"`
+	Config      struct {
+		Entities   int    `json:"entities"`
+		Side       int    `json:"side"`
+		Levels     int    `json:"levels"`
+		Days       int    `json:"days"`
+		Hash       int    `json:"hash"`
+		Seed       int64  `json:"seed"`
+		K          int    `json:"k"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"config"`
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		label    = flag.String("label", "dev", "report label; output file is BENCH_<label>.json")
+		out      = flag.String("out", ".", "output directory")
+		entities = flag.Int("entities", 2000, "synthetic population size")
+		side     = flag.Int("side", 16, "venue grid side")
+		levels   = flag.Int("levels", 4, "sp-index height")
+		days     = flag.Int("days", 7, "horizon in days")
+		nh       = flag.Int("hash", 128, "number of hash functions")
+		seed     = flag.Int64("seed", 1, "generator + hash seed")
+		k        = flag.Int("k", 10, "top-k result size")
+		queries  = flag.Int("queries", 200, "queries per latency/throughput sample")
+		shardSet = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to benchmark alongside the single DB")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*shardSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []digitaltraces.Option{
+		digitaltraces.WithHashFunctions(*nh),
+		digitaltraces.WithSeed(uint64(*seed)),
+	}
+	cfg := digitaltraces.CityConfig{Side: *side, Levels: *levels, Entities: *entities, Days: *days, Seed: *seed}
+
+	log.Printf("generating city: %d entities, %d² venues, %d days, nh=%d", *entities, *side, *days, *nh)
+	src, err := digitaltraces.SyntheticCity(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, *queries)
+	for i := 0; i < *queries; i++ {
+		names = append(names, fmt.Sprintf("entity-%d", (i*37)%*entities))
+	}
+
+	var report Report
+	report.Label = *label
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	report.Config.Entities = *entities
+	report.Config.Side = *side
+	report.Config.Levels = *levels
+	report.Config.Days = *days
+	report.Config.Hash = *nh
+	report.Config.Seed = *seed
+	report.Config.K = *k
+	report.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.Config.GoVersion = runtime.Version()
+
+	// Baseline: the single DB. Build timing measures BuildIndex only (the
+	// city is already generated and, for clusters below, already routed).
+	run, err := measure("db", 1, src, names, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Runs = append(report.Runs, run)
+	baseline := run.BuildSeconds
+
+	for _, n := range sizes {
+		cluster, err := shard.Partition(src, shard.Config{
+			Shards: n,
+			NewShard: func(i int) (*digitaltraces.DB, error) {
+				return digitaltraces.NewGridDB(*side, *levels, opts...)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := measure("cluster", n, cluster, names, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline > 0 {
+			log.Printf("  build speedup vs single DB: %.2fx wall, %.2fx critical-path (≥%d cores)",
+				baseline/run.BuildSeconds, baseline/run.BuildCriticalPathSeconds, n)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	path := filepath.Join(*out, "BENCH_"+*label+".json")
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// measure times an engine's index build, then samples sequential query
+// latency and parallel batch throughput over the same query set.
+func measure(kind string, shards int, eng digitaltraces.Engine, names []string, k int) (Run, error) {
+	run := Run{Engine: kind, Shards: shards, Queries: len(names)}
+
+	start := time.Now()
+	if err := eng.BuildIndex(); err != nil {
+		return run, fmt.Errorf("%s/%d: build: %w", kind, shards, err)
+	}
+	run.BuildSeconds = time.Since(start).Seconds()
+	ix := eng.IndexStats()
+	run.IndexBytes = ix.MemoryBytes
+	run.BuildCriticalPathSeconds = ix.BuildTime.Seconds()
+
+	lat := make([]time.Duration, 0, len(names))
+	for _, name := range names {
+		qStart := time.Now()
+		if _, _, err := eng.TopK(name, k); err != nil {
+			return run, fmt.Errorf("%s/%d: TopK(%s): %w", kind, shards, name, err)
+		}
+		lat = append(lat, time.Since(qStart))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	run.P50Micros = float64(percentile(lat, 50).Microseconds())
+	run.P99Micros = float64(percentile(lat, 99).Microseconds())
+
+	start = time.Now()
+	if _, _, err := eng.TopKBatch(names, k, 0); err != nil {
+		return run, fmt.Errorf("%s/%d: batch: %w", kind, shards, err)
+	}
+	run.OpsPerSec = float64(len(names)) / time.Since(start).Seconds()
+
+	log.Printf("%s shards=%d: build %.3fs, index %.1f KiB, %.0f q/s, p50 %.0fµs, p99 %.0fµs",
+		kind, shards, run.BuildSeconds, float64(run.IndexBytes)/1024, run.OpsPerSec, run.P50Micros, run.P99Micros)
+	return run, nil
+}
+
+// percentile reads the p-th percentile from an ascending-sorted sample.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad shard count %q in -shards", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: -shards names no cluster sizes")
+	}
+	return out, nil
+}

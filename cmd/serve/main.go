@@ -1,20 +1,23 @@
 // Command serve runs the HTTP/JSON query service (package server) over a
-// record file or a synthetic city.
+// record file or a synthetic city, on a single DB or an entity-partitioned
+// shard cluster.
 //
 // Serve a tracegen workload:
 //
 //	tracegen -out traces.bin -entities 2000 -side 24 -days 14
 //	serve -addr :8080 -in traces.bin -side 24
 //
-// Or spin up a self-contained synthetic city:
+// Or spin up a self-contained synthetic city, partitioned across 4 shards
+// (shards build their indexes in parallel and queries scatter-gather with
+// exactly the single-DB answers):
 //
-//	serve -addr :8080 -synthetic -entities 5000 -side 16 -days 14
+//	serve -addr :8080 -synthetic -entities 5000 -side 16 -days 14 -shards 4
 //
 // Then query it:
 //
 //	curl 'localhost:8080/topk?entity=entity-0&k=10'
 //	curl -d '{"entities":["entity-0","entity-1"],"k":5}' localhost:8080/topk/batch
-//	curl localhost:8080/stats
+//	curl localhost:8080/stats   # includes per-shard breakdown when -shards > 1
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 	"digitaltraces"
 	"digitaltraces/server"
+	"digitaltraces/shard"
 )
 
 func main() {
@@ -43,6 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator + hash seed")
 		u         = flag.Float64("u", 2, "ADM level exponent")
 		v         = flag.Float64("v", 2, "ADM duration exponent")
+		shards    = flag.Int("shards", 1, "entity-partitioned shards (1 = single DB; >1 builds in parallel and scatter-gathers queries)")
 		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
 		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
 	)
@@ -82,19 +87,41 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Both load paths produce grid-backed DBs, so NewGridDB with the same
+	// parameters builds epoch-compatible empty shards to partition into.
+	engine := digitaltraces.Engine(db)
+	if *shards > 1 {
+		log.Printf("partitioning %d entities across %d shards", db.NumEntities(), *shards)
+		cluster, err := shard.Partition(db, shard.Config{
+			Shards: *shards,
+			NewShard: func(i int) (*digitaltraces.DB, error) {
+				return digitaltraces.NewGridDB(*side, *levels, opts...)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = cluster
+	}
+
 	start := time.Now()
-	if err := db.BuildIndex(); err != nil {
+	if err := engine.BuildIndex(); err != nil {
 		log.Fatal(err)
 	}
-	st := db.IndexStats()
+	st := engine.IndexStats()
 	log.Printf("indexed %d entities in %v: %d nodes, %d leaves, ~%.1f MiB",
 		st.Entities, time.Since(start).Round(time.Millisecond), st.Nodes, st.Leaves,
 		float64(st.MemoryBytes)/(1<<20))
+	if c, ok := engine.(*shard.Cluster); ok {
+		for _, ss := range c.ShardStats() {
+			log.Printf("  shard %d: %d entities, %d nodes", ss.Shard, ss.Entities, ss.Index.Nodes)
+		}
+	}
 
 	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /stats /healthz)", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db, server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)),
+		Handler:           server.New(engine, server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

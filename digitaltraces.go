@@ -31,8 +31,14 @@
 // TopKApprox, TopKBatch, KNNJoin, Degree) share a read lock and run in
 // parallel with each other; mutators (AddVisit, AddVisits, BuildIndex,
 // Refresh) take the exclusive write lock. Queries against a stale index (visits added
-// since the last build) transparently refresh it first. Package server
-// exposes a DB over HTTP/JSON and cmd/serve runs it as a network service.
+// since the last build) transparently refresh it first.
+//
+// # Scaling out
+//
+// The Engine interface abstracts the serving surface of a DB. Package shard
+// composes N DBs into an entity-partitioned cluster with parallel index
+// builds and exact scatter-gather top-k; package server exposes any Engine
+// over HTTP/JSON and cmd/serve runs it as a network service (-shards N).
 //
 // See examples/ for complete programs, README.md for a tour, DESIGN.md for
 // the architecture and the concurrency model, and EXPERIMENTS.md for the
@@ -209,6 +215,7 @@ func WithEpoch(t time.Time) Option {
 	return func(db *DB) error {
 		db.epoch = t
 		db.epochSet = true
+		db.epochExplicit = true
 		return nil
 	}
 }
@@ -260,26 +267,29 @@ type DB struct {
 	// is documented read-only), so queries never race index maintenance.
 	mu sync.RWMutex
 
-	ix     *spindex.Index
-	venues map[string]spindex.BaseID
+	ix        *spindex.Index
+	venues    map[string]spindex.BaseID
+	baseNames []string // venue name by BaseID, the inverse of venues
 
-	unit     time.Duration
-	epoch    time.Time
-	epochSet bool
-	nh       int
-	seed     uint64
-	measureU float64
-	measureV float64
-	jaccard  bool
+	unit          time.Duration
+	epoch         time.Time
+	epochSet      bool
+	epochExplicit bool // epoch came from WithEpoch, not from data
+	nh            int
+	seed          uint64
+	measureU      float64
+	measureV      float64
+	jaccard       bool
 
-	names   map[string]trace.EntityID
-	byID    []string
-	visits  map[trace.EntityID][]trace.Record
-	dirty   map[trace.EntityID]bool
-	store   *trace.Store
-	tree    *core.Tree
-	measure adm.Measure
-	horizon trace.Time
+	names     map[string]trace.EntityID
+	byID      []string
+	visits    map[trace.EntityID][]trace.Record
+	dirty     map[trace.EntityID]bool
+	store     *trace.Store
+	tree      *core.Tree
+	measure   adm.Measure
+	horizon   trace.Time
+	lastBuild time.Duration // duration of the last full BuildIndex
 }
 
 // NewDB creates a database over the given hierarchy.
@@ -292,17 +302,22 @@ func NewDB(h *Hierarchy, opts ...Option) (*DB, error) {
 }
 
 func newDB(ix *spindex.Index, venues map[string]spindex.BaseID, opts ...Option) (*DB, error) {
+	baseNames := make([]string, ix.NumBase())
+	for name, b := range venues {
+		baseNames[b] = name
+	}
 	db := &DB{
-		ix:       ix,
-		venues:   venues,
-		unit:     time.Hour,
-		nh:       256,
-		seed:     1,
-		measureU: 2,
-		measureV: 2,
-		names:    map[string]trace.EntityID{},
-		visits:   map[trace.EntityID][]trace.Record{},
-		dirty:    map[trace.EntityID]bool{},
+		ix:        ix,
+		venues:    venues,
+		baseNames: baseNames,
+		unit:      time.Hour,
+		nh:        256,
+		seed:      1,
+		measureU:  2,
+		measureV:  2,
+		names:     map[string]trace.EntityID{},
+		visits:    map[trace.EntityID][]trace.Record{},
+		dirty:     map[trace.EntityID]bool{},
 	}
 	for _, opt := range opts {
 		if err := opt(db); err != nil {
@@ -412,6 +427,7 @@ func (db *DB) buildIndexLocked() error {
 	if len(db.visits) == 0 {
 		return fmt.Errorf("digitaltraces: no visits to index")
 	}
+	buildStart := time.Now()
 	db.horizon = 0
 	for _, recs := range db.visits {
 		for _, r := range recs {
@@ -443,6 +459,9 @@ func (db *DB) buildIndexLocked() error {
 		db.measure, err = adm.NewJaccardADM(db.ix.Height())
 	} else {
 		db.measure, err = adm.NewPaperADM(db.ix.Height(), db.measureU, db.measureV)
+	}
+	if err == nil {
+		db.lastBuild = time.Since(buildStart)
 	}
 	return err
 }
@@ -509,28 +528,52 @@ type Visit struct {
 
 // TopKByExample answers a query for a hypothetical entity described by the
 // given visits (the thesis' query-by-example task) without adding it to the
-// database.
+// database. Example visits discretize exactly like ingested ones (same
+// epoch, unit and rounding), so an example built from VisitsOf output
+// reproduces that entity's stored ST-cells bit-for-bit — the property the
+// shard.Cluster scatter-gather path relies on for exact merged answers.
 func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) {
 	if err := db.ensureIndexed(); err != nil {
 		return nil, QueryStats{}, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if !db.epochSet {
+		// Unreachable after ensureIndexed (indexing requires visits, and the
+		// first visit fixes the epoch), but guard it: converting with the
+		// zero epoch would silently produce nonsense unit offsets.
+		return nil, QueryStats{}, fmt.Errorf("digitaltraces: no epoch to anchor example visits (ingest a visit or set WithEpoch)")
+	}
 	var recs []trace.Record
-	for _, v := range visits {
+	for i, v := range visits {
 		base, ok := db.venues[v.Venue]
 		if !ok {
 			return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown venue %q", v.Venue)
 		}
+		if !v.End.After(v.Start) {
+			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d: empty span %v..%v", i, v.Start, v.End)
+		}
 		su := int64(v.Start.Sub(db.epoch) / db.unit)
 		eu := int64((v.End.Sub(db.epoch) + db.unit - 1) / db.unit)
-		if su < 0 || eu <= su {
-			return nil, QueryStats{}, fmt.Errorf("digitaltraces: bad example span %v..%v", v.Start, v.End)
+		if su < 0 {
+			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d at %v precedes the epoch %v — the epoch was %s; set WithEpoch to cover the example's span",
+				i, v.Start, db.epoch, epochOrigin(db))
+		}
+		if eu <= su {
+			eu = su + 1 // sub-unit span: same rounding as ingest
 		}
 		recs = append(recs, trace.Record{Entity: -1, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
 	}
 	q := trace.NewSequences(db.ix, -1, recs)
 	return db.topKLocked(q, k)
+}
+
+// epochOrigin names where the epoch came from, for error messages.
+func epochOrigin(db *DB) string {
+	if db.epochExplicit {
+		return "fixed at construction (WithEpoch, or the grid convention of the Unix epoch)"
+	}
+	return "inferred from the first ingested visit"
 }
 
 // ensureIndexed makes the index current with double-checked locking: the
@@ -659,12 +702,16 @@ func (db *DB) Degree(a, b string) (float64, error) {
 	return db.measure.Degree(sa, sb), nil
 }
 
-// IndexStats describes the built index (nil tree → zero value).
+// IndexStats describes the built index (nil tree → zero value). BuildTime is
+// the duration of the last full BuildIndex; on an aggregated engine (a shard
+// cluster) it is the slowest member's build — the parallel critical path,
+// i.e. the wall clock a machine with at least as many cores as shards sees.
 type IndexStats struct {
 	Entities    int
 	Nodes       int
 	Leaves      int
 	MemoryBytes int
+	BuildTime   time.Duration
 }
 
 // IndexStats returns current index statistics.
@@ -675,5 +722,5 @@ func (db *DB) IndexStats() IndexStats {
 		return IndexStats{}
 	}
 	s := db.tree.Stats()
-	return IndexStats{Entities: s.Entities, Nodes: s.Nodes, Leaves: s.Leaves, MemoryBytes: s.MemoryBytes}
+	return IndexStats{Entities: s.Entities, Nodes: s.Nodes, Leaves: s.Leaves, MemoryBytes: s.MemoryBytes, BuildTime: db.lastBuild}
 }

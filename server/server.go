@@ -1,16 +1,19 @@
-// Package server exposes a digitaltraces.DB over HTTP/JSON: a thin,
-// dependency-free query-serving layer for top-k association search.
+// Package server exposes a digitaltraces.Engine over HTTP/JSON: a thin,
+// dependency-free query-serving layer for top-k association search. The
+// engine may be a single digitaltraces.DB or a shard.Cluster — the endpoints
+// and wire formats are identical either way (cmd/serve -shards N).
 //
 // Endpoints:
 //
 //	GET/POST /topk        one top-k query (?entity=alice&k=10, or JSON body)
 //	POST     /topk/batch  many top-k queries on the worker pool (TopKBatch)
 //	POST     /visits      ingest visit records; optional immediate refresh
-//	GET      /stats       index + server statistics
+//	GET      /stats       index + server statistics (+ per-shard breakdown
+//	                      when the engine is sharded)
 //	GET      /healthz     liveness probe
 //
-// All concurrency control lives in the DB (queries share its read lock,
-// ingest takes its write lock), so the handlers are stateless apart from
+// All concurrency control lives in the engine (queries share its read locks,
+// ingest takes its write locks), so the handlers are stateless apart from
 // monotonic counters; one Server instance safely serves any number of
 // in-flight requests. Results over HTTP are bit-identical to the library
 // API: handlers call the same TopK/TopKBatch methods with no extra
@@ -27,11 +30,12 @@ import (
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/shard"
 )
 
-// Server is an http.Handler serving one DB.
+// Server is an http.Handler serving one Engine.
 type Server struct {
-	db       *digitaltraces.DB
+	eng      digitaltraces.Engine
 	mux      *http.ServeMux
 	maxK     int
 	maxBatch int
@@ -54,17 +58,18 @@ func WithMaxK(k int) Option {
 }
 
 // WithMaxBatch caps the number of entities one /topk/batch request may name
-// (default 10000). A batch holds the DB's read lock for its whole run, so an
-// unbounded batch would let a single request stall ingest — and, behind a
-// waiting writer, all other queries — for minutes.
+// (default 10000). A batch holds the engine's read locks for its whole run,
+// so an unbounded batch would let a single request stall ingest — and,
+// behind a waiting writer, all other queries — for minutes.
 func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.maxBatch = n }
 }
 
-// New wraps a DB in an HTTP handler. The DB may be shared with direct
-// library callers; the DB's own lock arbitrates.
-func New(db *digitaltraces.DB, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), maxK: 1000, maxBatch: 10000, started: time.Now()}
+// New wraps an Engine — a *digitaltraces.DB or a *shard.Cluster — in an HTTP
+// handler. The engine may be shared with direct library callers; its own
+// locks arbitrate.
+func New(eng digitaltraces.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), maxK: 1000, maxBatch: 10000, started: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -148,7 +153,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	matches, qs, err := s.db.TopK(req.Entity, req.K)
+	matches, qs, err := s.eng.TopK(req.Entity, req.K)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -193,7 +198,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results, qs, err := s.db.TopKBatch(req.Entities, req.K, req.Workers)
+	results, qs, err := s.eng.TopKBatch(req.Entities, req.K, req.Workers)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -246,21 +251,23 @@ func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
 	for i, v := range req.Visits {
 		recs[i] = digitaltraces.VisitRecord{Entity: v.Entity, Venue: v.Venue, Start: v.Start, End: v.End}
 	}
-	added, err := s.db.AddVisits(recs)
+	added, err := s.eng.AddVisits(recs)
 	s.ingested.Add(int64(added))
 	if err != nil {
-		// Visits before the failing one are already stored; the error names
-		// the failing index so the client can resume.
+		// Some visits are already stored (see the Engine.AddVisits
+		// contract); the error names the failing index. Clients should fix
+		// the failing record and re-send it alone, not replay the suffix —
+		// on a sharded engine records after the failure may already be in.
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := VisitsResponse{Added: len(req.Visits)}
 	if req.Refresh {
-		err := s.db.Refresh()
+		err := s.eng.Refresh()
 		if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
 			// The incremental path can't extend the indexed horizon; pay for
 			// the rebuild here rather than failing the ingest.
-			err = s.db.BuildIndex()
+			err = s.eng.BuildIndex()
 		}
 		if err != nil {
 			s.fail(w, http.StatusConflict, "refresh: %v", err)
@@ -271,17 +278,34 @@ func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, resp)
 }
 
-// StatsResponse is the /stats reply: the index shape plus serving counters.
+// ShardStat is the per-shard /stats breakdown for sharded engines: how many
+// entities the router placed on the shard and its index shape, so operators
+// can spot partition skew at a glance.
+type ShardStat struct {
+	Shard         int     `json:"shard"`
+	Entities      int     `json:"entities"`
+	IndexEntities int     `json:"index_entities"`
+	Nodes         int     `json:"nodes"`
+	Leaves        int     `json:"leaves"`
+	MemoryBytes   int     `json:"memory_bytes"`
+	BuildMS       float64 `json:"build_ms"`
+}
+
+// StatsResponse is the /stats reply: the index shape (cluster totals for a
+// sharded engine) plus serving counters, and the per-shard breakdown when
+// the engine is sharded.
 type StatsResponse struct {
 	Index struct {
-		Entities    int `json:"entities"`
-		Nodes       int `json:"nodes"`
-		Leaves      int `json:"leaves"`
-		MemoryBytes int `json:"memory_bytes"`
+		Entities    int     `json:"entities"`
+		Nodes       int     `json:"nodes"`
+		Leaves      int     `json:"leaves"`
+		MemoryBytes int     `json:"memory_bytes"`
+		BuildMS     float64 `json:"build_ms"`
 	} `json:"index"`
-	Entities int `json:"entities"`
-	Venues   int `json:"venues"`
-	Levels   int `json:"levels"`
+	Entities int         `json:"entities"`
+	Venues   int         `json:"venues"`
+	Levels   int         `json:"levels"`
+	Shards   []ShardStat `json:"shards,omitempty"`
 	Server   struct {
 		UptimeS        float64 `json:"uptime_s"`
 		Queries        int64   `json:"queries"`
@@ -298,14 +322,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp StatsResponse
-	ix := s.db.IndexStats()
+	ix := s.eng.IndexStats()
 	resp.Index.Entities = ix.Entities
 	resp.Index.Nodes = ix.Nodes
 	resp.Index.Leaves = ix.Leaves
 	resp.Index.MemoryBytes = ix.MemoryBytes
-	resp.Entities = s.db.NumEntities()
-	resp.Venues = s.db.NumVenues()
-	resp.Levels = s.db.Levels()
+	resp.Index.BuildMS = float64(ix.BuildTime.Microseconds()) / 1e3
+	resp.Entities = s.eng.NumEntities()
+	resp.Venues = s.eng.NumVenues()
+	resp.Levels = s.eng.Levels()
+	// Sharded engines additionally expose the per-shard breakdown; a plain
+	// DB serves the same response without the "shards" field.
+	if sh, ok := s.eng.(interface{ ShardStats() []shard.ShardStat }); ok {
+		for _, st := range sh.ShardStats() {
+			resp.Shards = append(resp.Shards, ShardStat{
+				Shard:         st.Shard,
+				Entities:      st.Entities,
+				IndexEntities: st.Index.Entities,
+				Nodes:         st.Index.Nodes,
+				Leaves:        st.Index.Leaves,
+				MemoryBytes:   st.Index.MemoryBytes,
+				BuildMS:       float64(st.Index.BuildTime.Microseconds()) / 1e3,
+			})
+		}
+	}
 	q, b := s.queries.Load(), s.batches.Load()
 	resp.Server.UptimeS = time.Since(s.started).Seconds()
 	resp.Server.Queries = q

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/shard"
 )
 
 func newTestServer(t *testing.T) (*digitaltraces.DB, *httptest.Server) {
@@ -193,6 +195,24 @@ func TestHTTPErrors(t *testing.T) {
 		{"unknown field", func() (int, string) {
 			return postJSON(t, ts.URL+"/topk", map[string]any{"entty": "entity-0"}, nil)
 		}, http.StatusBadRequest},
+		{"malformed batch body", func() (int, string) {
+			resp, err := http.Post(ts.URL+"/topk/batch", "application/json", strings.NewReader(`{"entities":["entity-0"`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(b)
+		}, http.StatusBadRequest},
+		{"batch k over cap", func() (int, string) {
+			return postJSON(t, ts.URL+"/topk/batch", BatchRequest{Entities: []string{"entity-0"}, K: 51}, nil)
+		}, http.StatusBadRequest},
+		{"batch unknown entity", func() (int, string) {
+			return postJSON(t, ts.URL+"/topk/batch", BatchRequest{Entities: []string{"entity-0", "ghost"}, K: 3}, nil)
+		}, http.StatusBadRequest},
+		{"visits empty body", func() (int, string) {
+			return postJSON(t, ts.URL+"/visits", VisitsRequest{}, nil)
+		}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		code, body := tc.do()
@@ -254,6 +274,78 @@ func TestConcurrentHTTP(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestShardedServer serves a shard.Cluster through the same handler: every
+// endpoint answers bit-identically to the single-DB server, and /stats adds
+// the per-shard breakdown.
+func TestShardedServer(t *testing.T) {
+	db, err := digitaltraces.SyntheticCity(digitaltraces.CityConfig{Side: 4, Entities: 40, Days: 3},
+		digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := shard.Partition(db, shard.Config{
+		Shards: 4,
+		NewShard: func(i int) (*digitaltraces.DB, error) {
+			return digitaltraces.NewGridDB(4, 4, digitaltraces.WithHashFunctions(32))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(cluster, WithMaxK(50)))
+	t.Cleanup(ts.Close)
+
+	for _, q := range []string{"entity-0", "entity-13", "entity-39"} {
+		want, _, err := db.TopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got TopKResponse
+		getJSON(t, fmt.Sprintf("%s/topk?entity=%s&k=5", ts.URL, q), &got)
+		requireMatches(t, got.Matches, want)
+	}
+
+	// Ingest through the cluster server routes to the owning shard and is
+	// immediately queryable after refresh.
+	code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: []Visit{{
+		Entity: "newcomer", Venue: "venue-1",
+		Start: time.Unix(3600, 0).UTC(), End: time.Unix(4*3600, 0).UTC(),
+	}}, Refresh: true}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cluster ingest: %d: %s", code, body)
+	}
+	var got TopKResponse
+	getJSON(t, ts.URL+"/topk?entity=newcomer&k=3", &got)
+	if len(got.Matches) != 3 {
+		t.Fatalf("newcomer not queryable through cluster: %+v", got)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Entities != 41 || st.Index.Entities != 41 {
+		t.Errorf("cluster totals: %+v", st)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("/stats has %d shards, want 4", len(st.Shards))
+	}
+	sum := 0
+	for i, s := range st.Shards {
+		if s.Shard != i || s.Entities == 0 {
+			t.Errorf("shard stat %d = %+v", i, s)
+		}
+		sum += s.Entities
+	}
+	if sum != 41 {
+		t.Errorf("per-shard entities sum to %d, want 41", sum)
 	}
 }
 

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"digitaltraces"
+)
+
+// BuildIndex (re)builds every shard's MinSigTree concurrently — the
+// cluster's headline scale win: signature hashing and tree construction are
+// CPU-bound and per-shard independent, so an N-shard build approaches 1/N of
+// the single-DB wall clock on N cores (cmd/bench records the actual curve).
+// Empty shards are skipped; a cluster with no visits at all errors like an
+// empty DB.
+func (c *Cluster) BuildIndex() error {
+	if c.NumEntities() == 0 {
+		return fmt.Errorf("shard: no visits to index")
+	}
+	return c.eachShard(func(sh *digitaltraces.DB) error {
+		if sh.NumEntities() == 0 {
+			return nil
+		}
+		return sh.BuildIndex()
+	})
+}
+
+// Refresh folds dirty entities into every shard's index concurrently. A
+// shard whose new visits extend past its indexed horizon rebuilds just
+// itself — unlike a single DB, which surfaces ErrBeyondHorizon for the
+// caller to decide, the cluster absorbs it locally: falling back to a
+// cluster-wide BuildIndex would pay N full rebuilds (and block queries on
+// every shard) when one shard needed it.
+func (c *Cluster) Refresh() error {
+	return c.eachShard(func(sh *digitaltraces.DB) error {
+		if sh.NumEntities() == 0 {
+			return nil
+		}
+		if err := sh.Refresh(); err != nil {
+			if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
+				return sh.BuildIndex()
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// eachShard runs fn on every shard over a pool of min(GOMAXPROCS, N)
+// workers and joins the failures, each tagged with its shard index (error
+// identity is preserved through the wrapping, so errors.Is sees sentinels
+// like ErrBeyondHorizon). Builds are CPU-bound, so more workers than cores
+// would only interleave shards on the scheduler — same wall clock, but every
+// shard's measured BuildTime would absorb its neighbors' CPU time and the
+// critical-path statistic (IndexStats.BuildTime) would be meaningless.
+func (c *Cluster) eachShard(fn func(sh *digitaltraces.DB) error) error {
+	errs := make([]error, len(c.shards))
+	runPool(len(c.shards), runtime.GOMAXPROCS(0), func(i int) {
+		if err := fn(c.shards[i]); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+		}
+	})
+	return errors.Join(errs...)
+}

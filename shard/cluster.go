@@ -1,0 +1,430 @@
+// Package shard scales digitaltraces horizontally inside one process: a
+// Cluster hash-partitions entities across N independent digitaltraces.DB
+// shards, routes ingest to each entity's owning shard, builds and refreshes
+// all shards in parallel, and answers top-k queries by scatter-gather —
+// resolve the query entity's visits on its home shard, fan the query out to
+// every shard through the query-by-example path, and merge the per-shard
+// exact answers into the global top-k.
+//
+// # Exactness
+//
+// Partitioning preserves the paper's exact-answer guarantee. The association
+// degree between the query and a candidate depends only on their two ST-cell
+// sequences, so each shard computes exact degrees for its own entities; and
+// because every shard returns its local top-k under the same total order the
+// single-DB search uses (degree descending, ties by ingest order), any
+// entity a shard cuts from its local list is dominated by at least k
+// entities from that shard alone and can never enter the global top-k.
+// Merging the ≤ N·k candidates and truncating to k is therefore lossless:
+// a Cluster returns bit-identical entities and degrees to a single DB over
+// the same data — the invariant TestClusterExactness locks in for
+// N ∈ {1, 2, 4, 8}.
+//
+// Two mechanical preconditions make the degree computations line up:
+// every shard must share one epoch and time unit (NewCluster verifies this),
+// and the fan-out must reproduce the query entity's stored cells exactly,
+// which DB.VisitsOf / DB.TopKByExample guarantee by round-tripping the
+// discretization.
+//
+// # Concurrency and locking
+//
+// Each shard keeps its own RWMutex, so the cluster has N independent lock
+// domains instead of one: ingest for entity A only contends with queries
+// touching A's shard, and shard index builds run truly in parallel (the
+// wall-clock build speedup cmd/bench records). The Cluster itself adds only
+// a small mutex around the entity→ordinal routing registry; scatter-gather
+// queries take per-shard read locks and never hold a global lock.
+//
+// A Cluster satisfies digitaltraces.Engine, so package server serves it with
+// zero endpoint changes (cmd/serve -shards N).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"digitaltraces"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Shards is the number of partitions (≥ 1).
+	Shards int
+	// NewShard builds the i-th empty shard. All shards must be constructed
+	// over the same hierarchy with the same time unit and an explicit, shared
+	// epoch (digitaltraces.WithEpoch, or a grid DB's implicit Unix epoch) so
+	// that every shard discretizes a visit to the same ST-cells; NewCluster
+	// rejects incompatible or pre-populated shards.
+	NewShard func(i int) (*digitaltraces.DB, error)
+}
+
+// Cluster is an entity-partitioned composition of DB shards answering exact
+// top-k association queries. It satisfies digitaltraces.Engine; see the
+// package comment for the exactness argument and the lock topology. Create
+// one with NewCluster (empty) or Partition (from an existing DB).
+type Cluster struct {
+	shards []*digitaltraces.DB
+
+	// mu guards ord, the global first-arrival ordinal per entity name. The
+	// single-DB search breaks degree ties by entity ID — ingest order — so
+	// the merge uses the cluster-wide arrival order for cross-shard ties to
+	// reproduce single-DB answers bit-for-bit; ties within one shard follow
+	// the shard's own order by construction of the k-way merge (merge.go).
+	mu  sync.RWMutex
+	ord map[string]int
+}
+
+var _ digitaltraces.Engine = (*Cluster)(nil)
+
+// NewCluster creates an empty cluster of cfg.Shards shards. Shards must be
+// mutually compatible: same venue count, hierarchy height and time unit, and
+// one shared epoch already fixed (an epoch inferred later from data would
+// differ per shard and skew time discretization across the partition).
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.NewShard == nil {
+		return nil, fmt.Errorf("shard: Config.NewShard is nil")
+	}
+	shards := make([]*digitaltraces.DB, cfg.Shards)
+	for i := range shards {
+		db, err := cfg.NewShard(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		if db == nil {
+			return nil, fmt.Errorf("shard: NewShard(%d) returned nil", i)
+		}
+		shards[i] = db
+	}
+	epoch, ok := shards[0].Epoch()
+	if !ok {
+		return nil, fmt.Errorf("shard: shard 0 has no epoch; construct shards with digitaltraces.WithEpoch (or NewGridDB) so every shard discretizes time identically")
+	}
+	for i, sh := range shards {
+		e, ok := sh.Epoch()
+		if !ok || !e.Equal(epoch) {
+			return nil, fmt.Errorf("shard: shard %d epoch %v (set=%t) differs from shard 0 epoch %v", i, e, ok, epoch)
+		}
+		if sh.TimeUnit() != shards[0].TimeUnit() {
+			return nil, fmt.Errorf("shard: shard %d time unit %v differs from shard 0's %v", i, sh.TimeUnit(), shards[0].TimeUnit())
+		}
+		if sh.NumVenues() != shards[0].NumVenues() || sh.Levels() != shards[0].Levels() {
+			return nil, fmt.Errorf("shard: shard %d hierarchy (%d venues, %d levels) differs from shard 0 (%d venues, %d levels)",
+				i, sh.NumVenues(), sh.Levels(), shards[0].NumVenues(), shards[0].Levels())
+		}
+		if sh.NumEntities() != 0 {
+			return nil, fmt.Errorf("shard: shard %d is pre-populated with %d entities; route all ingest through the Cluster", i, sh.NumEntities())
+		}
+	}
+	return &Cluster{shards: shards, ord: map[string]int{}}, nil
+}
+
+// Partition splits a populated single DB into a cluster by replaying its
+// full visit log (DB.AllVisits) through the router. Replay preserves the
+// source DB's entity ingest order, so the cluster's degree-tie-breaking —
+// and therefore every top-k answer — matches the source bit-for-bit.
+// cfg.NewShard must build shards compatible with src (same hierarchy, epoch
+// and unit; digitaltraces.NewGridDB with src's grid parameters for synthetic
+// cities and tracegen record files).
+func Partition(src *digitaltraces.DB, cfg Config) (*Cluster, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The shards must discretize src's visits to the same ST-cells, or the
+	// replay silently changes every degree; fail loudly instead.
+	s0 := c.shards[0]
+	if e, ok := src.Epoch(); ok {
+		if se, _ := s0.Epoch(); !se.Equal(e) {
+			return nil, fmt.Errorf("shard: shard epoch %v differs from source epoch %v — NewShard must reproduce the source DB's epoch", se, e)
+		}
+	}
+	if src.TimeUnit() != s0.TimeUnit() {
+		return nil, fmt.Errorf("shard: shard time unit %v differs from source's %v", s0.TimeUnit(), src.TimeUnit())
+	}
+	if src.NumVenues() != s0.NumVenues() || src.Levels() != s0.Levels() {
+		return nil, fmt.Errorf("shard: shard hierarchy (%d venues, %d levels) differs from source (%d venues, %d levels)",
+			s0.NumVenues(), s0.Levels(), src.NumVenues(), src.Levels())
+	}
+	if _, err := c.AddVisits(src.AllVisits()); err != nil {
+		return nil, fmt.Errorf("shard: partitioning source DB: %w", err)
+	}
+	return c, nil
+}
+
+// AddVisit records one visit, routed to the entity's owning shard. Only that
+// shard's locks are taken, so ingest for different shards proceeds in
+// parallel.
+func (c *Cluster) AddVisit(entity, venue string, start, end time.Time) error {
+	c.register([]string{entity})
+	return c.shards[c.owner(entity)].AddVisit(entity, venue, start, end)
+}
+
+// AddVisits bulk-ingests visits: records are grouped by owning shard
+// (preserving arrival order within each group) and the groups are forwarded
+// in parallel, one write-lock acquisition per shard. It returns the total
+// number of visits stored.
+//
+// Partial-failure semantics are per shard: each shard keeps the prefix of
+// its group before its first failing record (exactly DB.AddVisits), so —
+// unlike a single DB — records routed to other shards after the failing
+// one are still stored. The returned error names the failing record's index
+// in the original slice (the smallest, if several shards failed). Entity
+// ordinals are reserved at arrival even for records that then fail
+// validation; this only matters for degree-tie order and only if the same
+// new entities are later replayed to a single DB in a different order.
+func (c *Cluster) AddVisits(visits []digitaltraces.VisitRecord) (int, error) {
+	n := len(c.shards)
+	groups := make([][]digitaltraces.VisitRecord, n)
+	origIdx := make([][]int, n)
+	names := make([]string, len(visits))
+	for i, v := range visits {
+		s := c.owner(v.Entity)
+		groups[s] = append(groups[s], v)
+		origIdx[s] = append(origIdx[s], i)
+		names[i] = v.Entity
+	}
+	c.register(names)
+	counts := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		if len(groups[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			counts[s], errs[s] = c.shards[s].AddVisits(groups[s])
+		}(s)
+	}
+	wg.Wait()
+	total := 0
+	for _, cnt := range counts {
+		total += cnt
+	}
+	failIdx := -1
+	var failErr error
+	for s, err := range errs {
+		if err == nil {
+			continue
+		}
+		oi := origIdx[s][counts[s]] // the shard stored counts[s] records, so its group's counts[s]-th failed
+		if failIdx == -1 || oi < failIdx {
+			failIdx, failErr = oi, err
+		}
+	}
+	if failErr != nil {
+		if inner := errors.Unwrap(failErr); inner != nil {
+			failErr = inner // strip the shard-local "visit %d" wrapper
+		}
+		return total, fmt.Errorf("visit %d: %w", failIdx, failErr)
+	}
+	return total, nil
+}
+
+// TopK returns the k entities most closely associated with the named entity,
+// with exact degrees: the entity's visits are resolved once on its home
+// shard, and every shard — home included — ranks its own entities against
+// that one snapshot through the query-by-example path, so the merged answer
+// never mixes two states of the query entity even when a writer races the
+// query. The home shard is asked for k+1 candidates because the query entity
+// itself ranks among them; the merge filters it out (dropping one entity
+// from a k+1 list still leaves the shard's exact non-self top-k, so the
+// merge stays lossless — see the package comment). Stats aggregate across
+// shards: Checked sums the exact degree computations and PE/Pruned are
+// recomputed over the cluster-wide population, so they are comparable with
+// single-DB numbers.
+func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	start := time.Now()
+	if k < 1 {
+		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+	}
+	home := c.shards[c.owner(entity)]
+	visits, err := home.VisitsOf(entity)
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	lists, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+		if sh == home {
+			return sh.TopKByExample(visits, k+1)
+		}
+		return sh.TopKByExample(visits, k)
+	})
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	out, excluded := c.mergeExcluding(lists, k, entity)
+	// The home shard's example search scored the query entity itself (a
+	// single DB never does); subtract it so Checked/PE/Pruned stay
+	// comparable with single-DB numbers.
+	checked -= excluded
+	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start), nil
+}
+
+// TopKByExample answers for a hypothetical entity described by visits,
+// fanning the example out to every shard and merging, with no self to
+// exclude.
+func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	start := time.Now()
+	lists, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+		return sh.TopKByExample(visits, k)
+	})
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	out := c.merge(lists, k)
+	return out, c.gatherStats(checked, len(out), c.NumEntities(), start), nil
+}
+
+// TopKBatch answers top-k for every named entity over a bounded worker pool
+// (workers ≤ 0 selects GOMAXPROCS); each query scatter-gathers across all
+// shards independently. Results are identical to issuing TopK per entity.
+// Aggregate stats follow DB.TopKBatch: Checked sums degree computations,
+// PE averages the per-query pruning effectiveness, Pruned is the batch-wide
+// pruned fraction over the cluster population.
+func (c *Cluster) TopKBatch(entities []string, k, workers int) (map[string][]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	start := time.Now()
+	if len(entities) == 0 {
+		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: empty batch query set")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type result struct {
+		ms  []digitaltraces.Match
+		qs  digitaltraces.QueryStats
+		err error
+	}
+	results := make([]result, len(entities))
+	runPool(len(entities), workers, func(i int) {
+		ms, qs, err := c.TopK(entities[i], k)
+		results[i] = result{ms, qs, err}
+	})
+	out := make(map[string][]digitaltraces.Match, len(entities))
+	var stats digitaltraces.QueryStats
+	var peSum float64
+	for i, r := range results {
+		if r.err != nil {
+			return nil, digitaltraces.QueryStats{}, r.err
+		}
+		out[entities[i]] = r.ms
+		stats.Checked += r.qs.Checked
+		peSum += r.qs.PE
+	}
+	stats.PE = peSum / float64(len(entities))
+	if n := c.NumEntities() - 1; n > 0 {
+		stats.Pruned = 1 - float64(stats.Checked)/float64(len(entities)*n)
+	}
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
+
+// scatter runs query against every shard that holds entities, concurrently,
+// and collects the per-shard match lists plus the summed Checked count.
+// The first error (by shard index) wins.
+func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, int, error) {
+	lists := make([][]digitaltraces.Match, len(c.shards))
+	statsArr := make([]digitaltraces.QueryStats, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	queried := 0
+	for i, sh := range c.shards {
+		if sh.NumEntities() == 0 {
+			continue // an empty shard has no candidates (and no index to search)
+		}
+		queried++
+		wg.Add(1)
+		go func(i int, sh *digitaltraces.DB) {
+			defer wg.Done()
+			lists[i], statsArr[i], errs[i] = query(sh)
+		}(i, sh)
+	}
+	if queried == 0 {
+		return nil, 0, fmt.Errorf("shard: cluster has no visits to index")
+	}
+	wg.Wait()
+	checked := 0
+	for i := range c.shards {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		checked += statsArr[i].Checked
+	}
+	return lists, checked, nil
+}
+
+// gatherStats recomputes the Definition 5 statistics over the cluster-wide
+// candidate population n, mirroring the single-DB formulas.
+func (c *Cluster) gatherStats(checked, returned, n int, start time.Time) digitaltraces.QueryStats {
+	qs := digitaltraces.QueryStats{Checked: checked, Elapsed: time.Since(start)}
+	if n > 0 {
+		qs.PE = float64(checked-returned) / float64(n)
+		if qs.PE < 0 {
+			qs.PE = 0
+		}
+		qs.Pruned = 1 - float64(checked)/float64(n)
+	}
+	return qs
+}
+
+// NumShards returns the number of partitions.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// NumEntities returns the cluster-wide entity count (each entity lives on
+// exactly one shard).
+func (c *Cluster) NumEntities() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.NumEntities()
+	}
+	return n
+}
+
+// NumVenues returns the number of venues (identical on every shard).
+func (c *Cluster) NumVenues() int { return c.shards[0].NumVenues() }
+
+// Levels returns the hierarchy height (identical on every shard).
+func (c *Cluster) Levels() int { return c.shards[0].Levels() }
+
+// IndexStats returns cluster totals: sums of every shard's index shape,
+// except BuildTime, which is the slowest shard's last build — the parallel
+// critical path, the wall clock a machine with ≥ NumShards cores sees for
+// BuildIndex.
+func (c *Cluster) IndexStats() digitaltraces.IndexStats {
+	var agg digitaltraces.IndexStats
+	for _, sh := range c.shards {
+		s := sh.IndexStats()
+		agg.Entities += s.Entities
+		agg.Nodes += s.Nodes
+		agg.Leaves += s.Leaves
+		agg.MemoryBytes += s.MemoryBytes
+		if s.BuildTime > agg.BuildTime {
+			agg.BuildTime = s.BuildTime
+		}
+	}
+	return agg
+}
+
+// ShardStat describes one shard, for partition-skew monitoring: how many
+// entities the router placed there and the shape of its built index.
+type ShardStat struct {
+	Shard    int                      // shard ordinal
+	Entities int                      // entities routed to this shard
+	Index    digitaltraces.IndexStats // built-index shape (zero before build)
+}
+
+// ShardStats returns per-shard statistics, in shard order. The server's
+// /stats endpoint exposes these so operators can spot partition skew.
+func (c *Cluster) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = ShardStat{Shard: i, Entities: sh.NumEntities(), Index: sh.IndexStats()}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"math"
+
+	"digitaltraces"
+)
+
+// merge folds per-shard exact top-k lists into the global top-k by k-way
+// merge: repeatedly take the best list head under (degree descending, global
+// ingest ordinal ascending, name ascending). Entries within one shard's list
+// are never reordered.
+//
+// That last property carries the losslessness proof. The load-bearing degree
+// ties are between entities of the *same* shard — they competed for that
+// shard's local cut, and an entity the shard cut is dominated by ≥ k
+// entities from that shard alone, in the shard's own exact order. Because
+// the merge consumes each list strictly in order, the merged output's
+// same-shard relative order always equals the shard's order, whatever that
+// order is — so the cut argument holds unconditionally, without assuming the
+// cluster-wide registry agrees with shard-internal ID assignment (under
+// racing ingest of new entities it may not). Cross-shard ties compare by the
+// global first-arrival ordinal, where any fixed choice is lossless since
+// entities on different shards never compete for the same local cut.
+//
+// Under sequential ingest, shard-local ID order is exactly the global
+// arrival order restricted to the shard, so each list is sorted by (degree,
+// global ordinal) and the k-way merge reproduces the single DB's full
+// ranking bit-for-bit — the TestClusterExactness invariant. Under racing
+// ingest the answer remains the exact top-k by degree; only the order among
+// racing tied entities depends on arrival interleaving.
+func (c *Cluster) merge(lists [][]digitaltraces.Match, k int) []digitaltraces.Match {
+	out, _ := c.mergeExcluding(lists, k, "")
+	return out
+}
+
+// mergeExcluding merges like merge but drops the named entity, returning how
+// many entries were dropped (the query-by-example fan-out has no notion of
+// "self", so TopK excludes the query entity here and corrects the Checked
+// statistic by the dropped count).
+func (c *Cluster) mergeExcluding(lists [][]digitaltraces.Match, k int, exclude string) ([]digitaltraces.Match, int) {
+	// Snapshot the ordinals of every candidate once, outside the selection
+	// loop.
+	ranks := make([][]int, len(lists))
+	c.mu.RLock()
+	for i, l := range lists {
+		ranks[i] = make([]int, len(l))
+		for j, m := range l {
+			if o, ok := c.ord[m.Entity]; ok {
+				ranks[i][j] = o
+			} else { // defensive: every answer was ingested through the router
+				ranks[i][j] = math.MaxInt
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	pos := make([]int, len(lists))
+	out := make([]digitaltraces.Match, 0, k)
+	excluded := 0
+	for len(out) < k {
+		best := -1
+		for i := range lists {
+			for exclude != "" && pos[i] < len(lists[i]) && lists[i][pos[i]].Entity == exclude {
+				pos[i]++
+				excluded++
+			}
+			if pos[i] >= len(lists[i]) {
+				continue
+			}
+			if best == -1 || headBefore(lists[i][pos[i]], ranks[i][pos[i]], lists[best][pos[best]], ranks[best][pos[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out, excluded
+}
+
+// headBefore reports whether head a outranks head b: degree descending,
+// global ordinal ascending, name ascending.
+func headBefore(a digitaltraces.Match, aRank int, b digitaltraces.Match, bRank int) bool {
+	if a.Degree != b.Degree {
+		return a.Degree > b.Degree
+	}
+	if aRank != bRank {
+		return aRank < bRank
+	}
+	return a.Entity < b.Entity
+}

@@ -1,0 +1,42 @@
+package shard
+
+// The router decides which shard owns an entity and remembers the order
+// entities first arrived. Ownership is pure hashing — any process that knows
+// the shard count can compute it, which is what a future multi-node
+// deployment needs to route client-side. The arrival order is the
+// cluster-wide substitute for the single DB's entity-ID assignment order,
+// used only to break exact-degree ties across shards deterministically
+// (ties within one shard follow that shard's own order — the k-way merge
+// never reorders within a list; see merge.go).
+
+// ownerOf routes an entity name to a shard: FNV-1a over the name, mod the
+// shard count. FNV-1a is stable across processes, platforms and Go versions
+// (unlike the runtime's seeded map hash), so a given entity always lands on
+// the same shard for a given cluster size.
+func ownerOf(entity string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint32(entity[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// owner returns the shard index owning the entity.
+func (c *Cluster) owner(entity string) int { return ownerOf(entity, len(c.shards)) }
+
+// register assigns global first-arrival ordinals to any names not seen
+// before, in slice order, under one lock acquisition.
+func (c *Cluster) register(names []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		if _, ok := c.ord[name]; !ok {
+			c.ord[name] = len(c.ord)
+		}
+	}
+}

@@ -114,6 +114,26 @@ func SyntheticWiFiCity(cfg WiFiCityConfig, opts ...Option) (*DB, error) {
 	return populate(ix, cfg.Devices, gen.Entity, opts...)
 }
 
+// NewGridDB creates an empty DB over the same Side×Side power-law grid
+// hierarchy the synthetic cities and tracegen record files use: venues named
+// "venue-<n>" and (unless WithEpoch overrides it) the Unix epoch with one
+// base unit per hour. Levels 0 defaults to 4. It is the shard factory for
+// grid-backed clusters: shard.Partition over a SyntheticCity or
+// LoadRecordFile DB needs empty, epoch-compatible shards to route into.
+func NewGridDB(side, levels int, opts ...Option) (*DB, error) {
+	if levels == 0 {
+		levels = 4
+	}
+	if side < 2 {
+		return nil, fmt.Errorf("digitaltraces: grid side %d < 2", side)
+	}
+	ix, err := spindex.NewGrid(spindex.GridConfig{Side: side, Levels: levels, WidthExp: 2, DensityExp: 2})
+	if err != nil {
+		return nil, err
+	}
+	return newGridDB(ix, opts...)
+}
+
 // newGridDB wires a DB over a grid sp-index with the shared synthetic/file
 // conventions: venues named "venue-<n>" and (unless WithEpoch overrides it)
 // the Unix epoch with one base unit per hour.
@@ -129,6 +149,7 @@ func newGridDB(ix *spindex.Index, opts ...Option) (*DB, error) {
 	if !db.epochSet {
 		db.epoch = time.Unix(0, 0).UTC()
 		db.epochSet = true
+		db.epochExplicit = true // the convention is fixed, not data-inferred
 	}
 	return db, nil
 }
