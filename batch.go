@@ -15,28 +15,40 @@ import (
 // averages the per-query pruning effectiveness (Definition 5), Pruned is the
 // batch-wide pruned fraction, and Elapsed is wall-clock for the batch.
 //
-// Results are identical to issuing TopK for each entity sequentially — the
-// tree search is deterministic and the index is read-locked for the whole
-// batch, so no Refresh can slide in between two queries of one batch.
+// The whole batch answers against one pinned index snapshot, so results are
+// identical to issuing TopK for each entity sequentially against that
+// snapshot — the tree search is deterministic, and no Refresh or BuildIndex
+// swap can slide in between two queries of one batch (concurrent maintenance
+// only publishes new snapshots; it never mutates the pinned one).
 func (db *DB) TopKBatch(entities []string, k, workers int) (map[string][]Match, QueryStats, error) {
 	startT := time.Now()
 	if len(entities) == 0 {
 		return nil, QueryStats{}, fmt.Errorf("digitaltraces: empty batch query set")
 	}
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	ids := make([]trace.EntityID, len(entities))
+	db.mu.RLock()
 	for i, name := range entities {
 		e, ok := db.names[name]
 		if !ok {
+			db.mu.RUnlock()
 			return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown entity %q", name)
 		}
 		ids[i] = e
 	}
-	joined, js, err := db.tree.KNNJoin(ids, k, db.measure, workers)
+	db.mu.RUnlock()
+	// Entities registered after the pinned snapshot was built have no
+	// sequences in it; fail with the entity's name rather than a bare core
+	// error from deep inside the join.
+	for i, e := range ids {
+		if _, err := s.sequences(e, entities[i]); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	joined, js, err := s.tree.KNNJoin(ids, k, s.measure, workers)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -44,13 +56,13 @@ func (db *DB) TopKBatch(entities []string, k, workers int) (map[string][]Match, 
 	for _, jr := range joined {
 		ms := make([]Match, len(jr.Matches))
 		for i, r := range jr.Matches {
-			ms[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+			ms[i] = Match{Entity: s.byID[r.Entity], Degree: r.Degree}
 		}
-		out[db.byID[jr.Query]] = ms
+		out[s.byID[jr.Query]] = ms
 	}
 	stats := QueryStats{Checked: js.TotalChecked, PE: js.AvgPE, Elapsed: time.Since(startT)}
 	// Batch-wide pruned fraction: each query scans at most |E|−1 candidates.
-	if n := db.tree.Len() - 1; n > 0 && js.Queries > 0 {
+	if n := s.tree.Len() - 1; n > 0 && js.Queries > 0 {
 		stats.Pruned = 1 - float64(js.TotalChecked)/float64(js.Queries*n)
 	}
 	return out, stats, nil

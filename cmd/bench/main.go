@@ -10,6 +10,19 @@
 // produces BENCH_sharding.json with one run per engine configuration. The
 // single-DB run is the baseline the N-shard parallel build speedup is read
 // against.
+//
+// The -scenario rebuild mode measures the mixed read/write workload the
+// snapshot-swap refactor exists for: query latency sampled while BuildIndex
+// runs concurrently (plus a writer streaming visits), once against a
+// lock-holding baseline — an RWMutex wrapper that recreates the old
+// "BuildIndex holds the write lock, queries wait" contract — and once
+// against the DB's native atomically-swapped snapshots:
+//
+//	bench -label snapshot -scenario rebuild -entities 4000
+//
+// writes BENCH_snapshot.json with both rows and the p99 speedup. That
+// speedup is the headline number: queries that used to serialize behind a
+// multi-hundred-millisecond rebuild keep answering at microsecond latency.
 package main
 
 import (
@@ -23,6 +36,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"digitaltraces"
@@ -46,6 +61,24 @@ type Run struct {
 	P99Micros                float64 `json:"p99_us"`
 }
 
+// RebuildRun is one engine mode's measurements under the -scenario rebuild
+// mixed read/write workload: sequential query latency sampled only for
+// queries issued while a BuildIndex was in flight, with a writer streaming
+// visits throughout. Mode "locked" recreates the pre-snapshot design (an
+// RWMutex wrapper whose BuildIndex holds the write lock, stalling queries);
+// mode "snapshot" is the DB's native build-aside + atomic swap.
+type RebuildRun struct {
+	Mode           string  `json:"mode"` // "locked" or "snapshot"
+	Rebuilds       int     `json:"rebuilds"`
+	RebuildSeconds float64 `json:"rebuild_seconds"` // mean wall clock per rebuild
+	Queries        int     `json:"queries"`         // issued while a rebuild was in flight
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MaxMicros      float64 `json:"max_us"`
+	// P99Speedup is p99(locked)/p99(this run), on the snapshot row only.
+	P99Speedup float64 `json:"p99_speedup_vs_locked,omitempty"`
+}
+
 // Report is the BENCH_<label>.json schema.
 type Report struct {
 	Label       string `json:"label"`
@@ -61,7 +94,8 @@ type Report struct {
 		GoMaxProcs int    `json:"gomaxprocs"`
 		GoVersion  string `json:"go_version"`
 	} `json:"config"`
-	Runs []Run `json:"runs"`
+	Runs        []Run        `json:"runs,omitempty"`
+	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
 }
 
 func main() {
@@ -79,12 +113,17 @@ func main() {
 		k        = flag.Int("k", 10, "top-k result size")
 		queries  = flag.Int("queries", 200, "queries per latency/throughput sample")
 		shardSet = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to benchmark alongside the single DB")
+		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size) or "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap)`)
+		rebuilds = flag.Int("rebuilds", 3, "rebuild scenario: concurrent BuildIndex runs to sample queries against")
 	)
 	flag.Parse()
 
 	sizes, err := parseSizes(*shardSet)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *scenario != "serve" && *scenario != "rebuild" {
+		log.Fatalf("unknown -scenario %q (want serve or rebuild)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -116,6 +155,15 @@ func main() {
 	report.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
 	report.Config.GoVersion = runtime.Version()
 
+	if *scenario == "rebuild" {
+		report.RebuildRuns, err = rebuildScenario(src, names, *k, *rebuilds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		return
+	}
+
 	// Baseline: the single DB. Build timing measures BuildIndex only (the
 	// city is already generated and, for clusters below, already routed).
 	run, err := measure("db", 1, src, names, *k)
@@ -146,7 +194,11 @@ func main() {
 		report.Runs = append(report.Runs, run)
 	}
 
-	path := filepath.Join(*out, "BENCH_"+*label+".json")
+	writeReport(report, *out, *label)
+}
+
+func writeReport(report Report, out, label string) {
+	path := filepath.Join(out, "BENCH_"+label+".json")
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -155,6 +207,157 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", path)
+}
+
+// lockedEngine recreates the pre-snapshot concurrency design around a DB:
+// one RWMutex, queries under the read lock, BuildIndex and ingest under the
+// write lock. It is the honest baseline for the rebuild scenario — exactly
+// the contract the root package had before index maintenance moved to
+// atomically swapped snapshots.
+type lockedEngine struct {
+	mu sync.RWMutex
+	db *digitaltraces.DB
+}
+
+func (l *lockedEngine) TopK(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.TopK(entity, k)
+}
+
+func (l *lockedEngine) BuildIndex() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.BuildIndex()
+}
+
+func (l *lockedEngine) AddVisit(entity, venue string, start, end time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.AddVisit(entity, venue, start, end)
+}
+
+// rebuildEngine is the slice of Engine the rebuild scenario exercises, so
+// the same driver measures the locked wrapper and the bare snapshot DB.
+type rebuildEngine interface {
+	TopK(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error)
+	BuildIndex() error
+	AddVisit(entity, venue string, start, end time.Time) error
+}
+
+// rebuildScenario measures query latency while BuildIndex runs concurrently,
+// first against the lock-holding baseline and then against the snapshot DB,
+// and reports the p99 speedup. A writer goroutine streams visits (well
+// inside the indexed horizon) throughout, making the workload genuinely
+// mixed read/write.
+func rebuildScenario(db *digitaltraces.DB, names []string, k, rebuilds int) ([]RebuildRun, error) {
+	if err := db.BuildIndex(); err != nil {
+		return nil, fmt.Errorf("rebuild scenario: initial build: %w", err)
+	}
+	runs := make([]RebuildRun, 0, 2)
+	for _, mode := range []string{"locked", "snapshot"} {
+		var eng rebuildEngine = db
+		if mode == "locked" {
+			eng = &lockedEngine{db: db}
+		}
+		run, err := measureRebuild(mode, eng, db.NumVenues(), names, k, rebuilds)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	if runs[0].P99Micros > 0 && runs[1].P99Micros > 0 {
+		runs[1].P99Speedup = runs[0].P99Micros / runs[1].P99Micros
+		log.Printf("rebuild scenario: p99 during rebuild %.0fµs (locked) → %.0fµs (snapshot): %.0fx",
+			runs[0].P99Micros, runs[1].P99Micros, runs[1].P99Speedup)
+	}
+	return runs, nil
+}
+
+func measureRebuild(mode string, eng rebuildEngine, venues int, names []string, k, rebuilds int) (RebuildRun, error) {
+	run := RebuildRun{Mode: mode, Rebuilds: rebuilds}
+
+	var inFlight atomic.Bool
+	var buildSecs float64
+	buildErr := make(chan error, 1)
+	stopWriter := make(chan struct{})
+	var writerWG sync.WaitGroup
+
+	// Writer: a steady visit stream onto existing entities, inside the
+	// horizon so the data never forces a horizon extension mid-run.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			name := names[i%len(names)]
+			h := i % 24
+			if err := eng.AddVisit(name, fmt.Sprintf("venue-%d", i%venues), digitaltraces.TimeAt(h), digitaltraces.TimeAt(h+1)); err != nil {
+				log.Printf("rebuild scenario: writer: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	go func() {
+		defer inFlight.Store(false)
+		start := time.Now()
+		for i := 0; i < rebuilds; i++ {
+			inFlight.Store(true)
+			if err := eng.BuildIndex(); err != nil {
+				buildErr <- err
+				return
+			}
+		}
+		buildSecs = time.Since(start).Seconds() / float64(rebuilds)
+		buildErr <- nil
+	}()
+
+	// Querier: sequential latency sampling; only queries issued while a
+	// rebuild was in flight count (that is the stall the old design caused).
+	var lat []time.Duration
+	for {
+		if !inFlight.Load() {
+			select {
+			case err := <-buildErr:
+				close(stopWriter)
+				writerWG.Wait()
+				if err != nil {
+					return run, fmt.Errorf("rebuild scenario (%s): build: %w", mode, err)
+				}
+				if len(lat) == 0 {
+					return run, fmt.Errorf("rebuild scenario (%s): no query overlapped a rebuild; increase -entities or -hash", mode)
+				}
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				run.RebuildSeconds = buildSecs
+				run.Queries = len(lat)
+				run.P50Micros = float64(percentile(lat, 50).Microseconds())
+				run.P99Micros = float64(percentile(lat, 99).Microseconds())
+				run.MaxMicros = float64(lat[len(lat)-1].Microseconds())
+				log.Printf("rebuild scenario %s: %d rebuilds (%.3fs each), %d overlapping queries, p50 %.0fµs, p99 %.0fµs, max %.0fµs",
+					mode, rebuilds, run.RebuildSeconds, run.Queries, run.P50Micros, run.P99Micros, run.MaxMicros)
+				return run, nil
+			default:
+				continue
+			}
+		}
+		name := names[len(lat)%len(names)]
+		started := inFlight.Load()
+		qStart := time.Now()
+		if _, _, err := eng.TopK(name, k); err != nil {
+			close(stopWriter)
+			writerWG.Wait()
+			return run, fmt.Errorf("rebuild scenario (%s): TopK(%s): %w", mode, name, err)
+		}
+		if started {
+			lat = append(lat, time.Since(qStart))
+		}
+	}
 }
 
 // measure times an engine's index build, then samples sequential query

@@ -27,11 +27,16 @@
 //
 // # Concurrency
 //
-// A DB is safe for concurrent use. Query methods (TopK, TopKByExample,
-// TopKApprox, TopKBatch, KNNJoin, Degree) share a read lock and run in
-// parallel with each other; mutators (AddVisit, AddVisits, BuildIndex,
-// Refresh) take the exclusive write lock. Queries against a stale index (visits added
-// since the last build) transparently refresh it first.
+// A DB is safe for concurrent use, and reads never wait for index
+// maintenance. Queries (TopK, TopKByExample, TopKApprox, TopKBatch, KNNJoin,
+// Degree) answer against an immutable index snapshot loaded through one
+// atomic pointer read, so any number run in parallel — with each other and
+// with BuildIndex/Refresh, which construct the next snapshot off to the side
+// and atomically swap it in. Ingest (AddVisit, AddVisits) touches only a
+// small mutex-guarded visit log. Queries against a stale index (visits added
+// since the last swap) transparently refresh it first, unless a rebuild is
+// already in flight, in which case they answer from the published snapshot
+// rather than stall.
 //
 // # Scaling out
 //
@@ -51,11 +56,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"digitaltraces/internal/adm"
 	"digitaltraces/internal/core"
-	"digitaltraces/internal/sighash"
 	"digitaltraces/internal/spindex"
 	"digitaltraces/internal/trace"
 )
@@ -251,45 +255,52 @@ func WithSeed(seed uint64) Option {
 // DB is a digital-trace database: a store of entity visits plus, after
 // BuildIndex, a MinSigTree serving exact top-k association queries.
 //
-// A DB is safe for concurrent use by multiple goroutines: queries hold a
-// shared read lock for their whole search and therefore run in parallel
-// with each other, while AddVisit, BuildIndex and Refresh serialize behind
-// the write lock. A query that finds the index stale (entities with visits
-// newer than the last build) upgrades to the write lock, refreshes, and
-// then queries; concurrent visits arriving after that refresh decision are
-// simply not visible to it — every query answers exactly over the index
-// state it captured.
+// A DB is safe for concurrent use by multiple goroutines, and its two halves
+// have independent synchronization. The ingest side (the entity registry,
+// the raw visit log and the dirty set) lives under a small read-write lock
+// whose critical sections are O(visits added). The index side is an
+// immutable snapshot — store, tree, measure, horizon, name table — published
+// through an atomic pointer: queries load it once and search lock-free
+// (core.Tree.TopK is documented read-only), while BuildIndex and Refresh
+// construct the next snapshot aside and atomically swap it in, so a
+// multi-second rebuild never blocks a read. A query that finds the snapshot
+// stale (entities with visits newer than the last swap) refreshes it first —
+// unless a build is already in flight, in which case it answers from the
+// published snapshot; every query answers exactly over the one frozen
+// snapshot it pinned.
 type DB struct {
-	// mu guards all mutable state below: names/byID/visits/dirty/epoch on
-	// the ingest side, and store/tree/measure/horizon on the index side.
-	// ix and venues are immutable after construction. The MinSigTree itself
-	// is only ever read under RLock and mutated under Lock (core.Tree.TopK
-	// is documented read-only), so queries never race index maintenance.
-	mu sync.RWMutex
-
+	// Immutable after construction.
 	ix        *spindex.Index
 	venues    map[string]spindex.BaseID
 	baseNames []string // venue name by BaseID, the inverse of venues
 
-	unit          time.Duration
+	unit     time.Duration
+	nh       int
+	seed     uint64
+	measureU float64
+	measureV float64
+	jaccard  bool
+
+	// mu guards the small ingest side: the entity name registry, the raw
+	// visit log, the dirty set and the (write-once) epoch. Nothing under mu
+	// is ever held across an index build or a search.
+	mu            sync.RWMutex
+	names         map[string]trace.EntityID
+	byID          []string
+	visits        map[trace.EntityID][]trace.Record
+	dirty         map[trace.EntityID]bool
 	epoch         time.Time
 	epochSet      bool
 	epochExplicit bool // epoch came from WithEpoch, not from data
-	nh            int
-	seed          uint64
-	measureU      float64
-	measureV      float64
-	jaccard       bool
 
-	names     map[string]trace.EntityID
-	byID      []string
-	visits    map[trace.EntityID][]trace.Record
-	dirty     map[trace.EntityID]bool
-	store     *trace.Store
-	tree      *core.Tree
-	measure   adm.Measure
-	horizon   trace.Time
-	lastBuild time.Duration // duration of the last full BuildIndex
+	// snap is the serving index: an immutable snapshot published by atomic
+	// pointer swap. Queries load it once and search lock-free; builders
+	// construct the next snapshot aside and publish it (snapshot.go).
+	snap atomic.Pointer[snapshot]
+	// buildMu serializes snapshot builders (BuildIndex, Refresh, and the
+	// query path's lazy escalation). Readers never block on it: a query that
+	// finds it held answers from the current snapshot instead.
+	buildMu sync.Mutex
 }
 
 // NewDB creates a database over the given hierarchy.
@@ -367,10 +378,10 @@ type VisitRecord struct {
 	End    time.Time
 }
 
-// AddVisits records many visits under a single write-lock acquisition —
-// the bulk-ingest path (one AddVisit per record would interleave a lock
-// round-trip with concurrent queries for every visit). It returns the number
-// of visits stored; on error, visits before the failing one are kept.
+// AddVisits records many visits under a single ingest-lock acquisition —
+// the bulk-ingest path (one AddVisit per record would pay a lock round-trip
+// per visit). It returns the number of visits stored; on error, visits
+// before the failing one are kept.
 func (db *DB) AddVisits(visits []VisitRecord) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -414,55 +425,15 @@ func (db *DB) addVisitLocked(entity, venue string, start, end time.Time) error {
 }
 
 // BuildIndex (re)builds the MinSigTree over all current visits. Cost is
-// O(|E|·C·nh) signature hashing plus tree insertion (Section 4.3). It holds
-// the write lock for the duration, so in-flight queries drain first and new
-// ones wait for the fresh index.
+// O(|E|·C·nh) signature hashing plus tree insertion (Section 4.3), but the
+// work happens entirely off to the side: the build captures a frozen visit
+// view, constructs the next snapshot, and atomically swaps it in — in-flight
+// and newly arriving queries keep answering from the previous snapshot
+// instead of stalling behind the rebuild.
 func (db *DB) BuildIndex() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.buildIndexLocked()
-}
-
-func (db *DB) buildIndexLocked() error {
-	if len(db.visits) == 0 {
-		return fmt.Errorf("digitaltraces: no visits to index")
-	}
-	buildStart := time.Now()
-	db.horizon = 0
-	for _, recs := range db.visits {
-		for _, r := range recs {
-			if r.End > db.horizon {
-				db.horizon = r.End
-			}
-		}
-	}
-	db.store = trace.NewStore(db.ix)
-	ids := make([]trace.EntityID, 0, len(db.visits))
-	for e := range db.visits {
-		ids = append(ids, e)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, e := range ids {
-		db.store.AddRecords(e, db.visits[e])
-	}
-	fam, err := sighash.NewFamily(db.ix, db.horizon, db.nh, db.seed)
-	if err != nil {
-		return err
-	}
-	tree, err := core.Build(db.ix, fam, db.store, ids)
-	if err != nil {
-		return err
-	}
-	db.tree = tree
-	db.dirty = map[trace.EntityID]bool{}
-	if db.jaccard {
-		db.measure, err = adm.NewJaccardADM(db.ix.Height())
-	} else {
-		db.measure, err = adm.NewPaperADM(db.ix.Height(), db.measureU, db.measureV)
-	}
-	if err == nil {
-		db.lastBuild = time.Since(buildStart)
-	}
+	db.buildMu.Lock()
+	defer db.buildMu.Unlock()
+	_, err := db.buildSnapshot()
 	return err
 }
 
@@ -475,48 +446,36 @@ func (db *DB) buildIndexLocked() error {
 var ErrBeyondHorizon = errors.New("digitaltraces: visit beyond indexed horizon; call BuildIndex")
 
 // Refresh folds dirty entities (those with visits added since the last
-// BuildIndex/Refresh) into the index incrementally (Section 4.2.3). New
-// visits with timestamps beyond the indexed horizon fail with
-// ErrBeyondHorizon and require BuildIndex.
+// BuildIndex/Refresh) into the index incrementally (Section 4.2.3) — like
+// BuildIndex, built aside on a copy of the serving snapshot and atomically
+// swapped, never blocking queries. New visits with timestamps beyond the
+// indexed horizon fail with ErrBeyondHorizon and require BuildIndex.
 func (db *DB) Refresh() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.refreshLocked()
-}
-
-func (db *DB) refreshLocked() error {
-	if db.tree == nil {
-		return db.buildIndexLocked()
+	db.buildMu.Lock()
+	defer db.buildMu.Unlock()
+	s := db.snap.Load()
+	if s == nil {
+		_, err := db.buildSnapshot()
+		return err
 	}
-	for e := range db.dirty {
-		for _, r := range db.visits[e] {
-			if r.End > db.horizon {
-				return ErrBeyondHorizon
-			}
-		}
-		db.store.AddRecords(e, db.visits[e])
-		if err := db.tree.Update(e); err != nil {
-			return err
-		}
-	}
-	db.dirty = map[trace.EntityID]bool{}
-	return nil
+	_, err := db.refreshSnapshot(s)
+	return err
 }
 
 // TopK returns the k entities most closely associated with the named entity
 // (Definition 4), with exact degrees, plus query statistics. Safe to call
-// from any number of goroutines; see the DB concurrency contract.
+// from any number of goroutines, and never blocked by a concurrent
+// BuildIndex/Refresh; see the DB concurrency contract.
 func (db *DB) TopK(entity string, k int) ([]Match, QueryStats, error) {
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.names[entity]
-	if !ok {
-		return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown entity %q", entity)
+	q, err := db.lookup(s, entity)
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
-	return db.topKLocked(db.store.Get(e), k)
+	return s.topK(q, k)
 }
 
 // Visit describes one presence for query-by-example.
@@ -533,14 +492,14 @@ type Visit struct {
 // reproduces that entity's stored ST-cells bit-for-bit — the property the
 // shard.Cluster scatter-gather path relies on for exact merged answers.
 func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) {
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if !db.epochSet {
-		// Unreachable after ensureIndexed (indexing requires visits, and the
-		// first visit fixes the epoch), but guard it: converting with the
+	epoch, set, explicit := db.epochInfo()
+	if !set {
+		// Unreachable after snapshotForQuery (indexing requires visits, and
+		// the first visit fixes the epoch), but guard it: converting with the
 		// zero epoch would silently produce nonsense unit offsets.
 		return nil, QueryStats{}, fmt.Errorf("digitaltraces: no epoch to anchor example visits (ingest a visit or set WithEpoch)")
 	}
@@ -553,11 +512,11 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 		if !v.End.After(v.Start) {
 			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d: empty span %v..%v", i, v.Start, v.End)
 		}
-		su := int64(v.Start.Sub(db.epoch) / db.unit)
-		eu := int64((v.End.Sub(db.epoch) + db.unit - 1) / db.unit)
+		su := int64(v.Start.Sub(epoch) / db.unit)
+		eu := int64((v.End.Sub(epoch) + db.unit - 1) / db.unit)
 		if su < 0 {
 			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d at %v precedes the epoch %v — the epoch was %s; set WithEpoch to cover the example's span",
-				i, v.Start, db.epoch, epochOrigin(db))
+				i, v.Start, epoch, epochOrigin(explicit))
 		}
 		if eu <= su {
 			eu = su + 1 // sub-unit span: same rounding as ingest
@@ -565,66 +524,25 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 		recs = append(recs, trace.Record{Entity: -1, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
 	}
 	q := trace.NewSequences(db.ix, -1, recs)
-	return db.topKLocked(q, k)
+	return s.topK(q, k)
+}
+
+// epochInfo reads the write-once epoch fields under the ingest lock. Once a
+// snapshot exists the epoch can no longer change (indexing requires visits
+// and the first visit fixes it), so values read after snapshotForQuery are
+// stable for the rest of the query.
+func (db *DB) epochInfo() (epoch time.Time, set, explicit bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch, db.epochSet, db.epochExplicit
 }
 
 // epochOrigin names where the epoch came from, for error messages.
-func epochOrigin(db *DB) string {
-	if db.epochExplicit {
+func epochOrigin(explicit bool) string {
+	if explicit {
 		return "fixed at construction (WithEpoch, or the grid convention of the Unix epoch)"
 	}
 	return "inferred from the first ingested visit"
-}
-
-// ensureIndexed makes the index current with double-checked locking: the
-// common case (index built, nothing dirty) costs one shared read lock; only
-// a stale or missing index escalates to the write lock. Visits added by
-// writers racing past the check are picked up by the next query. A dirty
-// visit beyond the indexed horizon triggers a full rebuild here rather than
-// failing, so one out-of-horizon ingest can never wedge the query path.
-func (db *DB) ensureIndexed() error {
-	db.mu.RLock()
-	fresh := db.tree != nil && len(db.dirty) == 0
-	db.mu.RUnlock()
-	if fresh {
-		return nil
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.tree == nil {
-		return db.buildIndexLocked()
-	}
-	if len(db.dirty) > 0 {
-		if err := db.refreshLocked(); err != nil {
-			if errors.Is(err, ErrBeyondHorizon) {
-				return db.buildIndexLocked()
-			}
-			return err
-		}
-	}
-	return nil
-}
-
-// topKLocked runs the search; callers must hold mu.RLock (or mu.Lock).
-func (db *DB) topKLocked(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
-	if q == nil {
-		return nil, QueryStats{}, fmt.Errorf("digitaltraces: query entity has no indexed visits")
-	}
-	startT := time.Now()
-	res, stats, err := db.tree.TopK(q, k, db.measure)
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	out := make([]Match, len(res))
-	for i, r := range res {
-		out[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
-	}
-	return out, QueryStats{
-		Checked: stats.Checked,
-		PE:      stats.PE,
-		Pruned:  stats.Pruned,
-		Elapsed: time.Since(startT),
-	}, nil
 }
 
 // TopKApprox answers a top-k query approximately (the paper's §8.2 future
@@ -634,26 +552,21 @@ func (db *DB) topKLocked(q *trace.Sequences, k int) ([]Match, QueryStats, error)
 // degree is at least (1−guarantee) times the true k-th degree. epsilon = 0
 // reproduces the exact TopK.
 func (db *DB) TopKApprox(entity string, k int, epsilon float64) ([]Match, float64, error) {
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return nil, 0, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.names[entity]
-	if !ok {
-		return nil, 0, fmt.Errorf("digitaltraces: unknown entity %q", entity)
+	q, err := db.lookup(s, entity)
+	if err != nil {
+		return nil, 0, err
 	}
-	q := db.store.Get(e)
-	if q == nil { // added after this query refreshed; next query folds it in
-		return nil, 0, fmt.Errorf("digitaltraces: entity %q has no indexed visits", entity)
-	}
-	res, stats, err := db.tree.ApproxTopK(q, k, db.measure, core.ApproxOptions{Epsilon: epsilon})
+	res, stats, err := s.tree.ApproxTopK(q, k, s.measure, core.ApproxOptions{Epsilon: epsilon})
 	if err != nil {
 		return nil, 0, err
 	}
 	out := make([]Match, len(res))
 	for i, r := range res {
-		out[i] = Match{Entity: db.byID[r.Entity], Degree: r.Degree}
+		out[i] = Match{Entity: s.byID[r.Entity], Degree: r.Degree}
 	}
 	return out, stats.AchievedEpsilon, nil
 }
@@ -671,56 +584,68 @@ func (db *DB) KNNJoin(entities []string, k int, workers int) (map[string][]Match
 // reconstruction happens through BuildIndex on a DB with the same visits,
 // or via cmd/buildindex + cmd/topk for file-based pipelines.
 func (db *DB) SaveIndex(w io.Writer) (int64, error) {
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return 0, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.tree.WriteTo(w)
+	return s.tree.WriteTo(w)
 }
 
 // Degree computes the exact association degree between two entities without
-// touching the index.
+// touching the index. Both entities resolve against one pinned snapshot (the
+// shared lookup path), so the degree always compares two states from the
+// same consistent index generation.
 func (db *DB) Degree(a, b string) (float64, error) {
-	if err := db.ensureIndexed(); err != nil {
+	s, err := db.snapshotForQuery()
+	if err != nil {
 		return 0, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ea, ok := db.names[a]
-	if !ok {
-		return 0, fmt.Errorf("digitaltraces: unknown entity %q", a)
+	sa, err := db.lookup(s, a)
+	if err != nil {
+		return 0, err
 	}
-	eb, ok := db.names[b]
-	if !ok {
-		return 0, fmt.Errorf("digitaltraces: unknown entity %q", b)
+	sb, err := db.lookup(s, b)
+	if err != nil {
+		return 0, err
 	}
-	sa, sb := db.store.Get(ea), db.store.Get(eb)
-	if sa == nil || sb == nil { // added after this query refreshed
-		return 0, fmt.Errorf("digitaltraces: entity has no indexed visits")
-	}
-	return db.measure.Degree(sa, sb), nil
+	return s.measure.Degree(sa, sb), nil
 }
 
-// IndexStats describes the built index (nil tree → zero value). BuildTime is
-// the duration of the last full BuildIndex; on an aggregated engine (a shard
-// cluster) it is the slowest member's build — the parallel critical path,
-// i.e. the wall clock a machine with at least as many cores as shards sees.
+// IndexStats describes the serving index snapshot (zero value before the
+// first build). BuildTime is the duration of the last full BuildIndex; on an
+// aggregated engine (a shard cluster) it is the slowest member's build — the
+// parallel critical path, i.e. the wall clock a machine with at least as
+// many cores as shards sees.
 type IndexStats struct {
 	Entities    int
 	Nodes       int
 	Leaves      int
 	MemoryBytes int
 	BuildTime   time.Duration
+	// Generation counts snapshot swaps: 0 before the first build, 1 after
+	// it, +1 for every subsequent BuildIndex/Refresh swap. An aggregated
+	// engine sums its members' generations (total swaps cluster-wide).
+	Generation uint64
+	// LastSwap is when the serving snapshot was published (zero before the
+	// first build; on an aggregated engine, the latest member swap).
+	LastSwap time.Time
 }
 
-// IndexStats returns current index statistics.
+// IndexStats returns current index statistics — one atomic snapshot load,
+// never blocked by ingest or rebuilds.
 func (db *DB) IndexStats() IndexStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.tree == nil {
+	s := db.snap.Load()
+	if s == nil {
 		return IndexStats{}
 	}
-	s := db.tree.Stats()
-	return IndexStats{Entities: s.Entities, Nodes: s.Nodes, Leaves: s.Leaves, MemoryBytes: s.MemoryBytes, BuildTime: db.lastBuild}
+	st := s.tree.Stats()
+	return IndexStats{
+		Entities:    st.Entities,
+		Nodes:       st.Nodes,
+		Leaves:      st.Leaves,
+		MemoryBytes: st.MemoryBytes,
+		BuildTime:   s.buildTime,
+		Generation:  s.generation,
+		LastSwap:    s.swappedAt,
+	}
 }

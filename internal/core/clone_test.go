@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
+)
+
+// TestCloneAnswersIdentically: a clone reproduces the original's shape and
+// exact answers for every measure, reading from the same source.
+func TestCloneAnswersIdentically(t *testing.T) {
+	_, st, tree := buildRandomWorld(t, 23, 70, 24)
+	clone, err := tree.Clone(st)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if got, want := clone.Stats(), tree.Stats(); got != want {
+		t.Fatalf("clone stats %+v != original %+v", got, want)
+	}
+	for _, m := range measuresFor(t, 3) {
+		for e := trace.EntityID(0); e < 10; e++ {
+			want, _, err := tree.TopK(st.Get(e), 5, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := clone.TopK(st.Get(e), 5, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("entity %d: clone answers %v, original %v", e, got, want)
+			}
+		}
+	}
+}
+
+// TestCloneIsolation is the property the root package's non-blocking Refresh
+// stands on: updating a clone must leave the original tree byte-for-byte
+// untouched — same structure, same stats, same answers — because queries may
+// still be searching it.
+func TestCloneIsolation(t *testing.T) {
+	ix, st, tree := buildRandomWorld(t, 31, 60, 24)
+	m := measuresFor(t, 3)[0]
+	type answer struct {
+		res []Result
+	}
+	before := make([]answer, 12)
+	for e := range before {
+		res, _, err := tree.TopK(st.Get(trace.EntityID(e)), 4, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[e] = answer{res}
+	}
+	statsBefore := tree.Stats()
+
+	// Mutate the clone heavily through a cloned store: churn existing
+	// entities and insert new ones.
+	cst := st.Clone()
+	clone, err := tree.Clone(cst)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for e := trace.EntityID(0); e < 20; e++ {
+		var recs []trace.Record
+		for j := 0; j < 3; j++ {
+			s := trace.Time(rng.Intn(40))
+			recs = append(recs, trace.Record{Entity: e, Base: spindex.BaseID(rng.Intn(ix.NumBase())), Start: s, End: s + 2})
+		}
+		cst.AddRecords(e, recs)
+		if err := clone.Update(e); err != nil {
+			t.Fatalf("Update(%d) on clone: %v", e, err)
+		}
+	}
+	newbie := trace.EntityID(1000)
+	cst.AddRecords(newbie, []trace.Record{{Entity: newbie, Base: 0, Start: 1, End: 5}})
+	if err := clone.Insert(newbie); err != nil {
+		t.Fatalf("Insert on clone: %v", err)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid after updates: %v", err)
+	}
+
+	// The original is untouched: the clone's storm changed nothing.
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("original invalid after clone updates: %v", err)
+	}
+	if got := tree.Stats(); got != statsBefore {
+		t.Fatalf("original stats changed: %+v, was %+v", got, statsBefore)
+	}
+	if tree.Contains(newbie) {
+		t.Fatal("insert on the clone leaked into the original")
+	}
+	for e := range before {
+		res, _, err := tree.TopK(st.Get(trace.EntityID(e)), 4, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, before[e].res) {
+			t.Fatalf("entity %d: original's answer changed after clone updates: %v, was %v", e, res, before[e].res)
+		}
+	}
+}
+
+// TestCloneAfterRemovesTightens: a clone replayed from signatures restores
+// tight group coordinates, so it validates and prunes at least as well as a
+// post-Remove original.
+func TestCloneAfterRemovesTightens(t *testing.T) {
+	_, st, tree := buildRandomWorld(t, 41, 50, 24)
+	for e := trace.EntityID(0); e < 10; e++ {
+		if err := tree.Remove(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone, err := tree.Clone(st)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	m := measuresFor(t, 3)[0]
+	for e := trace.EntityID(10); e < 20; e++ {
+		want, wStats, err := tree.TopK(st.Get(e), 5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gStats, err := clone.TopK(st.Get(e), 5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("entity %d: clone answers %v, original %v", e, got, want)
+		}
+		if gStats.Checked > wStats.Checked {
+			t.Errorf("entity %d: tight clone checked %d > loose original's %d", e, gStats.Checked, wStats.Checked)
+		}
+	}
+}
+
+// TestCloneRejectsFullSignatureMode: the ablation configuration has no
+// replay path and must refuse loudly.
+func TestCloneRejectsFullSignatureMode(t *testing.T) {
+	st, _, full := buildBothModes(t, 11, 30, 16)
+	if _, err := full.Clone(st); err == nil {
+		t.Fatal("full-signature tree accepted Clone")
+	}
+}

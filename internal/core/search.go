@@ -98,8 +98,9 @@ func (h *resultHeap) Pop() any {
 // number of TopK/ApproxTopK/KNNJoin calls may therefore run concurrently
 // against the same tree, provided no Insert/Remove/Update/Rebuild runs at
 // the same time; callers who interleave maintenance with queries must
-// provide that exclusion themselves (the public DB facade does, with an
-// RWMutex).
+// provide that exclusion themselves (the public DB facade does, by only
+// ever querying immutable snapshot trees and applying maintenance to a
+// Clone that is atomically swapped in afterwards).
 func (t *Tree) TopK(q *trace.Sequences, k int, measure adm.Measure) ([]Result, SearchStats, error) {
 	var stats SearchStats
 	if k < 1 {

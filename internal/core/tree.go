@@ -53,7 +53,9 @@ type node struct {
 // safe for concurrent mutation; concurrent TopK/ApproxTopK/KNNJoin queries
 // against a tree that no goroutine is mutating are safe (the query path is
 // verified read-only; see Tree.TopK). Callers mixing maintenance with
-// queries must serialize them — the root-package DB does so with an RWMutex.
+// queries must keep the two apart — the root-package DB does so by never
+// mutating a served tree at all: queries search immutable, atomically
+// swapped snapshots while maintenance updates a Clone aside.
 type Tree struct {
 	ix     *spindex.Index
 	hasher sighash.Hasher
@@ -190,6 +192,40 @@ func (t *Tree) Update(e trace.EntityID) error {
 		}
 	}
 	return t.Insert(e)
+}
+
+// Clone returns a structurally independent copy of the tree reading entity
+// sequences from src (pass t.Source() to keep the same source): fresh nodes
+// and a fresh signature map, replayed from the stored signature digests in
+// ascending entity order — the ReadSnapshot replay, so the cost is O(|E|·m)
+// with no re-hashing. The receiver is not touched and keeps serving
+// concurrent queries; the clone is the build-aside entry point for
+// maintenance that must never mutate a live tree (the root package's
+// non-blocking Refresh updates a clone, then atomically swaps it in).
+//
+// Replay recomputes each group signature as the minimum over current
+// members, so a clone taken after Removes has tight signatures again and
+// prunes at least as well as the original. The stored per-entity digests are
+// shared with the receiver; that is safe because no maintenance operation
+// mutates a digest in place (Update replaces the map entry with a freshly
+// computed one). Full-signature trees (Options.FullSignatures) are an
+// ablation-only configuration and are not cloneable.
+func (t *Tree) Clone(src SequenceSource) (*Tree, error) {
+	if t.full {
+		return nil, fmt.Errorf("core: full-signature trees do not support Clone")
+	}
+	c := &Tree{
+		ix:     t.ix,
+		hasher: t.hasher,
+		src:    src,
+		root:   &node{level: 0, children: make(map[uint32]*node)},
+		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(t.sigs)),
+		m:      t.m,
+	}
+	for _, e := range t.Entities() {
+		c.insertWithSig(e, t.sigs[e])
+	}
+	return c, nil
 }
 
 // Rebuild reconstructs the tree from the current entity set, restoring tight

@@ -242,6 +242,24 @@ func (st *Store) Put(s *Sequences) {
 // Get returns the sequences of an entity, or nil if absent.
 func (st *Store) Get(e EntityID) *Sequences { return st.seqs[e] }
 
+// Clone returns a copy with a fresh entity map and insertion-order slice,
+// sharing the *Sequences values (which ingest paths treat as immutable:
+// AddRecords replaces an entity's entry with a newly built Sequences rather
+// than mutating the old one in place). Put/AddRecords on the clone therefore
+// never disturb the original — the copy-on-write seam the root package's
+// build-aside Refresh derives new index snapshots through.
+func (st *Store) Clone() *Store {
+	cp := &Store{
+		ix:   st.ix,
+		seqs: make(map[EntityID]*Sequences, len(st.seqs)),
+		ids:  append([]EntityID(nil), st.ids...),
+	}
+	for e, s := range st.seqs {
+		cp.seqs[e] = s
+	}
+	return cp
+}
+
 // Len returns the number of entities (|E|).
 func (st *Store) Len() int { return len(st.ids) }
 

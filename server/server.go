@@ -8,15 +8,18 @@
 //	GET/POST /topk        one top-k query (?entity=alice&k=10, or JSON body)
 //	POST     /topk/batch  many top-k queries on the worker pool (TopKBatch)
 //	POST     /visits      ingest visit records; optional immediate refresh
-//	GET      /stats       index + server statistics (+ per-shard breakdown
-//	                      when the engine is sharded)
+//	GET      /stats       index + server statistics: snapshot generation and
+//	                      last-swap time, shape, serving counters (+ per-shard
+//	                      breakdown when the engine is sharded)
 //	GET      /healthz     liveness probe
 //
-// All concurrency control lives in the engine (queries share its read locks,
-// ingest takes its write locks), so the handlers are stateless apart from
+// All concurrency control lives in the engine — queries answer lock-free
+// against its atomically swapped immutable index snapshots, ingest touches
+// only its small ingest locks — so the handlers are stateless apart from
 // monotonic counters; one Server instance safely serves any number of
-// in-flight requests. Results over HTTP are bit-identical to the library
-// API: handlers call the same TopK/TopKBatch methods with no extra
+// in-flight requests, and queries keep answering at full speed while the
+// engine rebuilds its index. Results over HTTP are bit-identical to the
+// library API: handlers call the same TopK/TopKBatch methods with no extra
 // rounding or re-ranking.
 package server
 
@@ -58,9 +61,9 @@ func WithMaxK(k int) Option {
 }
 
 // WithMaxBatch caps the number of entities one /topk/batch request may name
-// (default 10000). A batch holds the engine's read locks for its whole run,
-// so an unbounded batch would let a single request stall ingest — and,
-// behind a waiting writer, all other queries — for minutes.
+// (default 10000). A batch occupies the engine's query worker pool for its
+// whole run, so an unbounded batch would let a single request monopolize the
+// serving CPUs for minutes.
 func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.maxBatch = n }
 }
@@ -289,11 +292,16 @@ type ShardStat struct {
 	Leaves        int     `json:"leaves"`
 	MemoryBytes   int     `json:"memory_bytes"`
 	BuildMS       float64 `json:"build_ms"`
+	Generation    uint64  `json:"generation"`
+	LastSwap      string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
 }
 
 // StatsResponse is the /stats reply: the index shape (cluster totals for a
 // sharded engine) plus serving counters, and the per-shard breakdown when
-// the engine is sharded.
+// the engine is sharded. Generation counts index snapshot swaps (a cluster
+// sums its shards') and LastSwap is when the serving snapshot last changed —
+// together they let operators verify that ingest is actually reaching the
+// serving index without ever blocking it.
 type StatsResponse struct {
 	Index struct {
 		Entities    int     `json:"entities"`
@@ -301,6 +309,8 @@ type StatsResponse struct {
 		Leaves      int     `json:"leaves"`
 		MemoryBytes int     `json:"memory_bytes"`
 		BuildMS     float64 `json:"build_ms"`
+		Generation  uint64  `json:"generation"`
+		LastSwap    string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
 	} `json:"index"`
 	Entities int         `json:"entities"`
 	Venues   int         `json:"venues"`
@@ -328,6 +338,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.Leaves = ix.Leaves
 	resp.Index.MemoryBytes = ix.MemoryBytes
 	resp.Index.BuildMS = float64(ix.BuildTime.Microseconds()) / 1e3
+	resp.Index.Generation = ix.Generation
+	resp.Index.LastSwap = swapTime(ix.LastSwap)
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()
 	resp.Levels = s.eng.Levels()
@@ -343,6 +355,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Leaves:        st.Index.Leaves,
 				MemoryBytes:   st.Index.MemoryBytes,
 				BuildMS:       float64(st.Index.BuildTime.Microseconds()) / 1e3,
+				Generation:    st.Index.Generation,
+				LastSwap:      swapTime(st.Index.LastSwap),
 			})
 		}
 	}
@@ -356,6 +370,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Server.AvgQueryUS = float64(s.queryNanos.Load()) / float64(q+b) / 1e3
 	}
 	s.reply(w, resp)
+}
+
+// swapTime renders a snapshot swap time for the wire: RFC 3339, empty when
+// the index has never been built.
+func swapTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

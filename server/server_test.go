@@ -143,6 +143,14 @@ func TestVisitIngestOverHTTP(t *testing.T) {
 	if st.Server.VisitsIngested != 2 || st.Server.Queries == 0 {
 		t.Errorf("server counters: %+v", st.Server)
 	}
+	// The refresh-on-ingest swapped a second snapshot in; /stats reports the
+	// generation counter and the swap timestamp.
+	if st.Index.Generation < 2 {
+		t.Errorf("generation = %d after build+refresh, want ≥ 2", st.Index.Generation)
+	}
+	if ts0, err := time.Parse(time.RFC3339Nano, st.Index.LastSwap); err != nil || ts0.IsZero() {
+		t.Errorf("last_swap %q unparseable: %v", st.Index.LastSwap, err)
+	}
 }
 
 // TestHTTPErrors covers the rejection paths.
@@ -338,14 +346,22 @@ func TestShardedServer(t *testing.T) {
 		t.Fatalf("/stats has %d shards, want 4", len(st.Shards))
 	}
 	sum := 0
+	var genSum uint64
 	for i, s := range st.Shards {
 		if s.Shard != i || s.Entities == 0 {
 			t.Errorf("shard stat %d = %+v", i, s)
 		}
+		if s.Generation == 0 || s.LastSwap == "" {
+			t.Errorf("shard %d missing snapshot provenance: %+v", i, s)
+		}
 		sum += s.Entities
+		genSum += s.Generation
 	}
 	if sum != 41 {
 		t.Errorf("per-shard entities sum to %d, want 41", sum)
+	}
+	if st.Index.Generation != genSum {
+		t.Errorf("cluster generation %d != shard sum %d", st.Index.Generation, genSum)
 	}
 }
 

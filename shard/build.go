@@ -30,8 +30,10 @@ func (c *Cluster) BuildIndex() error {
 // shard whose new visits extend past its indexed horizon rebuilds just
 // itself — unlike a single DB, which surfaces ErrBeyondHorizon for the
 // caller to decide, the cluster absorbs it locally: falling back to a
-// cluster-wide BuildIndex would pay N full rebuilds (and block queries on
-// every shard) when one shard needed it.
+// cluster-wide BuildIndex would pay N full rebuilds when one shard needed
+// it. Either way queries stay unblocked — each shard builds its next
+// snapshot aside and atomically swaps it, so even the rebuild-one-shard
+// path serves reads from the shard's previous snapshot throughout.
 func (c *Cluster) Refresh() error {
 	return c.eachShard(func(sh *digitaltraces.DB) error {
 		if sh.NumEntities() == 0 {

@@ -28,12 +28,16 @@
 //
 // # Concurrency and locking
 //
-// Each shard keeps its own RWMutex, so the cluster has N independent lock
-// domains instead of one: ingest for entity A only contends with queries
-// touching A's shard, and shard index builds run truly in parallel (the
-// wall-clock build speedup cmd/bench records). The Cluster itself adds only
-// a small mutex around the entity→ordinal routing registry; scatter-gather
-// queries take per-shard read locks and never hold a global lock.
+// Each shard is an independent DB, so the cluster has N independent
+// synchronization domains instead of one: ingest for entity A only touches
+// A's shard's ingest lock, and shard index builds run truly in parallel (the
+// wall-clock build speedup cmd/bench records). Every shard serves queries
+// from its own atomically swapped immutable index snapshot, so a
+// scatter-gather query pins one frozen snapshot per shard for its whole
+// fan-out and is never blocked by a shard rebuilding — a shard absorbing new
+// data builds the next snapshot aside and swaps it in when done. The Cluster
+// itself adds only a small mutex around the entity→ordinal routing registry;
+// no query ever holds a global lock.
 //
 // A Cluster satisfies digitaltraces.Engine, so package server serves it with
 // zero endpoint changes (cmd/serve -shards N).
@@ -167,7 +171,7 @@ func (c *Cluster) AddVisit(entity, venue string, start, end time.Time) error {
 
 // AddVisits bulk-ingests visits: records are grouped by owning shard
 // (preserving arrival order within each group) and the groups are forwarded
-// in parallel, one write-lock acquisition per shard. It returns the total
+// in parallel, one ingest-lock acquisition per shard. It returns the total
 // number of visits stored.
 //
 // Partial-failure semantics are per shard: each shard keeps the prefix of
@@ -392,10 +396,11 @@ func (c *Cluster) NumVenues() int { return c.shards[0].NumVenues() }
 // Levels returns the hierarchy height (identical on every shard).
 func (c *Cluster) Levels() int { return c.shards[0].Levels() }
 
-// IndexStats returns cluster totals: sums of every shard's index shape,
-// except BuildTime, which is the slowest shard's last build — the parallel
-// critical path, the wall clock a machine with ≥ NumShards cores sees for
-// BuildIndex.
+// IndexStats returns cluster totals: sums of every shard's index shape and
+// snapshot generation (total swaps cluster-wide), except BuildTime — the
+// slowest shard's last build, the parallel critical path a machine with
+// ≥ NumShards cores sees for BuildIndex — and LastSwap, the latest shard
+// swap (when the cluster's serving state last changed anywhere).
 func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 	var agg digitaltraces.IndexStats
 	for _, sh := range c.shards {
@@ -404,8 +409,12 @@ func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 		agg.Nodes += s.Nodes
 		agg.Leaves += s.Leaves
 		agg.MemoryBytes += s.MemoryBytes
+		agg.Generation += s.Generation
 		if s.BuildTime > agg.BuildTime {
 			agg.BuildTime = s.BuildTime
+		}
+		if s.LastSwap.After(agg.LastSwap) {
+			agg.LastSwap = s.LastSwap
 		}
 	}
 	return agg

@@ -1,0 +1,308 @@
+package digitaltraces
+
+// Build-aside snapshot machinery — the non-blocking index maintenance core.
+//
+// A DB serves queries from an immutable *snapshot published through an
+// atomic.Pointer. Builders (BuildIndex, Refresh, and the query path's lazy
+// escalation) construct the next snapshot entirely off to the side — from a
+// visit view captured under the ingest lock — and then swap the pointer, so
+// a multi-second rebuild never blocks a read: queries arriving while a build
+// is in flight keep answering from the previous snapshot. See DESIGN.md
+// "Concurrency model" for the full contract.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/core"
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/trace"
+)
+
+// snapshot is one frozen, fully consistent index state: the sequence store,
+// the MinSigTree over it, the degree measure, the indexed time horizon and
+// the name table of every entity that existed at capture. A snapshot is
+// immutable after publication — the tree is only ever read (core.Tree.TopK is
+// verified read-only), the store is never Put into again, and byID is a
+// length-capped prefix whose elements never change — so any number of queries
+// search it lock-free while maintenance builds the next snapshot aside
+// instead of mutating this one.
+type snapshot struct {
+	store   *trace.Store
+	tree    *core.Tree
+	measure adm.Measure
+	horizon trace.Time
+	byID    []string // entity name by EntityID, frozen at capture
+
+	generation uint64        // 1 for the first build, +1 per swap
+	buildTime  time.Duration // duration of the lineage's last full BuildIndex
+	swappedAt  time.Time     // when this snapshot was published
+}
+
+// topK runs the exact search against this frozen snapshot. No locks: the
+// tree, store, measure and name table are immutable after publication.
+func (s *snapshot) topK(q *trace.Sequences, k int) ([]Match, QueryStats, error) {
+	startT := time.Now()
+	res, stats, err := s.tree.TopK(q, k, s.measure)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{Entity: s.byID[r.Entity], Degree: r.Degree}
+	}
+	return out, QueryStats{
+		Checked: stats.Checked,
+		PE:      stats.PE,
+		Pruned:  stats.Pruned,
+		Elapsed: time.Since(startT),
+	}, nil
+}
+
+// view is the ingest-side state a builder captured under the ingest lock:
+// frozen visit slice headers (appends only ever write past these lengths or
+// reallocate, so the captured headers are stable), the name-table prefix, the
+// per-entity visit count the new snapshot will cover (publish retires exactly
+// that dirt — an entity that received further visits mid-build stays dirty),
+// and the refresh work list.
+type view struct {
+	visits map[trace.EntityID][]trace.Record
+	byID   []string
+	folded map[trace.EntityID]int // entity → visit count folded into the build
+	dirty  []trace.EntityID       // dirty entities at capture, ascending
+}
+
+// captureView snapshots the ingest side. dirtyOnly restricts the visit copy
+// to dirty entities (the refresh path); a full capture covers every entity
+// (the build path).
+func (db *DB) captureView(dirtyOnly bool) view {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v := view{byID: db.byID[:len(db.byID):len(db.byID)]}
+	if dirtyOnly {
+		v.visits = make(map[trace.EntityID][]trace.Record, len(db.dirty))
+		v.folded = make(map[trace.EntityID]int, len(db.dirty))
+		v.dirty = make([]trace.EntityID, 0, len(db.dirty))
+		for e := range db.dirty {
+			recs := db.visits[e]
+			v.visits[e] = recs[:len(recs):len(recs)]
+			v.folded[e] = len(recs)
+			v.dirty = append(v.dirty, e)
+		}
+		sort.Slice(v.dirty, func(i, j int) bool { return v.dirty[i] < v.dirty[j] })
+	} else {
+		v.visits = make(map[trace.EntityID][]trace.Record, len(db.visits))
+		v.folded = make(map[trace.EntityID]int, len(db.visits))
+		for e, recs := range db.visits {
+			v.visits[e] = recs[:len(recs):len(recs)]
+			v.folded[e] = len(recs)
+		}
+	}
+	return v
+}
+
+// hasDirty reports whether any entity has visits newer than the serving
+// snapshot covers.
+func (db *DB) hasDirty() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.dirty) > 0
+}
+
+// buildSnapshot constructs a full snapshot from a freshly captured visit view
+// and publishes it. Callers must hold buildMu. Cost is O(|E|·C·nh) signature
+// hashing plus tree insertion (Section 4.3) — all of it outside every lock
+// queries touch.
+func (db *DB) buildSnapshot() (*snapshot, error) {
+	start := time.Now()
+	v := db.captureView(false)
+	if len(v.visits) == 0 {
+		return nil, fmt.Errorf("digitaltraces: no visits to index")
+	}
+	var horizon trace.Time
+	for _, recs := range v.visits {
+		for _, r := range recs {
+			if r.End > horizon {
+				horizon = r.End
+			}
+		}
+	}
+	store := trace.NewStore(db.ix)
+	ids := make([]trace.EntityID, 0, len(v.visits))
+	for e := range v.visits {
+		ids = append(ids, e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, e := range ids {
+		store.AddRecords(e, v.visits[e])
+	}
+	fam, err := sighash.NewFamily(db.ix, horizon, db.nh, db.seed)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Build(db.ix, fam, store, ids)
+	if err != nil {
+		return nil, err
+	}
+	measure, err := db.newMeasure()
+	if err != nil {
+		return nil, err
+	}
+	ns := &snapshot{
+		store:     store,
+		tree:      tree,
+		measure:   measure,
+		horizon:   horizon,
+		byID:      v.byID,
+		buildTime: time.Since(start),
+	}
+	return db.publish(ns, v), nil
+}
+
+// refreshSnapshot folds the dirty entities into a copy of prev (Section
+// 4.2.3 incremental maintenance, built aside) and publishes the copy. prev is
+// never mutated — its store is cloned shallowly and its tree is cloned by
+// signature replay (core.Tree.Clone), so queries pinned to prev keep
+// searching it untouched. A dirty visit past prev's indexed horizon fails
+// with ErrBeyondHorizon: the hash family is parameterized by the horizon, so
+// only a full buildSnapshot can absorb it. Callers must hold buildMu.
+func (db *DB) refreshSnapshot(prev *snapshot) (*snapshot, error) {
+	v := db.captureView(true)
+	if len(v.dirty) == 0 {
+		return prev, nil
+	}
+	for _, e := range v.dirty {
+		for _, r := range v.visits[e] {
+			if r.End > prev.horizon {
+				return nil, ErrBeyondHorizon
+			}
+		}
+	}
+	store := prev.store.Clone()
+	tree, err := prev.tree.Clone(store)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range v.dirty {
+		store.AddRecords(e, v.visits[e])
+		if err := tree.Update(e); err != nil {
+			return nil, err
+		}
+	}
+	ns := &snapshot{
+		store:     store,
+		tree:      tree,
+		measure:   prev.measure,
+		horizon:   prev.horizon,
+		byID:      v.byID,
+		buildTime: prev.buildTime,
+	}
+	return db.publish(ns, v), nil
+}
+
+// publish swaps the new snapshot in and retires the dirt it folded. The
+// ingest lock makes the swap and the dirty-set trim one atomic step against
+// writers; builders are already serialized by buildMu, so the pointer swap
+// itself never races another publisher.
+func (db *DB) publish(ns *snapshot, v view) *snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ns.generation = 1
+	if prev := db.snap.Load(); prev != nil {
+		ns.generation = prev.generation + 1
+	}
+	ns.swappedAt = time.Now()
+	db.snap.Store(ns)
+	for e, n := range v.folded {
+		if db.dirty[e] && len(db.visits[e]) == n {
+			delete(db.dirty, e)
+		}
+	}
+	return ns
+}
+
+// newMeasure constructs the configured association degree measure.
+func (db *DB) newMeasure() (adm.Measure, error) {
+	if db.jaccard {
+		return adm.NewJaccardADM(db.ix.Height())
+	}
+	return adm.NewPaperADM(db.ix.Height(), db.measureU, db.measureV)
+}
+
+// snapshotForQuery returns the snapshot a query answers over, preserving the
+// lazy-freshness contract without ever stalling reads behind an in-flight
+// build:
+//
+//   - index built and nothing dirty — the hot path: one atomic load plus one
+//     shared-lock staleness check, then a lock-free search;
+//   - stale index, no build running — the query becomes the builder: it folds
+//     the dirt aside (escalating to a full rebuild when a dirty visit extends
+//     past the indexed horizon, so one out-of-horizon ingest can never wedge
+//     the query path) and swaps before answering — sequential callers always
+//     read their own writes;
+//   - stale index, build in flight — the query answers from the published
+//     snapshot instead of waiting: the racing visits were never promised to
+//     be visible (they are exactly the "visits arriving after the refresh
+//     decision" of the old write-lock design) and the in-flight build
+//     publishes them shortly;
+//   - no index at all — first queries must wait for one to exist.
+func (db *DB) snapshotForQuery() (*snapshot, error) {
+	s := db.snap.Load()
+	if s != nil && !db.hasDirty() {
+		return s, nil
+	}
+	if s != nil {
+		if !db.buildMu.TryLock() {
+			return s, nil
+		}
+	} else {
+		db.buildMu.Lock()
+	}
+	defer db.buildMu.Unlock()
+	// Re-check under buildMu: the builder we waited on (or raced) may have
+	// already published exactly what we need.
+	s = db.snap.Load()
+	if s == nil {
+		return db.buildSnapshot()
+	}
+	if !db.hasDirty() {
+		return s, nil
+	}
+	ns, err := db.refreshSnapshot(s)
+	if err != nil {
+		if errors.Is(err, ErrBeyondHorizon) {
+			return db.buildSnapshot()
+		}
+		return nil, err
+	}
+	return ns, nil
+}
+
+// lookup resolves an entity name against a snapshot: the ID comes from the
+// ingest registry (IDs are append-only, so a resolved ID stays valid forever)
+// and the sequences from the snapshot's frozen store. Both failure modes name
+// the entity: names never ingested, and names whose visits arrived after the
+// queried snapshot was built (the next build or Refresh folds them in).
+func (db *DB) lookup(s *snapshot, entity string) (*trace.Sequences, error) {
+	db.mu.RLock()
+	e, ok := db.names[entity]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("digitaltraces: unknown entity %q", entity)
+	}
+	return s.sequences(e, entity)
+}
+
+// sequences returns an entity's frozen sequences from this snapshot, or the
+// canonical not-yet-indexed error naming the entity (shared by lookup and
+// the batch path so the two can never drift apart).
+func (s *snapshot) sequences(e trace.EntityID, name string) (*trace.Sequences, error) {
+	q := s.store.Get(e)
+	if q == nil {
+		return nil, fmt.Errorf("digitaltraces: entity %q has no indexed visits yet (ingested after the serving snapshot was built; Refresh or the next query folds it in)", name)
+	}
+	return q, nil
+}
