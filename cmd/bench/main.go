@@ -23,6 +23,18 @@
 // writes BENCH_snapshot.json with both rows and the p99 speedup. That
 // speedup is the headline number: queries that used to serialize behind a
 // multi-hundred-millisecond rebuild keep answering at microsecond latency.
+//
+// The -scenario refresh mode measures incremental index maintenance cost:
+// Refresh latency at a fixed dirty-entity count across increasing population
+// sizes, once with the pre-COW full-copy path (WithCloneRefresh: shallow
+// store clone + full tree replay, O(|E|) per swap) and once with the default
+// copy-on-write derive (structural sharing, O(dirty)):
+//
+//	bench -label refresh -scenario refresh -refresh-sizes 1000,4000,16000 -dirty 64
+//
+// writes BENCH_refresh.json. The headline is the per-size speedup: the clone
+// rows grow roughly linearly with |E| while the cow rows stay near-flat, so
+// the ratio widens with the database.
 package main
 
 import (
@@ -33,7 +45,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -79,6 +91,22 @@ type RebuildRun struct {
 	P99Speedup float64 `json:"p99_speedup_vs_locked,omitempty"`
 }
 
+// RefreshRun is one (mode, population) cell of the -scenario refresh
+// matrix: Refresh latency with exactly Dirty dirty entities per swap. Mode
+// "clone" is the pre-COW full-copy path (O(|E|) per swap); mode "cow" is the
+// copy-on-write derive (O(dirty)). SpeedupVsClone is mean(clone)/mean(cow)
+// at the same population, on the cow rows only.
+type RefreshRun struct {
+	Mode           string  `json:"mode"` // "clone" or "cow"
+	Entities       int     `json:"entities"`
+	Dirty          int     `json:"dirty"`
+	Refreshes      int     `json:"refreshes"`
+	MeanMicros     float64 `json:"mean_us"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	SpeedupVsClone float64 `json:"speedup_vs_clone,omitempty"`
+}
+
 // Report is the BENCH_<label>.json schema.
 type Report struct {
 	Label       string `json:"label"`
@@ -96,6 +124,7 @@ type Report struct {
 	} `json:"config"`
 	Runs        []Run        `json:"runs,omitempty"`
 	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
+	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
 }
 
 func main() {
@@ -113,8 +142,11 @@ func main() {
 		k        = flag.Int("k", 10, "top-k result size")
 		queries  = flag.Int("queries", 200, "queries per latency/throughput sample")
 		shardSet = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to benchmark alongside the single DB")
-		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size) or "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap)`)
+		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size), "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap) or "refresh" (Refresh latency at fixed dirty count across population sizes, full-copy baseline vs copy-on-write derive)`)
 		rebuilds = flag.Int("rebuilds", 3, "rebuild scenario: concurrent BuildIndex runs to sample queries against")
+		refSizes = flag.String("refresh-sizes", "1000,4000,16000", "refresh scenario: comma-separated population sizes")
+		dirtyN   = flag.Int("dirty", 64, "refresh scenario: dirty entities per swap")
+		refCount = flag.Int("refreshes", 30, "refresh scenario: measured swaps per (mode, size) cell")
 	)
 	flag.Parse()
 
@@ -122,25 +154,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *scenario != "serve" && *scenario != "rebuild" {
-		log.Fatalf("unknown -scenario %q (want serve or rebuild)", *scenario)
+	switch *scenario {
+	case "serve", "rebuild", "refresh":
+	default:
+		log.Fatalf("unknown -scenario %q (want serve, rebuild or refresh)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
 		digitaltraces.WithSeed(uint64(*seed)),
 	}
 	cfg := digitaltraces.CityConfig{Side: *side, Levels: *levels, Entities: *entities, Days: *days, Seed: *seed}
-
-	log.Printf("generating city: %d entities, %d² venues, %d days, nh=%d", *entities, *side, *days, *nh)
-	src, err := digitaltraces.SyntheticCity(cfg, opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	names := make([]string, 0, *queries)
-	for i := 0; i < *queries; i++ {
-		names = append(names, fmt.Sprintf("entity-%d", (i*37)%*entities))
-	}
 
 	var report Report
 	report.Label = *label
@@ -154,6 +177,30 @@ func main() {
 	report.Config.K = *k
 	report.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
 	report.Config.GoVersion = runtime.Version()
+
+	if *scenario == "refresh" {
+		popSizes, err := parseSizes(*refSizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.RefreshRuns, err = refreshScenario(cfg, opts, popSizes, *dirtyN, *refCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		return
+	}
+
+	log.Printf("generating city: %d entities, %d² venues, %d days, nh=%d", *entities, *side, *days, *nh)
+	src, err := digitaltraces.SyntheticCity(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, *queries)
+	for i := 0; i < *queries; i++ {
+		names = append(names, fmt.Sprintf("entity-%d", (i*37)%*entities))
+	}
 
 	if *scenario == "rebuild" {
 		report.RebuildRuns, err = rebuildScenario(src, names, *k, *rebuilds)
@@ -207,6 +254,80 @@ func writeReport(report Report, out, label string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", path)
+}
+
+// refreshScenario measures one fold-and-swap (Refresh) with exactly dirtyN
+// dirty entities, refreshes times per cell, for every population size ×
+// {clone, cow}. Each cell gets its own deterministically regenerated city
+// (same seed ⇒ identical data across modes), a warm initial BuildIndex, and
+// a rotating dirty set so successive swaps touch different signature paths.
+func refreshScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, popSizes []int, dirtyN, refreshes int) ([]RefreshRun, error) {
+	if dirtyN < 1 || refreshes < 1 {
+		return nil, fmt.Errorf("refresh scenario: need -dirty ≥ 1 and -refreshes ≥ 1")
+	}
+	var runs []RefreshRun
+	for _, pop := range popSizes {
+		if dirtyN > pop {
+			return nil, fmt.Errorf("refresh scenario: -dirty %d exceeds population %d", dirtyN, pop)
+		}
+		var cloneMean float64
+		for _, mode := range []string{"clone", "cow"} {
+			ccfg := cfg
+			ccfg.Entities = pop
+			dbOpts := opts
+			if mode == "clone" {
+				dbOpts = append(append([]digitaltraces.Option{}, opts...), digitaltraces.WithCloneRefresh())
+			}
+			log.Printf("refresh scenario: generating city (%d entities, mode %s)", pop, mode)
+			db, err := digitaltraces.SyntheticCity(ccfg, dbOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("refresh scenario: %w", err)
+			}
+			if err := db.BuildIndex(); err != nil {
+				return nil, fmt.Errorf("refresh scenario: initial build: %w", err)
+			}
+			run := RefreshRun{Mode: mode, Entities: pop, Dirty: dirtyN, Refreshes: refreshes}
+			lat := make([]time.Duration, 0, refreshes)
+			venues := db.NumVenues()
+			// One warmup swap, then the measured ones.
+			for r := 0; r <= refreshes; r++ {
+				for j := 0; j < dirtyN; j++ {
+					name := fmt.Sprintf("entity-%d", (r*dirtyN+j*131)%pop)
+					h := (r + j) % 20
+					if err := db.AddVisit(name, fmt.Sprintf("venue-%d", j%venues), digitaltraces.TimeAt(h), digitaltraces.TimeAt(h+1)); err != nil {
+						return nil, fmt.Errorf("refresh scenario: dirtying: %w", err)
+					}
+				}
+				start := time.Now()
+				if err := db.Refresh(); err != nil {
+					return nil, fmt.Errorf("refresh scenario (%s/%d): Refresh: %w", mode, pop, err)
+				}
+				if r > 0 {
+					lat = append(lat, time.Since(start))
+				}
+			}
+			var sum time.Duration
+			for _, d := range lat {
+				sum += d
+			}
+			slices.Sort(lat)
+			run.MeanMicros = float64(sum.Microseconds()) / float64(len(lat))
+			run.P50Micros = float64(percentile(lat, 50).Microseconds())
+			run.P99Micros = float64(percentile(lat, 99).Microseconds())
+			if mode == "clone" {
+				cloneMean = run.MeanMicros
+			} else if run.MeanMicros > 0 {
+				run.SpeedupVsClone = cloneMean / run.MeanMicros
+			}
+			log.Printf("refresh scenario %s |E|=%d dirty=%d: mean %.0fµs, p50 %.0fµs, p99 %.0fµs",
+				mode, pop, dirtyN, run.MeanMicros, run.P50Micros, run.P99Micros)
+			if run.SpeedupVsClone > 0 {
+				log.Printf("  cow speedup vs clone at |E|=%d: %.1fx", pop, run.SpeedupVsClone)
+			}
+			runs = append(runs, run)
+		}
+	}
+	return runs, nil
 }
 
 // lockedEngine recreates the pre-snapshot concurrency design around a DB:
@@ -333,7 +454,7 @@ func measureRebuild(mode string, eng rebuildEngine, venues int, names []string, 
 				if len(lat) == 0 {
 					return run, fmt.Errorf("rebuild scenario (%s): no query overlapped a rebuild; increase -entities or -hash", mode)
 				}
-				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				slices.Sort(lat)
 				run.RebuildSeconds = buildSecs
 				run.Queries = len(lat)
 				run.P50Micros = float64(percentile(lat, 50).Microseconds())
@@ -382,7 +503,7 @@ func measure(kind string, shards int, eng digitaltraces.Engine, names []string, 
 		}
 		lat = append(lat, time.Since(qStart))
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	slices.Sort(lat)
 	run.P50Micros = float64(percentile(lat, 50).Microseconds())
 	run.P99Micros = float64(percentile(lat, 99).Microseconds())
 

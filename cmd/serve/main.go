@@ -50,6 +50,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "entity-partitioned shards (1 = single DB; >1 builds in parallel and scatter-gathers queries)")
 		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
 		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
+		refDirty  = flag.Int("refresh-dirty", 0, "auto-refresh: fold ingested visits into the index once this many entities are dirty (0 = no dirty trigger)")
+		refStale  = flag.Duration("refresh-staleness", 0, "auto-refresh: fold dirt once the serving snapshot is older than this (0 = no staleness trigger)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,15 @@ func main() {
 		digitaltraces.WithHashFunctions(*nh),
 		digitaltraces.WithSeed(uint64(*seed)),
 		digitaltraces.WithPaperMeasure(*u, *v),
+	}
+	if *refDirty > 0 || *refStale > 0 {
+		// Each DB (every shard, for -shards > 1) folds its own dirt in the
+		// background, so /visits ingest reaches the serving index without
+		// clients passing refresh=true and without any query paying for the
+		// fold. O(dirty) copy-on-write swaps make even aggressive settings
+		// (single-digit milliseconds of staleness) cheap.
+		opts = append(opts, digitaltraces.WithAutoRefresh(*refDirty, *refStale))
+		log.Printf("auto-refresh: maxDirty=%d maxStaleness=%v", *refDirty, *refStale)
 	}
 	var (
 		db  *digitaltraces.DB

@@ -1,0 +1,262 @@
+package digitaltraces
+
+// Copy-on-write refresh tests: a snapshot pinned before a Refresh must keep
+// answering bit-identically while (and after) the refresh derives the next
+// generation from it by structural sharing and swaps it in. Run with -race —
+// the path-copying derive reads the pinned snapshot's nodes concurrently
+// with the queries searching them.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// pinnedAnswers evaluates the query set directly against one pinned
+// snapshot, bypassing snapshotForQuery so the test controls exactly which
+// generation answers.
+func pinnedAnswers(t testing.TB, db *DB, s *snapshot, queries []string, k int) map[string][]Match {
+	t.Helper()
+	out := make(map[string][]Match, len(queries))
+	for _, q := range queries {
+		seq, err := db.lookup(s, q)
+		if err != nil {
+			t.Fatalf("lookup(%s): %v", q, err)
+		}
+		res, _, err := s.topK(seq, k)
+		if err != nil {
+			t.Fatalf("pinned topK(%s): %v", q, err)
+		}
+		out[q] = res
+	}
+	return out
+}
+
+// TestRefreshCOWIsolation is the acceptance property of the copy-on-write
+// refresh: a snapshot pinned before the refresh returns bit-identical top-k
+// results during and after a concurrent derive+swap, even though the new
+// generation shares all of its clean subtrees.
+func TestRefreshCOWIsolation(t *testing.T) {
+	const population = 120
+	db, err := SyntheticCity(CityConfig{Side: 4, Entities: population, Days: 3}, WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	pinned := db.snap.Load()
+	const k = 5
+	queries := []string{"entity-0", "entity-7", "entity-23", "entity-41", "entity-99"}
+	baseline := pinnedAnswers(t, db, pinned, queries, k)
+
+	// Readers hammer the pinned snapshot while refreshes derive from it.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[i%len(queries)]
+				seq, err := db.lookup(pinned, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, _, err := pinned.topK(seq, k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res, baseline[q]) {
+					errs <- fmt.Errorf("pinned answer for %s changed during refresh: %v, was %v", q, res, baseline[q])
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer+refresher: several rounds of dirtying entities (including the
+	// query entities themselves, so their paths really get copied) and
+	// swapping in a derived snapshot.
+	for round := 0; round < 5; round++ {
+		for j := 0; j < 25; j++ {
+			name := fmt.Sprintf("entity-%d", (round*31+j)%population)
+			h := (round + j) % 24
+			if err := db.AddVisit(name, VenueName(j%db.NumVenues()), TimeAt(h), TimeAt(h+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Refresh(); err != nil {
+			t.Fatalf("round %d: Refresh: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// After all swaps: the pinned generation still answers identically and
+	// still validates; the serving generation has moved on.
+	if got := pinnedAnswers(t, db, pinned, queries, k); !reflect.DeepEqual(got, baseline) {
+		t.Fatal("pinned snapshot's answers changed after refreshes")
+	}
+	if err := pinned.tree.Validate(); err != nil {
+		t.Fatalf("pinned tree invalid after refreshes: %v", err)
+	}
+	cur := db.snap.Load()
+	if cur == pinned {
+		t.Fatal("refresh did not swap a new snapshot in")
+	}
+	if cur.generation != pinned.generation+5 {
+		t.Fatalf("generation = %d, want %d", cur.generation, pinned.generation+5)
+	}
+	if err := cur.tree.Validate(); err != nil {
+		t.Fatalf("serving tree invalid: %v", err)
+	}
+}
+
+// TestRefreshCloneAndCOWAgree: the two refresh implementations — full copy
+// (WithCloneRefresh) and path-copying derive — must produce bit-identical
+// answers over the same data and updates.
+func TestRefreshCloneAndCOWAgree(t *testing.T) {
+	const population = 80
+	mk := func(opts ...Option) *DB {
+		t.Helper()
+		opts = append([]Option{WithHashFunctions(32)}, opts...)
+		db, err := SyntheticCity(CityConfig{Side: 4, Entities: population, Days: 3}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BuildIndex(); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	cow, clone := mk(), mk(WithCloneRefresh())
+	for round := 0; round < 3; round++ {
+		for j := 0; j < 15; j++ {
+			name := fmt.Sprintf("entity-%d", (round*17+j*3)%population)
+			h := (round*2 + j) % 24
+			for _, db := range []*DB{cow, clone} {
+				if err := db.AddVisit(name, VenueName(j%db.NumVenues()), TimeAt(h), TimeAt(h+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := cow.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if err := clone.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < population; q += 7 {
+			name := fmt.Sprintf("entity-%d", q)
+			a, _, err := cow.TopK(name, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := clone.TopK(name, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("round %d, %s: cow %v != clone %v", round, name, a, b)
+			}
+		}
+	}
+}
+
+// BenchmarkRefresh measures one fold-and-swap at a fixed population under
+// varying dirty fractions, for both refresh implementations. The COW rows
+// should scale with the dirty count where the clone rows stay pinned to
+// O(|E|); cmd/bench -scenario refresh measures the |E|-scaling curve.
+func BenchmarkRefresh(b *testing.B) {
+	const entities = 2000
+	for _, mode := range []string{"cow", "clone"} {
+		for _, frac := range []float64{0.01, 0.05, 0.25} {
+			b.Run(fmt.Sprintf("mode=%s/dirty=%g", mode, frac), func(b *testing.B) {
+				opts := []Option{WithHashFunctions(32)}
+				if mode == "clone" {
+					opts = append(opts, WithCloneRefresh())
+				}
+				db, err := SyntheticCity(CityConfig{Side: 8, Entities: entities, Days: 3}, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.BuildIndex(); err != nil {
+					b.Fatal(err)
+				}
+				dirtyN := max(int(frac*entities), 1)
+				venues := db.NumVenues()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j := 0; j < dirtyN; j++ {
+						name := fmt.Sprintf("entity-%d", (i*131+j)%entities)
+						h := (i + j) % 24
+						if err := db.AddVisit(name, VenueName(j%venues), TimeAt(h), TimeAt(h+1)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					if err := db.Refresh(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRefreshRetightensAfterManyUpdates: the COW lineage carries its
+// removal count, and once it exceeds the population one refresh escalates
+// to a full-copy replay (resetting the count and re-tightening group
+// signatures) before returning to O(dirty) derives.
+func TestRefreshRetightensAfterManyUpdates(t *testing.T) {
+	const population = 10
+	db, err := SyntheticCity(CityConfig{Side: 4, Entities: population, Days: 2}, WithHashFunctions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	sawReset := false
+	last := 0
+	for round := 0; round < 2*population; round++ {
+		for j := 0; j < 3; j++ {
+			name := fmt.Sprintf("entity-%d", (round*3+j)%population)
+			if err := db.AddVisit(name, VenueName(j), TimeAt((round+j)%40), TimeAt((round+j)%40+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		// After an escalated (full-copy) refresh the count restarts at that
+		// round's own updates; a drop below the previous value is the reset.
+		r := db.snap.Load().tree.Removals()
+		if r < last {
+			sawReset = true
+		}
+		if r > population+3 {
+			t.Fatalf("round %d: removals %d never re-tightened (population %d)", round, r, population)
+		}
+		last = r
+	}
+	if !sawReset {
+		t.Fatal("no refresh escalated to a re-tightening full copy")
+	}
+}

@@ -32,11 +32,16 @@
 // Degree) answer against an immutable index snapshot loaded through one
 // atomic pointer read, so any number run in parallel — with each other and
 // with BuildIndex/Refresh, which construct the next snapshot off to the side
-// and atomically swap it in. Ingest (AddVisit, AddVisits) touches only a
+// and atomically swap it in. Refresh is copy-on-write: the next snapshot
+// shares every clean entity's state with the previous one and copies only
+// the dirty entities' signature paths, so a fold-and-swap costs O(dirty),
+// independent of database size. Ingest (AddVisit, AddVisits) touches only a
 // small mutex-guarded visit log. Queries against a stale index (visits added
 // since the last swap) transparently refresh it first, unless a rebuild is
 // already in flight, in which case they answer from the published snapshot
-// rather than stall.
+// rather than stall — and WithAutoRefresh folds dirt proactively from a
+// background goroutine (stop it with Close), so queries virtually never
+// find a stale index at all.
 //
 // # Scaling out
 //
@@ -252,6 +257,23 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
+// WithCloneRefresh makes Refresh build the next snapshot by full copy — a
+// shallow store clone plus a complete signature replay of the tree, O(|E|)
+// per swap — instead of the default copy-on-write derive, which shares every
+// clean entity's state with the previous snapshot and costs O(dirty).
+//
+// Answers are identical either way. The full copy is retained as the
+// reference baseline cmd/bench -scenario refresh (and BenchmarkRefresh)
+// measures the COW path against, and as an escape hatch: a cloned snapshot
+// re-tightens group signatures that repeated incremental updates leave
+// conservatively loose, restoring maximal pruning.
+func WithCloneRefresh() Option {
+	return func(db *DB) error {
+		db.cloneRefresh = true
+		return nil
+	}
+}
+
 // DB is a digital-trace database: a store of entity visits plus, after
 // BuildIndex, a MinSigTree serving exact top-k association queries.
 //
@@ -301,6 +323,18 @@ type DB struct {
 	// query path's lazy escalation). Readers never block on it: a query that
 	// finds it held answers from the current snapshot instead.
 	buildMu sync.Mutex
+
+	// cloneRefresh selects the pre-COW full-copy refresh path (see
+	// WithCloneRefresh); the default is the O(dirty) copy-on-write derive.
+	cloneRefresh bool
+
+	// Background auto-refresh policy (autorefresh.go). Zero thresholds mean
+	// disabled; the goroutine channels are nil then and Close is a no-op.
+	autoMaxDirty int
+	autoMaxStale time.Duration
+	autoStop     chan struct{}
+	autoDone     chan struct{}
+	closeOnce    sync.Once
 }
 
 // NewDB creates a database over the given hierarchy.
@@ -335,6 +369,7 @@ func newDB(ix *spindex.Index, venues map[string]spindex.BaseID, opts ...Option) 
 			return nil, err
 		}
 	}
+	db.startAutoRefresh()
 	return db, nil
 }
 
@@ -629,23 +664,34 @@ type IndexStats struct {
 	// LastSwap is when the serving snapshot was published (zero before the
 	// first build; on an aggregated engine, the latest member swap).
 	LastSwap time.Time
+	// DirtyCount is the number of entities with visits the serving snapshot
+	// does not cover yet — what the next Refresh will fold, and what the
+	// auto-refresh policy's dirty threshold compares against. Reported even
+	// before the first build. An aggregated engine sums its members'.
+	DirtyCount int
+	// LastRefreshDuration is how long the serving snapshot's incremental
+	// Refresh took — the cost of the last O(dirty) fold-and-swap. Zero when
+	// the snapshot came from a full BuildIndex (or none exists). An
+	// aggregated engine reports its slowest member's, mirroring BuildTime.
+	LastRefreshDuration time.Duration
 }
 
-// IndexStats returns current index statistics — one atomic snapshot load,
-// never blocked by ingest or rebuilds.
+// IndexStats returns current index statistics — one atomic snapshot load
+// plus a shared-lock dirty count, never blocked by rebuilds.
 func (db *DB) IndexStats() IndexStats {
+	out := IndexStats{DirtyCount: db.dirtyCount()}
 	s := db.snap.Load()
 	if s == nil {
-		return IndexStats{}
+		return out
 	}
 	st := s.tree.Stats()
-	return IndexStats{
-		Entities:    st.Entities,
-		Nodes:       st.Nodes,
-		Leaves:      st.Leaves,
-		MemoryBytes: st.MemoryBytes,
-		BuildTime:   s.buildTime,
-		Generation:  s.generation,
-		LastSwap:    s.swappedAt,
-	}
+	out.Entities = st.Entities
+	out.Nodes = st.Nodes
+	out.Leaves = st.Leaves
+	out.MemoryBytes = st.MemoryBytes
+	out.BuildTime = s.buildTime
+	out.Generation = s.generation
+	out.LastSwap = s.swappedAt
+	out.LastRefreshDuration = s.refreshTime
+	return out
 }

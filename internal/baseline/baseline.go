@@ -18,6 +18,7 @@ package baseline
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"digitaltraces/internal/adm"
@@ -150,7 +151,7 @@ func (b *Bitmap) vector(s *trace.Sequences) []int32 {
 		for id := range seen {
 			ids = append(ids, offset+id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		vec = append(vec, ids...)
 		offset += int32(len(lvl)) + 1
 	}

@@ -30,7 +30,7 @@ func BuildWithOptions(ix *spindex.Index, hasher sighash.Hasher, src SequenceSour
 		hasher: hasher,
 		src:    src,
 		root:   &node{level: 0, children: make(map[uint32]*node)},
-		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(entities)),
+		sigs:   newSigTable(len(entities)),
 		m:      ix.Height(),
 		full:   opts.FullSignatures,
 	}
@@ -59,7 +59,7 @@ func (t *Tree) insertFull(e trace.EntityID, s *trace.Sequences) {
 		}
 		digest[l-1] = sighash.LevelSig{Routing: uint32(best), Value: full[best]}
 	}
-	t.sigs[e] = digest
+	t.sigs.put(e, digest)
 	cur := t.root
 	cur.count++
 	for l := 1; l <= t.m; l++ {

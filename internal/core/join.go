@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -114,7 +115,7 @@ func (t *Tree) KNNJoin(queries []trace.EntityID, k int, measure adm.Measure, wor
 // deterministic (routing-index-ordered) depth-first traversal. Entities not
 // indexed map to the zero position.
 func (t *Tree) leafOrder() map[trace.EntityID]int {
-	pos := make(map[trace.EntityID]int, len(t.sigs))
+	pos := make(map[trace.EntityID]int, t.sigs.len())
 	n := 0
 	var walk func(nd *node)
 	walk = func(nd *node) {
@@ -137,12 +138,12 @@ func (t *Tree) leafOrder() map[trace.EntityID]int {
 // order — the record layout Section 7.6 stores on disk so closely
 // associated entities share blocks.
 func (t *Tree) LeafOrderedEntities() []trace.EntityID {
-	out := make([]trace.EntityID, 0, len(t.sigs))
+	out := make([]trace.EntityID, 0, t.sigs.len())
 	var walk func(nd *node)
 	walk = func(nd *node) {
 		if nd.level == t.m {
 			sorted := append([]trace.EntityID(nil), nd.entities...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			slices.Sort(sorted)
 			out = append(out, sorted...)
 			return
 		}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"maps"
+	"slices"
+
+	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/trace"
+)
+
+// sigTable maps indexed entities to their per-level signature digests. It is
+// the tree's entity registry, built so that Tree.Derive can produce a new
+// generation in O(dirty) instead of O(|E|): a derived table shares the parent
+// generation's digests through a frozen base map and records its own writes
+// in a private overlay, so deriving copies at most the previous overlay —
+// never the whole population.
+//
+// Layering invariants:
+//
+//   - depth is at most two: base is always a plain map (a frozen former
+//     overlay), never another table;
+//   - base is immutable once shared — every mutation lands in overlay, with
+//     a nil digest as the tombstone for an entity deleted out of base;
+//   - derive compacts: when the overlay has grown to a constant fraction of
+//     the base it is folded into a fresh base map, so lookup cost stays at
+//     two map probes and the O(|E|) fold amortizes to O(1) per put.
+type sigTable struct {
+	base    map[trace.EntityID]sighash.EntitySig // frozen shared layer; nil for a root table
+	overlay map[trace.EntityID]sighash.EntitySig // private writes; nil digest = tombstone
+	n       int                                  // live entities across both layers
+}
+
+// newSigTable returns an empty root table.
+func newSigTable(capacity int) *sigTable {
+	return &sigTable{overlay: make(map[trace.EntityID]sighash.EntitySig, capacity)}
+}
+
+// get returns the entity's digest, honoring tombstones.
+func (s *sigTable) get(e trace.EntityID) (sighash.EntitySig, bool) {
+	if sig, ok := s.overlay[e]; ok {
+		return sig, sig != nil
+	}
+	sig, ok := s.base[e]
+	return sig, ok
+}
+
+// put inserts or replaces the entity's digest.
+func (s *sigTable) put(e trace.EntityID, sig sighash.EntitySig) {
+	if _, ok := s.get(e); !ok {
+		s.n++
+	}
+	s.overlay[e] = sig
+}
+
+// del removes the entity, tombstoning it when the frozen base still holds it.
+func (s *sigTable) del(e trace.EntityID) {
+	if _, ok := s.get(e); !ok {
+		return
+	}
+	s.n--
+	if _, inBase := s.base[e]; inBase {
+		s.overlay[e] = nil
+	} else {
+		delete(s.overlay, e)
+	}
+}
+
+// len returns the number of live entities.
+func (s *sigTable) len() int { return s.n }
+
+// derive returns an independently mutable table over the same digests.
+// Cost is O(|overlay|) — the parent's private writes — not O(|E|); after it
+// returns, the parent must never be mutated again (Tree.Derive freezes the
+// parent tree to enforce this).
+func (s *sigTable) derive() *sigTable {
+	if s.base == nil {
+		// The parent's overlay becomes the child's frozen base; nothing is
+		// copied at all.
+		return &sigTable{base: s.overlay, overlay: map[trace.EntityID]sighash.EntitySig{}, n: s.n}
+	}
+	if trace.OverlayNeedsCompaction(len(s.overlay), len(s.base)) {
+		// Fold the layers into a fresh base so lookups stay two probes and
+		// future derives start small.
+		return &sigTable{base: s.flatten(), overlay: map[trace.EntityID]sighash.EntitySig{}, n: s.n}
+	}
+	return &sigTable{base: s.base, overlay: maps.Clone(s.overlay), n: s.n}
+}
+
+// flatten merges both layers into one new map, resolving tombstones.
+func (s *sigTable) flatten() map[trace.EntityID]sighash.EntitySig {
+	m := make(map[trace.EntityID]sighash.EntitySig, s.n)
+	maps.Copy(m, s.base)
+	for e, sig := range s.overlay {
+		if sig == nil {
+			delete(m, e)
+		} else {
+			m[e] = sig
+		}
+	}
+	return m
+}
+
+// entities returns the live entity IDs in ascending order.
+func (s *sigTable) entities() []trace.EntityID {
+	out := make([]trace.EntityID, 0, s.n)
+	for e := range s.base {
+		if _, shadowed := s.overlay[e]; !shadowed {
+			out = append(out, e)
+		}
+	}
+	for e, sig := range s.overlay {
+		if sig != nil {
+			out = append(out, e)
+		}
+	}
+	slices.Sort(out)
+	return out
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"digitaltraces/internal/sighash"
 	"digitaltraces/internal/spindex"
@@ -50,21 +49,17 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 		uint64(fam.NumFuncs()),
 		fam.Seed(),
 		uint64(fam.Horizon()),
-		uint64(len(t.sigs)),
+		uint64(t.sigs.len()),
 	}
 	if err := write(hdr); err != nil {
 		return n, err
 	}
-	ids := make([]trace.EntityID, 0, len(t.sigs))
-	for e := range t.sigs {
-		ids = append(ids, e)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, e := range ids {
+	for _, e := range t.sigs.entities() {
 		if err := write(uint32(e)); err != nil {
 			return n, err
 		}
-		for _, ls := range t.sigs[e] {
+		sig, _ := t.sigs.get(e)
+		for _, ls := range sig {
 			if err := write(ls.Routing); err != nil {
 				return n, err
 			}
@@ -110,7 +105,7 @@ func ReadSnapshot(r io.Reader, ix *spindex.Index, src SequenceSource) (*Tree, er
 		hasher: fam,
 		src:    src,
 		root:   &node{level: 0, children: make(map[uint32]*node)},
-		sigs:   make(map[trace.EntityID]sighash.EntitySig, count),
+		sigs:   newSigTable(count),
 		m:      m,
 	}
 	for i := 0; i < count; i++ {
@@ -131,7 +126,7 @@ func ReadSnapshot(r io.Reader, ix *spindex.Index, src SequenceSource) (*Tree, er
 			}
 		}
 		e := trace.EntityID(id)
-		if _, dup := t.sigs[e]; dup {
+		if _, dup := t.sigs.get(e); dup {
 			return nil, fmt.Errorf("core: snapshot repeats entity %d", id)
 		}
 		t.insertWithSig(e, sig)
@@ -142,7 +137,7 @@ func ReadSnapshot(r io.Reader, ix *spindex.Index, src SequenceSource) (*Tree, er
 // insertWithSig replays an insertion from a stored signature digest,
 // bypassing sequence access and hashing.
 func (t *Tree) insertWithSig(e trace.EntityID, sig sighash.EntitySig) {
-	t.sigs[e] = sig
+	t.sigs.put(e, sig)
 	cur := t.root
 	cur.count++
 	for l := 1; l <= t.m; l++ {

@@ -18,7 +18,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"digitaltraces/internal/adm"
 	"digitaltraces/internal/sighash"
@@ -61,14 +61,30 @@ type Tree struct {
 	hasher sighash.Hasher
 	src    SequenceSource
 	root   *node
-	sigs   map[trace.EntityID]sighash.EntitySig
+	sigs   *sigTable
 	m      int
 	full   bool // full-signature mode (Options.FullSignatures)
 
 	// removals counts Remove operations since the last Build/Rebuild;
 	// group signatures are conservative (never too large) after removals,
 	// so queries stay exact but prune slightly less until a Rebuild.
+	// Derive carries the counter into the derived generation.
 	removals int
+
+	// frozen is set by Derive on the receiver: a derived tree shares this
+	// tree's nodes and digests, so any further mutation here would tear the
+	// derived generation (and the queries pinned to this one). Mutating
+	// operations refuse on a frozen tree; queries and further Derives are
+	// unaffected.
+	frozen bool
+
+	// owned, on a Derive-built tree, marks the nodes private to it —
+	// everything else is shared with the frozen parent generation. Mutating
+	// operations copy a shared node before the first write (derive.go), so
+	// Insert/Remove/Update on a derived tree can never corrupt the parent.
+	// nil on fully private trees (Build, Clone, ReadSnapshot), whose
+	// mutations write in place.
+	owned map[*node]bool
 }
 
 // Build constructs a MinSigTree over the given entities (Algorithm 1).
@@ -79,7 +95,7 @@ func Build(ix *spindex.Index, hasher sighash.Hasher, src SequenceSource, entitie
 		hasher: hasher,
 		src:    src,
 		root:   &node{level: 0, children: make(map[uint32]*node)},
-		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(entities)),
+		sigs:   newSigTable(len(entities)),
 		m:      ix.Height(),
 	}
 	for _, e := range entities {
@@ -104,8 +120,24 @@ func (t *Tree) Source() SequenceSource { return t.src }
 
 // Contains reports whether the entity is indexed.
 func (t *Tree) Contains(e trace.EntityID) bool {
-	_, ok := t.sigs[e]
+	_, ok := t.sigs.get(e)
 	return ok
+}
+
+// Removals reports how many Remove operations this tree's lineage has
+// absorbed since the last tight construction (Build, Rebuild, Clone replay
+// or ReadSnapshot) — Update and Derive count their embedded removals, and
+// Derive carries the total across generations. Group signatures are
+// conservative (never too large, possibly too small) after removals, so
+// answers stay exact but pruning loosens; callers use this to schedule a
+// re-tightening replay (the root package escalates an incremental refresh
+// to a full copy once Removals exceeds Len).
+func (t *Tree) Removals() int { return t.removals }
+
+// errFrozen is the refusal every mutating operation returns once Derive has
+// shared this tree's structure with a newer generation.
+func (t *Tree) errFrozen(op string) error {
+	return fmt.Errorf("core: %s on a frozen tree (Derive shared its nodes with a newer generation; mutate the derived tree instead)", op)
 }
 
 // Insert adds an entity to the index: compute its signature list, descend by
@@ -114,7 +146,10 @@ func (t *Tree) Contains(e trace.EntityID) bool {
 // leaf. Cost is O(C·nh + m) where C is the entity's cell count
 // (Section 4.2.3).
 func (t *Tree) Insert(e trace.EntityID) error {
-	if _, dup := t.sigs[e]; dup {
+	if t.frozen {
+		return t.errFrozen("Insert")
+	}
+	if _, dup := t.sigs.get(e); dup {
 		return fmt.Errorf("core: entity %d already indexed", e)
 	}
 	s := t.src.Get(e)
@@ -128,6 +163,12 @@ func (t *Tree) Insert(e trace.EntityID) error {
 		t.insertFull(e, s)
 		return nil
 	}
+	if t.owned != nil {
+		sig := sighash.Signature(t.hasher, s)
+		t.sigs.put(e, sig)
+		t.insertCOW(e, sig, t.owned)
+		return nil
+	}
 	t.insertWithSig(e, sighash.Signature(t.hasher, s))
 	return nil
 }
@@ -139,11 +180,19 @@ func (t *Tree) Insert(e trace.EntityID) error {
 // so query results stay exact; they may be smaller than necessary, which
 // only loosens upper bounds. Rebuild restores tight signatures.
 func (t *Tree) Remove(e trace.EntityID) error {
-	sig, ok := t.sigs[e]
+	if t.frozen {
+		return t.errFrozen("Remove")
+	}
+	sig, ok := t.sigs.get(e)
 	if !ok {
 		return fmt.Errorf("core: entity %d not indexed", e)
 	}
-	delete(t.sigs, e)
+	t.sigs.del(e)
+	if t.owned != nil {
+		t.removeCOW(e, sig, t.owned)
+		t.removals++
+		return nil
+	}
 	path := make([]*node, 0, t.m+1)
 	cur := t.root
 	path = append(path, cur)
@@ -219,11 +268,12 @@ func (t *Tree) Clone(src SequenceSource) (*Tree, error) {
 		hasher: t.hasher,
 		src:    src,
 		root:   &node{level: 0, children: make(map[uint32]*node)},
-		sigs:   make(map[trace.EntityID]sighash.EntitySig, len(t.sigs)),
+		sigs:   newSigTable(t.sigs.len()),
 		m:      t.m,
 	}
 	for _, e := range t.Entities() {
-		c.insertWithSig(e, t.sigs[e])
+		sig, _ := t.sigs.get(e)
+		c.insertWithSig(e, sig)
 	}
 	return c, nil
 }
@@ -231,12 +281,10 @@ func (t *Tree) Clone(src SequenceSource) (*Tree, error) {
 // Rebuild reconstructs the tree from the current entity set, restoring tight
 // group signatures after removals.
 func (t *Tree) Rebuild() error {
-	entities := make([]trace.EntityID, 0, len(t.sigs))
-	for e := range t.sigs {
-		entities = append(entities, e)
+	if t.frozen {
+		return t.errFrozen("Rebuild")
 	}
-	sort.Slice(entities, func(i, j int) bool { return entities[i] < entities[j] })
-	fresh, err := Build(t.ix, t.hasher, t.src, entities)
+	fresh, err := Build(t.ix, t.hasher, t.src, t.sigs.entities())
 	if err != nil {
 		return err
 	}
@@ -246,12 +294,7 @@ func (t *Tree) Rebuild() error {
 
 // Entities returns the indexed entity IDs in ascending order.
 func (t *Tree) Entities() []trace.EntityID {
-	out := make([]trace.EntityID, 0, len(t.sigs))
-	for e := range t.sigs {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.sigs.entities()
 }
 
 // IndexStats describes the size and shape of the tree (Figure 7.8 reports
@@ -306,7 +349,7 @@ func (t *Tree) Validate() error {
 	walk = func(n *node) (int, error) {
 		if n.level == t.m {
 			for _, e := range n.entities {
-				sig, ok := t.sigs[e]
+				sig, ok := t.sigs.get(e)
 				if !ok {
 					return 0, fmt.Errorf("core: leaf holds unknown entity %d", e)
 				}
@@ -345,11 +388,12 @@ func (t *Tree) Validate() error {
 	if _, err := walk(t.root); err != nil {
 		return err
 	}
-	if seen != len(t.sigs) {
-		return fmt.Errorf("core: %d entities in leaves, %d signatures stored", seen, len(t.sigs))
+	if seen != t.sigs.len() {
+		return fmt.Errorf("core: %d entities in leaves, %d signatures stored", seen, t.sigs.len())
 	}
 	// Signature-path and value invariants per entity.
-	for e, sig := range t.sigs {
+	for _, e := range t.sigs.entities() {
+		sig, _ := t.sigs.get(e)
 		cur := t.root
 		for l := 1; l <= t.m; l++ {
 			cur = cur.children[sig[l-1].Routing]
@@ -372,7 +416,7 @@ func (n *node) sortedChildren() []*node {
 	for _, c := range n.children {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].routing < out[j].routing })
+	slices.SortFunc(out, func(a, b *node) int { return int(a.routing) - int(b.routing) })
 	return out
 }
 

@@ -232,7 +232,7 @@ func TestUpperBoundDominatesSubtree(t *testing.T) {
 						continue
 					}
 					deg := m.Degree(q, st.Get(e))
-					sig := tree.sigs[e]
+					sig, _ := tree.sigs.get(e)
 					var stats SearchStats
 					cand := &candidate{
 						n:         tree.root,

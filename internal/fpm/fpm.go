@@ -6,6 +6,7 @@ package fpm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -258,7 +259,7 @@ func ClusterItems(itemsets []Itemset) map[uint64]int {
 	for k := range uf.parent {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	for _, k := range keys {
 		r := uf.Find(k)
 		id, ok := roots[r]

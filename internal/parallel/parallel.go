@@ -1,0 +1,45 @@
+// Package parallel holds the tiny fan-out primitive shared by the hot
+// maintenance paths: a bounded work-stealing parallel-for with a
+// small-input sequential fast path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// threshold is the input size below which goroutine setup costs more than
+// it saves; such loops run inline.
+const threshold = 4
+
+// For runs fn(i) for every i in [0, n), fanning out across
+// min(GOMAXPROCS, n) goroutines via a work-stealing counter. fn must be
+// safe to call concurrently for distinct i (writes only to per-index
+// state); For returns once every call has. Small n runs inline on the
+// caller's goroutine.
+func For(n int, fn func(int)) {
+	workers := min(runtime.GOMAXPROCS(0), n)
+	if workers < 2 || n < threshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

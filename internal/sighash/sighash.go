@@ -125,7 +125,26 @@ type Family struct {
 	// minimum of B_u over the unit's base descendants. For base units this
 	// is B_u itself.
 	minB [][]uint32
+	// minBT is minB transposed and flattened, laid out [unit*nh+u]: the
+	// signature inner loop sweeps all nh functions for one cell, and the
+	// function-major minB makes that sweep stride NumUnits×4 bytes per
+	// step. The unit-major copy turns it into one contiguous row read,
+	// matching aTab's layout, at nh·NumUnits·4 bytes of duplication.
+	minBT []uint32
+	// aTab memoizes A_u(t) for every in-horizon t, laid out [t*nh+u] so the
+	// per-function inner loops stream contiguously. A's domain is only
+	// nh × horizon, yet the naive evaluation (a splitmix64 round plus a
+	// 64-bit modulo) sat on every hot path — signature computation during
+	// build/refresh and cell pruning during search — once per (cell,
+	// function). The table turns each evaluation into one load. nil when the
+	// domain exceeds maxATabEntries; out-of-horizon times (query-by-example
+	// cells past the indexed horizon) always take the computed path.
+	aTab []uint64
 }
+
+// maxATabEntries caps the A-table at 32 MiB (4M uint64 entries); beyond
+// that — pathological horizons — the family computes A on demand.
+const maxATabEntries = 1 << 22
 
 // NewFamily builds a hash family of nh functions over the ST-cell space of
 // the given sp-index and time horizon, deterministically derived from seed.
@@ -155,8 +174,16 @@ func NewFamily(ix *spindex.Index, horizon trace.Time, nh int, seed uint64) (*Fam
 	for l := ix.Height(); l >= 1; l-- {
 		order = append(order, ix.UnitsAt(l)...)
 	}
+	if uint64(nh)*uint64(horizon) <= maxATabEntries {
+		f.aTab = make([]uint64, int(horizon)*nh)
+	}
 	for u := 0; u < nh; u++ {
 		f.seeds[u] = splitmix64(seed + uint64(u)*0x9e3779b97f4a7c15)
+		if f.aTab != nil {
+			for t := trace.Time(0); t < horizon; t++ {
+				f.aTab[int(t)*nh+u] = f.computeA(u, t)
+			}
+		}
 		mb := make([]uint32, ix.NumUnits())
 		for _, unit := range order {
 			if ix.Level(unit) == ix.Height() {
@@ -173,6 +200,12 @@ func NewFamily(ix *spindex.Index, horizon trace.Time, nh int, seed uint64) (*Fam
 			mb[unit] = best
 		}
 		f.minB[u] = mb
+	}
+	f.minBT = make([]uint32, ix.NumUnits()*nh)
+	for u := 0; u < nh; u++ {
+		for unit, b := range f.minB[u] {
+			f.minBT[unit*nh+u] = b
+		}
 	}
 	return f, nil
 }
@@ -197,18 +230,38 @@ func (f *Family) Hash(fn int, c trace.Cell) uint64 {
 }
 
 func (f *Family) hashA(fn int, t trace.Time) uint64 {
+	if tt := int(uint32(t)); f.aTab != nil && tt < int(f.horizon) {
+		return f.aTab[tt*f.nh+fn]
+	}
+	return f.computeA(fn, t)
+}
+
+// computeA is the arithmetic definition of A_u(t); hashA serves memoized
+// values from aTab when the time is inside the indexed horizon.
+func (f *Family) computeA(fn int, t trace.Time) uint64 {
 	return splitmix64(f.seeds[fn]^(uint64(uint32(t))*0xc4ceb9fe1a85ec53+2)) % f.aSpan
 }
 
-// signatureInto is the tuned inner loop of Signature for Family: for each
-// cell it computes A once and streams the per-function B lookups.
+// signatureInto is the tuned inner loop of Signature for Family: per cell,
+// one contiguous sweep over the memoized A row plus the per-function B
+// lookups — no hashing arithmetic at all for in-horizon cells.
 func (f *Family) signatureInto(cells []trace.Cell, mins []uint64) {
+	nh := f.nh
 	for _, c := range cells {
-		unit := c.Unit()
-		t := c.Time()
+		unit := int(uint32(c.Unit()))
+		t := int(uint32(c.Time()))
+		brow := f.minBT[unit*nh : (unit+1)*nh]
+		if f.aTab != nil && t < int(f.horizon) {
+			arow := f.aTab[t*nh : (t+1)*nh]
+			for u, a := range arow {
+				if v := a + uint64(brow[u]); v < mins[u] {
+					mins[u] = v
+				}
+			}
+			continue
+		}
 		for u := range mins {
-			v := f.hashA(u, t) + uint64(f.minB[u][unit])
-			if v < mins[u] {
+			if v := f.computeA(u, trace.Time(t)) + uint64(brow[u]); v < mins[u] {
 				mins[u] = v
 			}
 		}
@@ -218,7 +271,7 @@ func (f *Family) signatureInto(cells []trace.Cell, mins []uint64) {
 // MemoryBytes reports the approximate memory footprint of the family's
 // precomputed tables (Figure 7.8 accounts index size including hash state).
 func (f *Family) MemoryBytes() int {
-	return f.nh*f.ix.NumUnits()*4 + f.nh*8
+	return f.nh*f.ix.NumUnits()*4 + f.nh*8 + len(f.aTab)*8 + len(f.minBT)*4
 }
 
 // TableHasher is a Hasher defined by an explicit table of base-cell hash

@@ -1,7 +1,7 @@
 package trace
 
 import (
-	"sort"
+	"slices"
 
 	"digitaltraces/internal/spindex"
 )
@@ -47,11 +47,11 @@ func coalesce(a, b EntityID, level int, cells []Cell) []AjPI {
 	for u := range byUnit {
 		units = append(units, u)
 	}
-	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	slices.Sort(units)
 	var out []AjPI
 	for _, u := range units {
 		times := byUnit[u]
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		slices.Sort(times)
 		start, prev := times[0], times[0]
 		for _, t := range times[1:] {
 			if t != prev+1 {

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"digitaltraces/internal/spindex"
@@ -65,7 +67,11 @@ func (s *Sequences) Clone() *Sequences {
 //
 // Records may overlap and repeat; the resulting sets are deduplicated.
 func NewSequences(ix *spindex.Index, entity EntityID, recs []Record) *Sequences {
-	var base []Cell
+	span := 0
+	for _, r := range recs {
+		span += r.Span()
+	}
+	base := make([]Cell, 0, span)
 	for _, r := range recs {
 		u := ix.BaseUnit(r.Base)
 		for t := r.Start; t < r.End; t++ {
@@ -112,11 +118,11 @@ func (s *Sequences) PresenceInstances(level int) []PresenceInstance {
 	for u := range byUnit {
 		units = append(units, u)
 	}
-	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	slices.Sort(units)
 	var out []PresenceInstance
 	for _, u := range units {
 		times := byUnit[u]
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		slices.Sort(times)
 		start := times[0]
 		prev := times[0]
 		for _, t := range times[1:] {
@@ -163,18 +169,18 @@ func (s *Sequences) Validate(ix *spindex.Index) error {
 
 // sortDedup sorts cells ascending and removes duplicates in place.
 func sortDedup(cells []Cell) []Cell {
-	if len(cells) == 0 {
-		return cells
-	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
-	w := 1
-	for i := 1; i < len(cells); i++ {
-		if cells[i] != cells[w-1] {
-			cells[w] = cells[i]
-			w++
-		}
-	}
-	return cells[:w]
+	slices.Sort(cells)
+	return slices.Compact(cells)
+}
+
+// OverlayNeedsCompaction is the shared compaction rule for the repo's
+// two-layer copy-on-write structures (Store.Derive here and core's
+// sigTable): fold the layers once the private overlay has grown to half the
+// frozen base. Both structures cite the same amortization argument — the
+// occasional O(|E|) fold costs O(1) per write — so the threshold lives in
+// exactly one place.
+func OverlayNeedsCompaction(overlay, base int) bool {
+	return 2*overlay >= base
 }
 
 // IntersectionSize returns |a ∩ b| for two sorted cell sets.
@@ -217,10 +223,27 @@ func Intersection(a, b []Cell) []Cell {
 // Store is an in-memory collection of entity sequences, the "digital-trace
 // database" the index and the query processor read from. Entity IDs need not
 // be dense, but dense IDs keep it compact.
+//
+// A Store supports two copying modes. Clone is the flat copy: a fresh entity
+// map sharing the *Sequences values, O(|E|). Derive is the copy-on-write
+// derivation the root package's incremental Refresh runs on: the derived
+// store shares the parent's entries through a frozen base map and records
+// its own writes in a private overlay, so deriving costs O(|parent overlay|)
+// — the entities written since the last compaction — never O(|E|). Layering
+// is capped at two (base is a plain map, not another store) and a derive
+// whose parent overlay has grown to half its base folds the layers back into
+// one, so reads stay at two map probes and the occasional O(|E|) fold
+// amortizes to O(1) per write. Both modes rely on ingest treating *Sequences
+// values as immutable: AddRecords replaces an entity's entry with a newly
+// built Sequences rather than mutating the old one in place.
 type Store struct {
-	ix   *spindex.Index
-	seqs map[EntityID]*Sequences
-	ids  []EntityID // insertion order, for deterministic iteration
+	ix      *spindex.Index
+	seqs    map[EntityID]*Sequences // this store's own (possibly shadowing) entries
+	ids     []EntityID              // entities first inserted here, in insertion order
+	base    map[EntityID]*Sequences // frozen shared layer (Derive); nil for a root store
+	baseIDs []EntityID              // the base layer's insertion order, frozen with it
+	n       int                     // live entities across both layers
+	frozen  bool                    // set once Derive shares seqs as a child's base
 }
 
 // NewStore returns an empty store over the given sp-index.
@@ -231,41 +254,86 @@ func NewStore(ix *spindex.Index) *Store {
 // Index returns the sp-index the store's sequences are built against.
 func (st *Store) Index() *spindex.Index { return st.ix }
 
-// Put inserts or replaces the sequences of an entity.
+// Put inserts or replaces the sequences of an entity. Put panics on a frozen
+// store — one a Derive already shares structure with; mutate the derived
+// store instead.
 func (st *Store) Put(s *Sequences) {
+	if st.frozen {
+		panic("trace: Put on a frozen store (Derive shared its entries with a newer generation); mutate the derived store instead")
+	}
 	if _, ok := st.seqs[s.Entity]; !ok {
-		st.ids = append(st.ids, s.Entity)
+		if _, shadowing := st.base[s.Entity]; !shadowing {
+			st.ids = append(st.ids, s.Entity)
+			st.n++
+		}
 	}
 	st.seqs[s.Entity] = s
 }
 
 // Get returns the sequences of an entity, or nil if absent.
-func (st *Store) Get(e EntityID) *Sequences { return st.seqs[e] }
+func (st *Store) Get(e EntityID) *Sequences {
+	if s, ok := st.seqs[e]; ok {
+		return s
+	}
+	return st.base[e] // nil for a root store's nil base map
+}
 
-// Clone returns a copy with a fresh entity map and insertion-order slice,
-// sharing the *Sequences values (which ingest paths treat as immutable:
-// AddRecords replaces an entity's entry with a newly built Sequences rather
-// than mutating the old one in place). Put/AddRecords on the clone therefore
-// never disturb the original — the copy-on-write seam the root package's
-// build-aside Refresh derives new index snapshots through.
+// Clone returns a flat copy — one fresh entity map resolving both layers,
+// sharing the *Sequences values. Put/AddRecords on the clone never disturb
+// the original. Cost is O(|E|); Derive is the O(dirty) alternative.
 func (st *Store) Clone() *Store {
 	cp := &Store{
 		ix:   st.ix,
-		seqs: make(map[EntityID]*Sequences, len(st.seqs)),
-		ids:  append([]EntityID(nil), st.ids...),
+		seqs: make(map[EntityID]*Sequences, st.n),
+		ids:  slices.Concat(st.baseIDs, st.ids),
+		n:    st.n,
 	}
-	for e, s := range st.seqs {
-		cp.seqs[e] = s
-	}
+	maps.Copy(cp.seqs, st.base)
+	maps.Copy(cp.seqs, st.seqs)
 	return cp
 }
 
-// Len returns the number of entities (|E|).
-func (st *Store) Len() int { return len(st.ids) }
+// Derive returns a copy-on-write child sharing this store's entries: reads
+// fall through to the shared frozen layer, writes land in the child's
+// private overlay. The receiver is frozen from here on (Put panics) — the
+// copy-on-write seam the root package's incremental Refresh derives new
+// index snapshots through. Cost is O(|overlay|), not O(|E|); see the Store
+// comment for the layering and compaction rules.
+func (st *Store) Derive() *Store {
+	st.frozen = true
+	if st.base == nil {
+		// This store's map becomes the child's frozen base; nothing copies.
+		return &Store{ix: st.ix, seqs: map[EntityID]*Sequences{}, base: st.seqs, baseIDs: st.ids, n: st.n}
+	}
+	if OverlayNeedsCompaction(len(st.seqs), len(st.base)) {
+		// Fold both layers into a fresh root so lookups stay two probes and
+		// future derives start small.
+		return st.Clone().Derive()
+	}
+	return &Store{
+		ix:      st.ix,
+		seqs:    maps.Clone(st.seqs),
+		ids:     slices.Clone(st.ids),
+		base:    st.base,
+		baseIDs: st.baseIDs,
+		n:       st.n,
+	}
+}
 
-// Entities returns entity IDs in insertion order. The slice is shared; do
-// not modify.
-func (st *Store) Entities() []EntityID { return st.ids }
+// Len returns the number of entities (|E|).
+func (st *Store) Len() int { return st.n }
+
+// Entities returns entity IDs in insertion order (base layer first, exactly
+// the order they were first inserted). For a root store the slice is shared
+// — do not modify; a derived store allocates the concatenation.
+func (st *Store) Entities() []EntityID {
+	if st.base == nil {
+		return st.ids
+	}
+	out := make([]EntityID, 0, st.n)
+	out = append(out, st.baseIDs...)
+	return append(out, st.ids...)
+}
 
 // AddRecords builds and stores the sequence of one entity from raw records.
 func (st *Store) AddRecords(e EntityID, recs []Record) *Sequences {

@@ -332,3 +332,86 @@ func TestClone(t *testing.T) {
 		t.Error("clone shares storage with original")
 	}
 }
+
+// TestStoreDerive: the copy-on-write derivation — shared reads, private
+// writes, frozen parents, preserved insertion order, and layer compaction.
+func TestStoreDerive(t *testing.T) {
+	ix := fixture411(t)
+	st := NewStore(ix)
+	for e := EntityID(0); e < 6; e++ {
+		st.AddRecords(e, []Record{{Entity: e, Base: 0, Start: Time(e), End: Time(e) + 1}})
+	}
+	oldSeq := st.Get(2)
+
+	d := st.Derive()
+	if d.Len() != 6 || d.Get(2) != oldSeq {
+		t.Fatalf("derived store lost shared entries: len=%d", d.Len())
+	}
+	// Writes in the child shadow the base and never reach the parent.
+	d.AddRecords(2, []Record{{Entity: 2, Base: 1, Start: 10, End: 12}})
+	d.AddRecords(9, []Record{{Entity: 9, Base: 2, Start: 1, End: 2}})
+	if st.Get(2) != oldSeq {
+		t.Fatal("child write mutated the frozen parent")
+	}
+	if st.Get(9) != nil {
+		t.Fatal("child insert leaked into the frozen parent")
+	}
+	if d.Get(2) == oldSeq || d.Get(9) == nil {
+		t.Fatal("child writes not visible in the child")
+	}
+	if d.Len() != 7 || st.Len() != 6 {
+		t.Fatalf("Len: child %d (want 7), parent %d (want 6)", d.Len(), st.Len())
+	}
+	// Insertion order: base entities first, then the child's new ones;
+	// replacing entity 2 must not move it.
+	want := []EntityID{0, 1, 2, 3, 4, 5, 9}
+	if got := d.Entities(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Entities = %v, want %v", got, want)
+	}
+	// The parent is frozen: further Puts must refuse loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on a frozen store did not panic")
+			}
+		}()
+		st.AddRecords(7, []Record{{Entity: 7, Base: 0, Start: 0, End: 1}})
+	}()
+
+	// Clone of a layered store flattens both layers.
+	cl := d.Clone()
+	if cl.Len() != 7 || cl.Get(2) != d.Get(2) || cl.Get(9) == nil {
+		t.Fatal("Clone of a derived store dropped entries")
+	}
+	if !reflect.DeepEqual(cl.Entities(), want) {
+		t.Fatalf("clone Entities = %v, want %v", cl.Entities(), want)
+	}
+	cl.AddRecords(11, []Record{{Entity: 11, Base: 0, Start: 0, End: 1}})
+	if d.Get(11) != nil {
+		t.Fatal("clone write leaked into the derived store")
+	}
+
+	// A long derive chain stays depth-2 via compaction and loses nothing.
+	cur := d
+	for gen := 0; gen < 12; gen++ {
+		next := cur.Derive()
+		e := EntityID(20 + gen)
+		next.AddRecords(e, []Record{{Entity: e, Base: 0, Start: 0, End: 1}})
+		next.AddRecords(2, []Record{{Entity: 2, Base: 3, Start: Time(gen), End: Time(gen) + 1}})
+		if next.base == nil {
+			t.Fatalf("gen %d: derived store has no base layer", gen)
+		}
+		cur = next
+	}
+	if cur.Len() != 7+12 {
+		t.Fatalf("chain Len = %d, want %d", cur.Len(), 7+12)
+	}
+	if got := len(cur.Entities()); got != cur.Len() {
+		t.Fatalf("Entities len %d != Len %d", got, cur.Len())
+	}
+	for e := EntityID(0); e < 6; e++ {
+		if cur.Get(e) == nil {
+			t.Fatalf("chain lost base entity %d", e)
+		}
+	}
+}

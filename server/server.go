@@ -294,6 +294,8 @@ type ShardStat struct {
 	BuildMS       float64 `json:"build_ms"`
 	Generation    uint64  `json:"generation"`
 	LastSwap      string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
+	DirtyCount    int     `json:"dirty_count"`
+	LastRefreshMS float64 `json:"last_refresh_ms"` // 0 when the shard's snapshot came from a full build
 }
 
 // StatsResponse is the /stats reply: the index shape (cluster totals for a
@@ -301,16 +303,20 @@ type ShardStat struct {
 // the engine is sharded. Generation counts index snapshot swaps (a cluster
 // sums its shards') and LastSwap is when the serving snapshot last changed —
 // together they let operators verify that ingest is actually reaching the
-// serving index without ever blocking it.
+// serving index without ever blocking it. DirtyCount and LastRefreshMS
+// complete the picture for the background auto-refresh policy: how much dirt
+// is waiting and what the last incremental fold cost.
 type StatsResponse struct {
 	Index struct {
-		Entities    int     `json:"entities"`
-		Nodes       int     `json:"nodes"`
-		Leaves      int     `json:"leaves"`
-		MemoryBytes int     `json:"memory_bytes"`
-		BuildMS     float64 `json:"build_ms"`
-		Generation  uint64  `json:"generation"`
-		LastSwap    string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
+		Entities      int     `json:"entities"`
+		Nodes         int     `json:"nodes"`
+		Leaves        int     `json:"leaves"`
+		MemoryBytes   int     `json:"memory_bytes"`
+		BuildMS       float64 `json:"build_ms"`
+		Generation    uint64  `json:"generation"`
+		LastSwap      string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
+		DirtyCount    int     `json:"dirty_count"`
+		LastRefreshMS float64 `json:"last_refresh_ms"` // 0 when the snapshot came from a full build
 	} `json:"index"`
 	Entities int         `json:"entities"`
 	Venues   int         `json:"venues"`
@@ -340,6 +346,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.BuildMS = float64(ix.BuildTime.Microseconds()) / 1e3
 	resp.Index.Generation = ix.Generation
 	resp.Index.LastSwap = swapTime(ix.LastSwap)
+	resp.Index.DirtyCount = ix.DirtyCount
+	resp.Index.LastRefreshMS = float64(ix.LastRefreshDuration.Microseconds()) / 1e3
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()
 	resp.Levels = s.eng.Levels()
@@ -357,6 +365,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				BuildMS:       float64(st.Index.BuildTime.Microseconds()) / 1e3,
 				Generation:    st.Index.Generation,
 				LastSwap:      swapTime(st.Index.LastSwap),
+				DirtyCount:    st.Index.DirtyCount,
+				LastRefreshMS: float64(st.Index.LastRefreshDuration.Microseconds()) / 1e3,
 			})
 		}
 	}

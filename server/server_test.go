@@ -144,12 +144,26 @@ func TestVisitIngestOverHTTP(t *testing.T) {
 		t.Errorf("server counters: %+v", st.Server)
 	}
 	// The refresh-on-ingest swapped a second snapshot in; /stats reports the
-	// generation counter and the swap timestamp.
+	// generation counter, the swap timestamp, and the drained dirty set.
 	if st.Index.Generation < 2 {
 		t.Errorf("generation = %d after build+refresh, want ≥ 2", st.Index.Generation)
 	}
 	if ts0, err := time.Parse(time.RFC3339Nano, st.Index.LastSwap); err != nil || ts0.IsZero() {
 		t.Errorf("last_swap %q unparseable: %v", st.Index.LastSwap, err)
+	}
+	if st.Index.DirtyCount != 0 {
+		t.Errorf("dirty_count = %d after refresh, want 0", st.Index.DirtyCount)
+	}
+
+	// Ingest without refresh leaves the dirt visible until the next fold.
+	if code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: []Visit{
+		{Entity: "straggler", Venue: "venue-2", Start: epoch.Add(2 * time.Hour), End: epoch.Add(3 * time.Hour)},
+	}}, nil); code != http.StatusOK {
+		t.Fatalf("POST /visits without refresh: %d: %s", code, body)
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.DirtyCount != 1 {
+		t.Errorf("dirty_count = %d after unfolded ingest, want 1", st.Index.DirtyCount)
 	}
 }
 

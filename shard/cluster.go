@@ -87,15 +87,27 @@ var _ digitaltraces.Engine = (*Cluster)(nil)
 // mutually compatible: same venue count, hierarchy height and time unit, and
 // one shared epoch already fixed (an epoch inferred later from data would
 // differ per shard and skew time discretization across the partition).
-func NewCluster(cfg Config) (*Cluster, error) {
+//
+// On error, shards already constructed are Closed — a shard built with
+// digitaltraces.WithAutoRefresh starts a background goroutine at
+// construction, which would otherwise outlive the failed cluster.
+func NewCluster(cfg Config) (_ *Cluster, err error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", cfg.Shards)
 	}
 	if cfg.NewShard == nil {
 		return nil, fmt.Errorf("shard: Config.NewShard is nil")
 	}
-	shards := make([]*digitaltraces.DB, cfg.Shards)
-	for i := range shards {
+	shards := make([]*digitaltraces.DB, 0, cfg.Shards)
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, sh := range shards {
+			sh.Close()
+		}
+	}()
+	for i := 0; i < cfg.Shards; i++ {
 		db, err := cfg.NewShard(i)
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
@@ -103,7 +115,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if db == nil {
 			return nil, fmt.Errorf("shard: NewShard(%d) returned nil", i)
 		}
-		shards[i] = db
+		shards = append(shards, db)
 	}
 	epoch, ok := shards[0].Epoch()
 	if !ok {
@@ -135,11 +147,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // cfg.NewShard must build shards compatible with src (same hierarchy, epoch
 // and unit; digitaltraces.NewGridDB with src's grid parameters for synthetic
 // cities and tracegen record files).
-func Partition(src *digitaltraces.DB, cfg Config) (*Cluster, error) {
+func Partition(src *digitaltraces.DB, cfg Config) (_ *Cluster, err error) {
 	c, err := NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if err != nil {
+			c.Close() // stop any per-shard auto-refresh goroutines
+		}
+	}()
 	// The shards must discretize src's visits to the same ST-cells, or the
 	// replay silently changes every degree; fail loudly instead.
 	s0 := c.shards[0]
@@ -396,11 +413,12 @@ func (c *Cluster) NumVenues() int { return c.shards[0].NumVenues() }
 // Levels returns the hierarchy height (identical on every shard).
 func (c *Cluster) Levels() int { return c.shards[0].Levels() }
 
-// IndexStats returns cluster totals: sums of every shard's index shape and
-// snapshot generation (total swaps cluster-wide), except BuildTime — the
-// slowest shard's last build, the parallel critical path a machine with
-// ≥ NumShards cores sees for BuildIndex — and LastSwap, the latest shard
-// swap (when the cluster's serving state last changed anywhere).
+// IndexStats returns cluster totals: sums of every shard's index shape,
+// snapshot generation (total swaps cluster-wide) and dirty count (entities
+// awaiting a fold anywhere in the cluster), except BuildTime and
+// LastRefreshDuration — the slowest shard's, the parallel critical path a
+// machine with ≥ NumShards cores sees — and LastSwap, the latest shard swap
+// (when the cluster's serving state last changed anywhere).
 func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 	var agg digitaltraces.IndexStats
 	for _, sh := range c.shards {
@@ -410,14 +428,31 @@ func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 		agg.Leaves += s.Leaves
 		agg.MemoryBytes += s.MemoryBytes
 		agg.Generation += s.Generation
+		agg.DirtyCount += s.DirtyCount
 		if s.BuildTime > agg.BuildTime {
 			agg.BuildTime = s.BuildTime
+		}
+		if s.LastRefreshDuration > agg.LastRefreshDuration {
+			agg.LastRefreshDuration = s.LastRefreshDuration
 		}
 		if s.LastSwap.After(agg.LastSwap) {
 			agg.LastSwap = s.LastSwap
 		}
 	}
 	return agg
+}
+
+// Close closes every shard, stopping any per-shard background auto-refresh
+// goroutines (shards constructed with digitaltraces.WithAutoRefresh fold
+// their own partitions' dirt independently). Idempotent, like DB.Close.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, sh := range c.shards {
+		if err := sh.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ShardStat describes one shard, for partition-skew monitoring: how many

@@ -497,3 +497,69 @@ func TestRefreshBeyondHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClusterDirtyAggregationAndAutoRefresh: IndexStats sums per-shard dirty
+// counts; shards built with digitaltraces.WithAutoRefresh fold their own
+// partitions' dirt in the background; Close stops every shard's goroutine
+// and is idempotent.
+func TestClusterDirtyAggregationAndAutoRefresh(t *testing.T) {
+	c, err := NewCluster(Config{Shards: 3, NewShard: func(i int) (*digitaltraces.DB, error) {
+		return digitaltraces.NewGridDB(citySide, cityLevels,
+			digitaltraces.WithHashFunctions(cityHash),
+			digitaltraces.WithAutoRefresh(1, 0))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var visits []digitaltraces.VisitRecord
+	for e := 0; e < 30; e++ {
+		visits = append(visits, digitaltraces.VisitRecord{
+			Entity: fmt.Sprintf("entity-%d", e), Venue: "venue-0",
+			Start: digitaltraces.TimeAt(e % 20), End: digitaltraces.TimeAt(e%20 + 2),
+		})
+	}
+	if _, err := c.AddVisits(visits); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New dirt lands on every shard; the aggregate must sum the per-shard
+	// counts until the background policies fold it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := c.IndexStats()
+		sum := 0
+		for _, ss := range c.ShardStats() {
+			sum += ss.Index.DirtyCount
+		}
+		if st.DirtyCount != sum {
+			t.Fatalf("aggregate dirty %d != shard sum %d", st.DirtyCount, sum)
+		}
+		if st.DirtyCount == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-refresh never drained the cluster: %d dirty", st.DirtyCount)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	gen := c.IndexStats().Generation
+	if _, err := c.AddVisits(visits[:9]); err != nil {
+		t.Fatal(err)
+	}
+	for c.IndexStats().DirtyCount > 0 || c.IndexStats().Generation == gen {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-refresh never folded the second batch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

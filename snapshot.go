@@ -13,12 +13,14 @@ package digitaltraces
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"digitaltraces/internal/adm"
 	"digitaltraces/internal/core"
+	"digitaltraces/internal/parallel"
 	"digitaltraces/internal/sighash"
+	"digitaltraces/internal/spindex"
 	"digitaltraces/internal/trace"
 )
 
@@ -37,9 +39,10 @@ type snapshot struct {
 	horizon trace.Time
 	byID    []string // entity name by EntityID, frozen at capture
 
-	generation uint64        // 1 for the first build, +1 per swap
-	buildTime  time.Duration // duration of the lineage's last full BuildIndex
-	swappedAt  time.Time     // when this snapshot was published
+	generation  uint64        // 1 for the first build, +1 per swap
+	buildTime   time.Duration // duration of the lineage's last full BuildIndex
+	refreshTime time.Duration // duration of the last incremental Refresh (0 if this lineage ends in a full build)
+	swappedAt   time.Time     // when this snapshot was published
 }
 
 // topK runs the exact search against this frozen snapshot. No locks: the
@@ -92,7 +95,7 @@ func (db *DB) captureView(dirtyOnly bool) view {
 			v.folded[e] = len(recs)
 			v.dirty = append(v.dirty, e)
 		}
-		sort.Slice(v.dirty, func(i, j int) bool { return v.dirty[i] < v.dirty[j] })
+		slices.Sort(v.dirty)
 	} else {
 		v.visits = make(map[trace.EntityID][]trace.Record, len(db.visits))
 		v.folded = make(map[trace.EntityID]int, len(db.visits))
@@ -107,9 +110,15 @@ func (db *DB) captureView(dirtyOnly bool) view {
 // hasDirty reports whether any entity has visits newer than the serving
 // snapshot covers.
 func (db *DB) hasDirty() bool {
+	return db.dirtyCount() > 0
+}
+
+// dirtyCount returns the number of entities with visits the serving snapshot
+// does not cover yet.
+func (db *DB) dirtyCount() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.dirty) > 0
+	return len(db.dirty)
 }
 
 // buildSnapshot constructs a full snapshot from a freshly captured visit view
@@ -135,7 +144,7 @@ func (db *DB) buildSnapshot() (*snapshot, error) {
 	for e := range v.visits {
 		ids = append(ids, e)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, e := range ids {
 		store.AddRecords(e, v.visits[e])
 	}
@@ -162,14 +171,23 @@ func (db *DB) buildSnapshot() (*snapshot, error) {
 	return db.publish(ns, v), nil
 }
 
-// refreshSnapshot folds the dirty entities into a copy of prev (Section
-// 4.2.3 incremental maintenance, built aside) and publishes the copy. prev is
-// never mutated — its store is cloned shallowly and its tree is cloned by
-// signature replay (core.Tree.Clone), so queries pinned to prev keep
-// searching it untouched. A dirty visit past prev's indexed horizon fails
-// with ErrBeyondHorizon: the hash family is parameterized by the horizon, so
-// only a full buildSnapshot can absorb it. Callers must hold buildMu.
+// refreshSnapshot folds the dirty entities into the next snapshot aside
+// (Section 4.2.3 incremental maintenance) and publishes it. prev is never
+// mutated, so queries pinned to it keep searching it bit-identically.
+//
+// The default path is copy-on-write: the store derives a child sharing every
+// clean entity's sequences (trace.Store.Derive) and the tree path-copies
+// only the nodes the dirty entities' signatures route through
+// (core.Tree.Derive), so the whole refresh costs O(dirty) — independent of
+// |E| — and swaps can run at very high frequency. WithCloneRefresh selects
+// the pre-COW full-copy path (shallow store clone + full signature replay,
+// O(|E|)); cmd/bench -scenario refresh measures one against the other.
+//
+// A dirty visit past prev's indexed horizon fails with ErrBeyondHorizon: the
+// hash family is parameterized by the horizon, so only a full buildSnapshot
+// can absorb it. Callers must hold buildMu.
 func (db *DB) refreshSnapshot(prev *snapshot) (*snapshot, error) {
+	start := time.Now()
 	v := db.captureView(true)
 	if len(v.dirty) == 0 {
 		return prev, nil
@@ -181,26 +199,64 @@ func (db *DB) refreshSnapshot(prev *snapshot) (*snapshot, error) {
 			}
 		}
 	}
-	store := prev.store.Clone()
-	tree, err := prev.tree.Clone(store)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range v.dirty {
-		store.AddRecords(e, v.visits[e])
-		if err := tree.Update(e); err != nil {
+	var (
+		store *trace.Store
+		tree  *core.Tree
+		err   error
+	)
+	// Repeated incremental updates leave group signatures conservatively
+	// loose (each embedded removal may strand a too-small coordinate);
+	// answers stay exact but pruning decays. Once the lineage has absorbed
+	// more removals than it has entities, pay one full-copy refresh — the
+	// replay recomputes tight signatures — then return to O(dirty) derives.
+	// At most one O(|E|) replay per |E| updates keeps the amortized cost
+	// O(1) per update.
+	retighten := prev.tree.Removals() > prev.tree.Len()
+	if db.cloneRefresh || retighten {
+		store = prev.store.Clone()
+		if tree, err = prev.tree.Clone(store); err != nil {
+			return nil, err
+		}
+		for _, e := range v.dirty {
+			store.AddRecords(e, v.visits[e])
+			if err := tree.Update(e); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		store = prev.store.Derive()
+		for _, s := range buildDirtySequences(db.ix, v) {
+			store.Put(s)
+		}
+		if tree, err = prev.tree.Derive(store, v.dirty); err != nil {
 			return nil, err
 		}
 	}
 	ns := &snapshot{
-		store:     store,
-		tree:      tree,
-		measure:   prev.measure,
-		horizon:   prev.horizon,
-		byID:      v.byID,
-		buildTime: prev.buildTime,
+		store:       store,
+		tree:        tree,
+		measure:     prev.measure,
+		horizon:     prev.horizon,
+		byID:        v.byID,
+		buildTime:   prev.buildTime,
+		refreshTime: time.Since(start),
 	}
 	return db.publish(ns, v), nil
+}
+
+// buildDirtySequences converts the dirty entities' captured visit histories
+// into ST-cell sequences, in v.dirty order. Sequence building (cell
+// expansion plus per-level sort-dedup) is the refresh path's second-largest
+// cost after signature hashing and equally per-entity independent, so it
+// fans out across a bounded worker pool; each worker touches only its own
+// output slot.
+func buildDirtySequences(ix *spindex.Index, v view) []*trace.Sequences {
+	out := make([]*trace.Sequences, len(v.dirty))
+	parallel.For(len(v.dirty), func(i int) {
+		e := v.dirty[i]
+		out[i] = trace.NewSequences(ix, e, v.visits[e])
+	})
+	return out
 }
 
 // publish swaps the new snapshot in and retires the dirt it folded. The
