@@ -35,15 +35,28 @@
 // writes BENCH_refresh.json. The headline is the per-size speedup: the clone
 // rows grow roughly linearly with |E| while the cow rows stay near-flat, so
 // the ratio widens with the database.
+//
+// The -scenario restart mode measures the warm-restart path: the time to a
+// query-ready index on a freshly re-ingested population, once cold
+// (BuildIndex: O(|E|·C·nh) signature hashing) and once warm (LoadIndex over
+// a SaveIndex snapshot: sequence staging + digest replay, no hashing),
+// across population sizes, verifying the two serve identical answers:
+//
+//	bench -label restart -scenario restart -restart-sizes 1000,4000,16000
+//
+// writes BENCH_restart.json. The headline is the per-size load speedup —
+// what a restarted server saves before its first query.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"slices"
 	"strconv"
@@ -107,6 +120,19 @@ type RefreshRun struct {
 	SpeedupVsClone float64 `json:"speedup_vs_clone,omitempty"`
 }
 
+// RestartRun is one (mode, population) cell of the -scenario restart
+// matrix: the wall-clock cost of reaching a query-ready published index
+// snapshot over a freshly ingested population. Mode "cold" is BuildIndex;
+// mode "load" is LoadIndex over a SaveIndex snapshot (SnapshotBytes big).
+// SpeedupVsCold is cold/load at the same population, on the load rows only.
+type RestartRun struct {
+	Mode          string  `json:"mode"` // "cold" or "load"
+	Entities      int     `json:"entities"`
+	Seconds       float64 `json:"seconds"` // time to a query-ready snapshot
+	SnapshotBytes int64   `json:"snapshot_bytes,omitempty"`
+	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+}
+
 // Report is the BENCH_<label>.json schema.
 type Report struct {
 	Label       string `json:"label"`
@@ -125,6 +151,7 @@ type Report struct {
 	Runs        []Run        `json:"runs,omitempty"`
 	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
 	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
+	RestartRuns []RestartRun `json:"restart_runs,omitempty"`
 }
 
 func main() {
@@ -142,11 +169,12 @@ func main() {
 		k        = flag.Int("k", 10, "top-k result size")
 		queries  = flag.Int("queries", 200, "queries per latency/throughput sample")
 		shardSet = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to benchmark alongside the single DB")
-		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size), "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap) or "refresh" (Refresh latency at fixed dirty count across population sizes, full-copy baseline vs copy-on-write derive)`)
+		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size), "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap), "refresh" (Refresh latency at fixed dirty count across population sizes, full-copy baseline vs copy-on-write derive) or "restart" (time to a query-ready index on a fresh process, cold BuildIndex vs warm LoadIndex)`)
 		rebuilds = flag.Int("rebuilds", 3, "rebuild scenario: concurrent BuildIndex runs to sample queries against")
 		refSizes = flag.String("refresh-sizes", "1000,4000,16000", "refresh scenario: comma-separated population sizes")
 		dirtyN   = flag.Int("dirty", 64, "refresh scenario: dirty entities per swap")
 		refCount = flag.Int("refreshes", 30, "refresh scenario: measured swaps per (mode, size) cell")
+		rstSizes = flag.String("restart-sizes", "1000,4000,16000", "restart scenario: comma-separated population sizes")
 	)
 	flag.Parse()
 
@@ -155,9 +183,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh":
+	case "serve", "rebuild", "refresh", "restart":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild or refresh)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh or restart)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -184,6 +212,19 @@ func main() {
 			log.Fatal(err)
 		}
 		report.RefreshRuns, err = refreshScenario(cfg, opts, popSizes, *dirtyN, *refCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		return
+	}
+
+	if *scenario == "restart" {
+		popSizes, err := parseSizes(*rstSizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.RestartRuns, err = restartScenario(cfg, opts, popSizes, *k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -325,6 +366,92 @@ func refreshScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, 
 				log.Printf("  cow speedup vs clone at |E|=%d: %.1fx", pop, run.SpeedupVsClone)
 			}
 			runs = append(runs, run)
+		}
+	}
+	return runs, nil
+}
+
+// restartScenario measures, per population size, the wall clock from a
+// freshly ingested DB to a query-ready published index: cold (BuildIndex)
+// versus warm (LoadIndex from a SaveIndex snapshot of an identically
+// generated DB). The generators are deterministic, so the warm DB's visit
+// log is the "re-ingested record file" of a real restart; the scenario
+// verifies the two modes answer sample queries identically before
+// reporting. Each timed mode runs with only its own DB live (the previous
+// mode's is released and the heap compacted first) — a real restart has one
+// process image, not three populations sharing a garbage collector.
+func restartScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, popSizes []int, k int) ([]RestartRun, error) {
+	var runs []RestartRun
+	for _, pop := range popSizes {
+		ccfg := cfg
+		ccfg.Entities = pop
+		fresh := func() (*digitaltraces.DB, error) { return digitaltraces.SyntheticCity(ccfg, opts...) }
+		queries := make([]string, 5)
+		for q := range queries {
+			queries[q] = fmt.Sprintf("entity-%d", (q*97)%pop)
+		}
+
+		// The snapshot a restart would load: built and saved once per size.
+		src, err := fresh()
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
+		}
+		var snap bytes.Buffer
+		if _, err := src.SaveIndex(&snap); err != nil {
+			return nil, fmt.Errorf("restart scenario: saving %d-entity index: %w", pop, err)
+		}
+		src = nil
+
+		cold, err := fresh()
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
+		}
+		runtime.GC()
+		t0 := time.Now()
+		if err := cold.BuildIndex(); err != nil {
+			return nil, fmt.Errorf("restart scenario: cold build (%d entities): %w", pop, err)
+		}
+		coldSecs := time.Since(t0).Seconds()
+		runs = append(runs, RestartRun{Mode: "cold", Entities: pop, Seconds: coldSecs})
+		log.Printf("restart scenario |E|=%d: cold build %.3fs", pop, coldSecs)
+		// Record the reference answers, then release the cold DB so the warm
+		// measurement does not pay GC rent on a dead population.
+		coldAnswers := make([][]digitaltraces.Match, len(queries))
+		for q, name := range queries {
+			if coldAnswers[q], _, err = cold.TopK(name, k); err != nil {
+				return nil, fmt.Errorf("restart scenario: cold TopK(%s): %w", name, err)
+			}
+		}
+		cold = nil
+
+		warm, err := fresh()
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
+		}
+		runtime.GC()
+		t0 = time.Now()
+		if err := warm.LoadIndex(bytes.NewReader(snap.Bytes())); err != nil {
+			return nil, fmt.Errorf("restart scenario: LoadIndex (%d entities): %w", pop, err)
+		}
+		loadSecs := time.Since(t0).Seconds()
+		run := RestartRun{Mode: "load", Entities: pop, Seconds: loadSecs, SnapshotBytes: int64(snap.Len())}
+		if loadSecs > 0 {
+			run.SpeedupVsCold = coldSecs / loadSecs
+		}
+		log.Printf("restart scenario |E|=%d: LoadIndex %.3fs (%.1f KiB snapshot, %.1fx vs cold)",
+			pop, loadSecs, float64(snap.Len())/1024, run.SpeedupVsCold)
+		runs = append(runs, run)
+
+		// The whole point is identical answers; a divergence is a bug, not a
+		// data point.
+		for q, name := range queries {
+			got, _, err := warm.TopK(name, k)
+			if err != nil {
+				return nil, fmt.Errorf("restart scenario: warm TopK(%s): %w", name, err)
+			}
+			if !reflect.DeepEqual(got, coldAnswers[q]) {
+				return nil, fmt.Errorf("restart scenario: warm answers diverge for %s: %v vs %v", name, got, coldAnswers[q])
+			}
 		}
 	}
 	return runs, nil

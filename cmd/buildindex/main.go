@@ -33,7 +33,9 @@ func main() {
 		buffers = flag.Int("buffers", 64, "buffer pages for the external sort (B)")
 		page    = flag.Int("page", 4096, "page size in bytes")
 		seed    = flag.Uint64("seed", 1, "hash-family seed")
-		out     = flag.String("index", "", "optional path to persist the index snapshot (loadable by topk -index)")
+		out     = flag.String("index", "", "optional path to persist the index snapshot (loadable by topk -index and serve -index-load)")
+		u       = flag.Float64("u", 2, "ADM level exponent stamped into the snapshot meta")
+		v       = flag.Float64("v", 2, "ADM duration exponent stamped into the snapshot meta")
 	)
 	flag.Parse()
 
@@ -69,9 +71,11 @@ func main() {
 	}
 	store := trace.NewStore(ix)
 	var ids []trace.EntityID
+	counts := map[trace.EntityID]uint32{}
 	if err := extsort.GroupByEntity(sorted, func(e trace.EntityID, recs []trace.Record) error {
 		store.AddRecords(e, recs)
 		ids = append(ids, e)
+		counts[e] = uint32(len(recs))
 		return nil
 	}); err != nil {
 		log.Fatal(err)
@@ -100,7 +104,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := tree.WriteTo(f)
+		// v2 snapshot: entity names follow the record-file convention
+		// ("entity-<fileID>", the naming LoadRecordFile and the synthetic
+		// cities use), so topk and serve -index-load resolve entities by
+		// name regardless of ingest order; the meta records the tracegen
+		// discretization (Unix epoch, hourly units).
+		meta := core.SnapshotMeta{
+			TimeUnit: time.Hour,
+			MeasureU: *u,
+			MeasureV: *v,
+		}
+		n, err := tree.WriteSnapshot(f, meta, func(e trace.EntityID) (string, uint32) {
+			return fmt.Sprintf("entity-%d", e), counts[e]
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

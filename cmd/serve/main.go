@@ -18,12 +18,23 @@
 //	curl 'localhost:8080/topk?entity=entity-0&k=10'
 //	curl -d '{"entities":["entity-0","entity-1"],"k":5}' localhost:8080/topk/batch
 //	curl localhost:8080/stats   # includes per-shard breakdown when -shards > 1
+//
+// Warm restart: with -index-save the server persists its index snapshot on
+// SIGTERM/SIGINT (and on POST /index/save); with -index-load it republishes
+// that snapshot over the re-ingested records at the next boot instead of
+// paying the full rebuild. Point both at the same file:
+//
+//	serve -addr :8080 -in traces.bin -side 24 -index-save idx.snap -index-load idx.snap
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"digitaltraces"
@@ -52,6 +63,8 @@ func main() {
 		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
 		refDirty  = flag.Int("refresh-dirty", 0, "auto-refresh: fold ingested visits into the index once this many entities are dirty (0 = no dirty trigger)")
 		refStale  = flag.Duration("refresh-staleness", 0, "auto-refresh: fold dirt once the serving snapshot is older than this (0 = no staleness trigger)")
+		idxSave   = flag.String("index-save", "", "persist the index snapshot to this file on SIGTERM/SIGINT and on POST /index/save")
+		idxLoad   = flag.String("index-load", "", "warm restart: publish the index snapshot at this path instead of rebuilding (cold-builds when the file does not exist yet)")
 	)
 	flag.Parse()
 
@@ -116,8 +129,10 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := engine.BuildIndex(); err != nil {
-		log.Fatal(err)
+	if !warmStart(engine, *idxLoad) {
+		if err := engine.BuildIndex(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	st := engine.IndexStats()
 	log.Printf("indexed %d entities in %v: %d nodes, %d leaves, ~%.1f MiB",
@@ -129,11 +144,71 @@ func main() {
 		}
 	}
 
-	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /stats /healthz)", *addr)
+	srvOpts := []server.Option{server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)}
+	if *idxSave != "" {
+		srvOpts = append(srvOpts, server.WithIndexPath(*idxSave))
+	}
+	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /healthz)", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine, server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)),
+		Handler:           server.New(engine, srvOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Serve until a shutdown signal, then drain in-flight requests and — the
+	// warm-restart contract — persist the index snapshot so the next boot
+	// starts from it instead of rebuilding.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+		if *idxSave != "" {
+			t0 := time.Now()
+			n, err := server.SaveIndexFile(engine, *idxSave)
+			if err != nil {
+				log.Fatalf("saving index to %s: %v", *idxSave, err)
+			}
+			log.Printf("saved index snapshot: %d bytes to %s in %v", n, *idxSave, time.Since(t0).Round(time.Millisecond))
+		}
+		if c, ok := engine.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+}
+
+// warmStart tries to publish a saved index snapshot over the freshly
+// ingested records. It reports whether the engine is query-ready; a missing
+// file is a normal cold start, any other failure is fatal — a snapshot that
+// does not match the data must stop the boot, not degrade into a silent
+// rebuild the operator did not budget for.
+func warmStart(engine digitaltraces.Engine, path string) bool {
+	if path == "" {
+		return false
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		log.Printf("cold start: no index snapshot at %s yet", path)
+		return false
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	t0 := time.Now()
+	if err := engine.LoadIndex(f); err != nil {
+		log.Fatalf("warm restart from %s failed: %v", path, err)
+	}
+	log.Printf("warm restart: loaded index snapshot %s in %v", path, time.Since(t0).Round(time.Millisecond))
+	return true
 }

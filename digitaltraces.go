@@ -50,6 +50,15 @@
 // builds and exact scatter-gather top-k; package server exposes any Engine
 // over HTTP/JSON and cmd/serve runs it as a network service (-shards N).
 //
+// # Persistence
+//
+// SaveIndex persists the serving index (signature digests, entity names and
+// the engine scalars — not the visit data) and LoadIndex republishes it over
+// a re-ingested visit log, so a restarted process serves queries without
+// rebuilding: the warm-restart path (cmd/serve -index-save / -index-load).
+// Entities resolve by name, and a log that drifted from the snapshot's data
+// is a load-time error, never a silently different answer.
+//
 // See examples/ for complete programs, README.md for a tour, DESIGN.md for
 // the architecture and the concurrency model, and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
@@ -614,16 +623,66 @@ func (db *DB) KNNJoin(entities []string, k int, workers int) (map[string][]Match
 	return out, err
 }
 
-// SaveIndex persists the built index (signature digests + hash-family
-// scalars) to w. The visit data itself is not included; LoadIndex-style
-// reconstruction happens through BuildIndex on a DB with the same visits,
-// or via cmd/buildindex + cmd/topk for file-based pipelines.
+// SaveIndex persists the built index to w in the self-describing MSIGTREE2
+// format: per-entity signature digests plus each entity's name and covered
+// visit count, and the hash-family / time-unit / epoch / measure scalars in
+// the header. The visit data itself is not included — LoadIndex republishes
+// the snapshot over a re-ingested visit log, resolving entities by name.
+//
+// Pending dirt is folded (or the index built, if absent) before saving, so
+// the snapshot covers everything ingested when the save began; entities that
+// receive visits while the save is in flight are stamped with an unknown
+// covered count and re-signed on load instead of served stale.
 func (db *DB) SaveIndex(w io.Writer) (int64, error) {
-	s, err := db.snapshotForQuery()
+	db.buildMu.Lock()
+	s := db.snap.Load()
+	var err error
+	switch {
+	case s == nil:
+		s, err = db.buildSnapshot()
+	case db.hasDirty():
+		var ns *snapshot
+		ns, err = db.refreshSnapshot(s)
+		if errors.Is(err, ErrBeyondHorizon) {
+			ns, err = db.buildSnapshot()
+		}
+		if err == nil {
+			s = ns
+		}
+	}
 	if err != nil {
+		db.buildMu.Unlock()
 		return 0, err
 	}
-	return s.tree.WriteTo(w)
+	// Capture the per-entity covered counts while buildMu still serializes
+	// publishers: a clean entity's count is exactly what s folded (publish
+	// retires dirt only when the counts match), and an entity dirtied since
+	// the fold above gets the stale sentinel.
+	ents := s.tree.Entities()
+	folded := make([]uint32, len(s.byID))
+	db.mu.RLock()
+	epoch := db.epoch
+	for _, e := range ents {
+		if db.dirty[e] {
+			folded[e] = core.FoldedUnknown
+		} else {
+			folded[e] = uint32(len(db.visits[e]))
+		}
+	}
+	db.mu.RUnlock()
+	db.buildMu.Unlock()
+	meta := core.SnapshotMeta{
+		TimeUnit:   db.unit,
+		EpochNanos: epoch.UnixNano(),
+		MeasureU:   db.measureU,
+		MeasureV:   db.measureV,
+		Jaccard:    db.jaccard,
+	}
+	// The tree and its captured tables are immutable from here; write
+	// outside every lock.
+	return s.tree.WriteSnapshot(w, meta, func(e trace.EntityID) (string, uint32) {
+		return s.byID[e], folded[e]
+	})
 }
 
 // Degree computes the exact association degree between two entities without

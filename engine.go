@@ -2,6 +2,7 @@ package digitaltraces
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"digitaltraces/internal/trace"
@@ -39,6 +40,15 @@ type Engine interface {
 	// partitioned implementations may instead absorb it internally by
 	// rebuilding just the affected partition.
 	Refresh() error
+	// SaveIndex persists the serving index (signature digests, hash-family
+	// scalars, entity names — not the visit data) to w, folding pending
+	// dirt first so the snapshot covers everything ingested so far.
+	SaveIndex(w io.Writer) (int64, error)
+	// LoadIndex publishes a previously saved index over the engine's
+	// re-ingested visit log — the warm-restart path that skips the
+	// O(|E|·C·nh) rebuild. Entities resolve by name, and a log that drifted
+	// from the snapshot's data is an error, never a silently wrong answer.
+	LoadIndex(r io.Reader) error
 	// NumEntities, NumVenues and Levels describe the data shape.
 	NumEntities() int
 	NumVenues() int

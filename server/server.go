@@ -8,6 +8,8 @@
 //	GET/POST /topk        one top-k query (?entity=alice&k=10, or JSON body)
 //	POST     /topk/batch  many top-k queries on the worker pool (TopKBatch)
 //	POST     /visits      ingest visit records; optional immediate refresh
+//	POST     /index/save  persist the serving index snapshot to the
+//	                      configured path (WithIndexPath / serve -index-save)
 //	GET      /stats       index + server statistics: snapshot generation and
 //	                      last-swap time, shape, serving counters (+ per-shard
 //	                      breakdown when the engine is sharded)
@@ -28,7 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,11 +43,13 @@ import (
 
 // Server is an http.Handler serving one Engine.
 type Server struct {
-	eng      digitaltraces.Engine
-	mux      *http.ServeMux
-	maxK     int
-	maxBatch int
-	started  time.Time
+	eng       digitaltraces.Engine
+	mux       *http.ServeMux
+	maxK      int
+	maxBatch  int
+	indexPath string     // /index/save target; empty disables the endpoint
+	saveMu    sync.Mutex // serializes /index/save writers to indexPath
+	started   time.Time
 
 	queries    atomic.Int64 // /topk requests answered
 	batches    atomic.Int64 // /topk/batch requests answered
@@ -68,6 +75,14 @@ func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.maxBatch = n }
 }
 
+// WithIndexPath names the file POST /index/save persists the serving index
+// snapshot to (atomically: temp file + rename). Empty (the default) leaves
+// the endpoint answering 409: operators must opt in to letting HTTP clients
+// write server-local files (cmd/serve -index-save).
+func WithIndexPath(path string) Option {
+	return func(s *Server) { s.indexPath = path }
+}
+
 // New wraps an Engine — a *digitaltraces.DB or a *shard.Cluster — in an HTTP
 // handler. The engine may be shared with direct library callers; its own
 // locks arbitrate.
@@ -79,6 +94,7 @@ func New(eng digitaltraces.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/topk/batch", s.handleBatch)
 	s.mux.HandleFunc("/visits", s.handleVisits)
+	s.mux.HandleFunc("/index/save", s.handleSaveIndex)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
@@ -231,10 +247,15 @@ type VisitsRequest struct {
 	Refresh bool    `json:"refresh"`
 }
 
-// VisitsResponse is the /visits reply.
+// VisitsResponse is the /visits reply — on failure too: Added is always the
+// engine's authoritative count of records actually stored, so a client
+// receiving an error knows how much of its batch landed (on a sharded
+// engine, records after the failing one may have; see Engine.AddVisits)
+// instead of guessing from the error text.
 type VisitsResponse struct {
-	Added     int  `json:"added"`
-	Refreshed bool `json:"refreshed"`
+	Added     int    `json:"added"`
+	Refreshed bool   `json:"refreshed"`
+	Error     string `json:"error,omitempty"`
 }
 
 func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
@@ -258,13 +279,14 @@ func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
 	s.ingested.Add(int64(added))
 	if err != nil {
 		// Some visits are already stored (see the Engine.AddVisits
-		// contract); the error names the failing index. Clients should fix
-		// the failing record and re-send it alone, not replay the suffix —
-		// on a sharded engine records after the failure may already be in.
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		// contract); the error names the failing index and Added tells the
+		// client how many records actually landed. Clients should fix the
+		// failing record and re-send it alone, not replay the suffix — on a
+		// sharded engine records after the failure may already be in.
+		s.failVisits(w, http.StatusBadRequest, added, err)
 		return
 	}
-	resp := VisitsResponse{Added: len(req.Visits)}
+	resp := VisitsResponse{Added: added}
 	if req.Refresh {
 		err := s.eng.Refresh()
 		if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
@@ -273,12 +295,98 @@ func (s *Server) handleVisits(w http.ResponseWriter, r *http.Request) {
 			err = s.eng.BuildIndex()
 		}
 		if err != nil {
-			s.fail(w, http.StatusConflict, "refresh: %v", err)
+			// The visits are in even though the fold failed; keep telling
+			// the client how many.
+			s.failVisits(w, http.StatusConflict, added, fmt.Errorf("refresh: %w", err))
 			return
 		}
 		resp.Refreshed = true
 	}
 	s.reply(w, resp)
+}
+
+// failVisits reports an ingest failure without losing the ingest count: the
+// standard error shape plus the authoritative number of records stored.
+func (s *Server) failVisits(w http.ResponseWriter, status, added int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(VisitsResponse{Added: added, Error: err.Error()})
+}
+
+// SaveIndexResponse is the /index/save reply.
+type SaveIndexResponse struct {
+	Path      string  `json:"path"`
+	Bytes     int64   `json:"bytes"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSaveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.indexPath == "" {
+		s.fail(w, http.StatusConflict, "no snapshot path configured; start the server with an index path (cmd/serve -index-save)")
+		return
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	start := time.Now()
+	n, err := SaveIndexFile(s.eng, s.indexPath)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "saving index: %v", err)
+		return
+	}
+	s.reply(w, SaveIndexResponse{
+		Path:      s.indexPath,
+		Bytes:     n,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// SaveIndexFile persists the engine's serving index snapshot to path
+// atomically and durably: the snapshot is written to a uniquely named
+// same-directory temp file (concurrent savers — a /index/save request
+// racing the shutdown hook — each write their own file, and the last
+// complete rename wins), fsynced, and renamed into place, so a crash at any
+// point never leaves a truncated snapshot where a warm restart would look
+// for one. Shared by the /index/save handler and cmd/serve's shutdown hook.
+func SaveIndexFile(eng digitaltraces.Engine, path string) (_ int64, err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+"-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	n, err := eng.SaveIndex(f)
+	if err == nil {
+		err = f.Sync() // data durable before the rename can publish it
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Best-effort directory sync so the rename itself survives power loss;
+	// a filesystem that refuses directory fsync still has the atomic write.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return n, nil
 }
 
 // ShardStat is the per-shard /stats breakdown for sharded engines: how many

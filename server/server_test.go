@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -388,5 +391,176 @@ func requireMatches(t *testing.T, got []Match, want []digitaltraces.Match) {
 		if got[i].Entity != want[i].Entity || got[i].Degree != want[i].Degree {
 			t.Fatalf("match %d = %+v, want %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// fnvOwner mirrors the shard router's FNV-1a placement so the test can pick
+// entities that land on distinct shards without reaching into the package.
+func fnvOwner(name string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// TestShardedIngestPartialFailureReportsCount: when a sharded ingest fails
+// mid-batch, records routed to other shards after the failing one are still
+// stored — and the /visits response (the error response!) must report the
+// engine's authoritative count, not the request length.
+func TestShardedIngestPartialFailureReportsCount(t *testing.T) {
+	cluster, err := shard.NewCluster(shard.Config{
+		Shards: 2,
+		NewShard: func(i int) (*digitaltraces.DB, error) {
+			return digitaltraces.NewGridDB(4, 0, digitaltraces.WithHashFunctions(16))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two entities on different shards, so the post-failure record routes
+	// around the failing shard.
+	var a, b string
+	for i := 0; b == "" && i < 64; i++ {
+		name := fmt.Sprintf("probe-%d", i)
+		switch {
+		case a == "" && fnvOwner(name, 2) == 0:
+			a = name
+		case a != "" && fnvOwner(name, 2) == 1:
+			b = name
+		}
+	}
+	if a == "" || b == "" {
+		t.Fatal("could not find entities on distinct shards")
+	}
+	ts := httptest.NewServer(New(cluster))
+	t.Cleanup(ts.Close)
+
+	epoch := time.Unix(0, 0).UTC()
+	visits := []Visit{
+		{Entity: a, Venue: "venue-0", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+		{Entity: a, Venue: "atlantis", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+		{Entity: b, Venue: "venue-1", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+	}
+	code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: visits}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("partial-failure ingest: status %d (%s)", code, body)
+	}
+	var resp VisitsResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("error body %q: %v", body, err)
+	}
+	// Records 0 (shard 0) and 2 (shard 1) landed; record 1 failed.
+	if resp.Added != 2 {
+		t.Errorf("error response added = %d, want the engine's count 2 (body %s)", resp.Added, body)
+	}
+	if !strings.Contains(resp.Error, "visit 1") {
+		t.Errorf("error %q does not name the failing record", resp.Error)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Server.VisitsIngested != 2 {
+		t.Errorf("visits_ingested = %d, want 2", st.Server.VisitsIngested)
+	}
+}
+
+// TestSingleDBIngestFailureReportsCount: same contract on a single DB —
+// the prefix before the failing record is kept and reported.
+func TestSingleDBIngestFailureReportsCount(t *testing.T) {
+	_, ts := newTestServer(t)
+	epoch := time.Unix(0, 0).UTC()
+	visits := []Visit{
+		{Entity: "x", Venue: "venue-0", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+		{Entity: "x", Venue: "atlantis", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+		{Entity: "x", Venue: "venue-1", Start: epoch.Add(time.Hour), End: epoch.Add(2 * time.Hour)},
+	}
+	code, body := postJSON(t, ts.URL+"/visits", VisitsRequest{Visits: visits}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d (%s)", code, body)
+	}
+	var resp VisitsResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("error body %q: %v", body, err)
+	}
+	if resp.Added != 1 || resp.Error == "" {
+		t.Errorf("error response = %+v, want added 1 and an error", resp)
+	}
+}
+
+// TestSaveIndexEndpoint: POST /index/save persists a snapshot a fresh DB
+// warm-restarts from with identical answers.
+func TestSaveIndexEndpoint(t *testing.T) {
+	db, err := digitaltraces.SyntheticCity(digitaltraces.CityConfig{Side: 4, Entities: 30, Days: 3},
+		digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	ts := httptest.NewServer(New(db, WithIndexPath(path)))
+	t.Cleanup(ts.Close)
+
+	var resp SaveIndexResponse
+	if code, body := postJSON(t, ts.URL+"/index/save", struct{}{}, &resp); code != http.StatusOK {
+		t.Fatalf("POST /index/save: %d: %s", code, body)
+	}
+	if resp.Path != path || resp.Bytes <= 0 {
+		t.Fatalf("save response = %+v", resp)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != resp.Bytes {
+		t.Fatalf("file is %d bytes, response says %d", fi.Size(), resp.Bytes)
+	}
+
+	// A restarted engine loads it and answers identically.
+	fresh, err := digitaltraces.NewGridDB(4, 0, digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.AddVisits(db.AllVisits()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fresh.LoadIndex(f); err != nil {
+		t.Fatalf("LoadIndex from /index/save output: %v", err)
+	}
+	want, _, err := db.TopK("entity-3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fresh.TopK("entity-3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatches(t, toMatches(got), want)
+
+	// GET is not allowed.
+	r, err := http.Get(ts.URL + "/index/save")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /index/save: %d, want 405", r.StatusCode)
+	}
+}
+
+// TestSaveIndexEndpointUnconfigured: without WithIndexPath the endpoint
+// refuses rather than writing somewhere surprising.
+func TestSaveIndexEndpointUnconfigured(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/index/save", struct{}{}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("unconfigured /index/save: %d (%s), want 409", code, body)
+	}
+	if !strings.Contains(body, "index-save") {
+		t.Errorf("error %q does not point the operator at the flag", body)
 	}
 }

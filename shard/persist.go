@@ -1,0 +1,117 @@
+package shard
+
+// Cluster persistence: a cluster snapshot is an envelope of independent
+// per-shard DB snapshots (the MSIGTREE2 format of the root package),
+// length-prefixed so each section is self-delimiting. Warm-restarting a
+// cluster is therefore "re-ingest the log through the router, then
+// LoadIndex": the shard count pins the routing function (ownership is FNV
+// mod N), each section replays onto the shard the router owns its entities
+// on, and every shard's own LoadIndex re-maps by entity name — so a section
+// fed to the wrong shard fails on the first unresolvable name instead of
+// answering for the wrong partition.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// clusterMagic identifies the envelope; bump the trailing digit on layout
+// changes. The payload format inside each section is versioned separately
+// (by the root package's snapshot magic).
+const clusterMagic = "MSIGCLUST1\n"
+
+// maxShardSection caps a section length read from the envelope before
+// allocation — corrupt headers must not look like a 2^60-byte index.
+const maxShardSection = 1 << 34 // 16 GiB
+
+// SaveIndex persists every shard's index to w as a length-prefixed envelope
+// loadable by LoadIndex on a cluster of the same shard count. Shards are
+// saved in parallel (each shard's SaveIndex folds its own pending dirt
+// first); a shard with no entities writes an empty section. Implements the
+// digitaltraces.Engine persistence surface.
+func (c *Cluster) SaveIndex(w io.Writer) (int64, error) {
+	bufs := make([]bytes.Buffer, len(c.shards))
+	errs := make([]error, len(c.shards))
+	runPool(len(c.shards), runtime.GOMAXPROCS(0), func(i int) {
+		if c.shards[i].NumEntities() == 0 {
+			return // empty shard: nothing indexed, empty section
+		}
+		_, errs[i] = c.shards[i].SaveIndex(&bufs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard: saving shard %d index: %w", i, err)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	if _, err := bw.WriteString(clusterMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(clusterMagic))
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.shards))); err != nil {
+		return n, err
+	}
+	n += 8
+	for i := range bufs {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(bufs[i].Len())); err != nil {
+			return n, err
+		}
+		n += 8
+		nn, err := bw.Write(bufs[i].Bytes())
+		n += int64(nn)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// LoadIndex warm-restarts the cluster from a SaveIndex envelope: every
+// section is loaded onto its shard in order, after the cluster's visit log
+// has been re-ingested through the router. The envelope's shard count must
+// equal this cluster's — entity ownership is a pure function of the shard
+// count, so a different partitioning would route every section's entities
+// to shards that do not hold their visits. Shards whose section is empty
+// (no entities at save time) stay index-less and build lazily.
+func (c *Cluster) LoadIndex(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(clusterMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot magic: %w", err)
+	}
+	if string(magic) != clusterMagic {
+		return fmt.Errorf("shard: not a cluster index snapshot (magic %q; a single-DB snapshot loads via DB.LoadIndex)", magic)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot shard count: %w", err)
+	}
+	if int(count) != len(c.shards) {
+		return fmt.Errorf("shard: snapshot has %d shard sections, cluster has %d shards — entity routing is hash mod N, so the shard count must match the save", count, len(c.shards))
+	}
+	for i := range c.shards {
+		var length uint64
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return fmt.Errorf("shard: snapshot truncated at shard %d section header: %w", i, err)
+		}
+		if length == 0 {
+			continue
+		}
+		if length > maxShardSection {
+			return fmt.Errorf("shard: snapshot shard %d section claims %d bytes — corrupt envelope", i, length)
+		}
+		section := make([]byte, length)
+		if _, err := io.ReadFull(br, section); err != nil {
+			return fmt.Errorf("shard: snapshot truncated inside shard %d section (want %d bytes): %w", i, length, err)
+		}
+		if err := c.shards[i].LoadIndex(bytes.NewReader(section)); err != nil {
+			return fmt.Errorf("shard: loading shard %d index: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"digitaltraces"
+)
+
+// persistCluster builds an N-shard cluster over a deterministic synthetic
+// city's visit log.
+func persistCluster(t *testing.T, shards int, log []digitaltraces.VisitRecord) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Shards: shards,
+		NewShard: func(i int) (*digitaltraces.DB, error) {
+			return digitaltraces.NewGridDB(4, 0, digitaltraces.WithHashFunctions(32))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.AddVisits(log); err != nil || n != len(log) {
+		t.Fatalf("ingest: %d of %d, err %v", n, len(log), err)
+	}
+	return c
+}
+
+func cityLog(t *testing.T, entities int) []digitaltraces.VisitRecord {
+	t.Helper()
+	src, err := digitaltraces.SyntheticCity(digitaltraces.CityConfig{Side: 4, Entities: entities, Days: 3}, digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src.AllVisits()
+}
+
+// TestClusterSaveLoadRoundTrip: a warm-restarted cluster (re-ingest the log,
+// LoadIndex the envelope) answers bit-identically to the cluster that saved
+// it — and to a single rebuilt DB over the same data, preserving the
+// cluster exactness invariant through persistence.
+func TestClusterSaveLoadRoundTrip(t *testing.T) {
+	log := cityLog(t, 40)
+	queries := []string{"entity-0", "entity-7", "entity-19", "entity-33"}
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c1 := persistCluster(t, shards, log)
+			if err := c1.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			n, err := c1.SaveIndex(&buf)
+			if err != nil {
+				t.Fatalf("SaveIndex: %v", err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("SaveIndex reported %d bytes, wrote %d", n, buf.Len())
+			}
+
+			c2 := persistCluster(t, shards, log)
+			if err := c2.LoadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("LoadIndex: %v", err)
+			}
+			if got, want := c2.IndexStats().Entities, c1.IndexStats().Entities; got != want {
+				t.Fatalf("loaded cluster indexes %d entities, want %d", got, want)
+			}
+			for _, q := range queries {
+				w, _, err := c1.TopK(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, _, err := c2.TopK(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("TopK(%s) diverges after cluster warm restart:\n  loaded: %v\n  saved:  %v", q, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterLoadIndexShardCountMismatch: an envelope saved at one shard
+// count must be refused by a cluster of another — the routing function is
+// keyed by N, so the sections would land on shards that do not own their
+// entities.
+func TestClusterLoadIndexShardCountMismatch(t *testing.T) {
+	log := cityLog(t, 20)
+	c4 := persistCluster(t, 4, log)
+	if err := c4.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c4.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := persistCluster(t, 2, log)
+	err := c2.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "shard count") {
+		t.Fatalf("want shard-count mismatch error, got: %v", err)
+	}
+}
+
+// TestClusterLoadIndexEnvelopeErrors: bad magic and truncation are
+// descriptive errors, and a single-DB snapshot fed to a cluster is caught
+// at the magic.
+func TestClusterLoadIndexEnvelopeErrors(t *testing.T) {
+	log := cityLog(t, 20)
+	c := persistCluster(t, 2, log)
+	if err := c.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	c2 := persistCluster(t, 2, log)
+	for _, cut := range []int{0, 5, 15, 25, len(good) / 2, len(good) - 3} {
+		if err := c2.LoadIndex(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncated envelope (%d of %d bytes) accepted", cut, len(good))
+		}
+	}
+
+	// A single-DB snapshot is not a cluster envelope.
+	var dbSnap bytes.Buffer
+	if _, err := c.shards[0].SaveIndex(&dbSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadIndex(bytes.NewReader(dbSnap.Bytes())); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("single-DB snapshot accepted as cluster envelope: %v", err)
+	}
+}
+
+// TestClusterSaveLoadWithEmptyShard: a cluster where the router left a
+// shard empty still round-trips (the empty shard writes an empty section
+// and stays index-less).
+func TestClusterSaveLoadWithEmptyShard(t *testing.T) {
+	// One entity, many shards: most shards are empty.
+	var log []digitaltraces.VisitRecord
+	for _, v := range cityLog(t, 1) {
+		log = append(log, v)
+	}
+	c1 := persistCluster(t, 4, log)
+	if err := c1.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c1.SaveIndex(&buf); err != nil {
+		t.Fatalf("SaveIndex with empty shards: %v", err)
+	}
+	c2 := persistCluster(t, 4, log)
+	if err := c2.LoadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("LoadIndex with empty shards: %v", err)
+	}
+	w, _, err := c1.TopK("entity-0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := c2.TopK("entity-0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("answers diverge: %v vs %v", g, w)
+	}
+}
