@@ -46,6 +46,19 @@
 //
 // writes BENCH_restart.json. The headline is the per-size load speedup —
 // what a restarted server saves before its first query.
+//
+// The -scenario cache mode measures the generation-keyed hot-query cache
+// under a Zipfian query mix (a few celebrity entities dominate, the
+// workload the cache exists for): sequential latency and throughput on the
+// single DB and on an N-shard cluster, each with the cache off and on,
+// plus the observed hit rate:
+//
+//	bench -label cache -scenario cache -entities 2000 -cache-shards 8
+//
+// writes BENCH_cache.json. The headline is the cached-vs-uncached
+// throughput speedup at the reported hit rate; the uncached cluster row
+// doubles as the threshold-pruned scatter-gather's single-query latency
+// (the bounded gather is always on).
 package main
 
 import (
@@ -54,6 +67,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -133,6 +147,28 @@ type RestartRun struct {
 	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
 }
 
+// CacheRun is one (engine, cached) cell of the -scenario cache matrix:
+// sequential query latency and throughput over one fixed Zipfian query
+// sequence. HitRate is the fraction of queries answered from the
+// generation-keyed cache (0 on uncached rows); SpeedupVsUncached is
+// throughput(this)/throughput(uncached same engine), cached rows only.
+type CacheRun struct {
+	Engine string `json:"engine"` // "db" or "cluster"
+	Shards int    `json:"shards"`
+	// Gather names the cluster fan-out measured: "naive" (full local top-k
+	// per shard, the pre-pruning design) or "pruned" (threshold early
+	// termination). Empty on single-DB rows, which have no fan-out.
+	Gather            string  `json:"gather,omitempty"`
+	Cached            bool    `json:"cached"`
+	CacheEntries      int     `json:"cache_entries,omitempty"` // capacity
+	Queries           int     `json:"queries"`
+	HitRate           float64 `json:"hit_rate"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	P50Micros         float64 `json:"p50_us"`
+	P99Micros         float64 `json:"p99_us"`
+	SpeedupVsUncached float64 `json:"speedup_vs_uncached,omitempty"`
+}
+
 // Report is the BENCH_<label>.json schema.
 type Report struct {
 	Label       string `json:"label"`
@@ -152,6 +188,7 @@ type Report struct {
 	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
 	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
 	RestartRuns []RestartRun `json:"restart_runs,omitempty"`
+	CacheRuns   []CacheRun   `json:"cache_runs,omitempty"`
 }
 
 func main() {
@@ -175,6 +212,10 @@ func main() {
 		dirtyN   = flag.Int("dirty", 64, "refresh scenario: dirty entities per swap")
 		refCount = flag.Int("refreshes", 30, "refresh scenario: measured swaps per (mode, size) cell")
 		rstSizes = flag.String("restart-sizes", "1000,4000,16000", "restart scenario: comma-separated population sizes")
+		cacheCap = flag.Int("cache-entries", 4096, "cache scenario: query cache capacity")
+		cacheQ   = flag.Int("cache-queries", 1000, "cache scenario: Zipfian queries per cell")
+		cacheSh  = flag.Int("cache-shards", 8, "cache scenario: cluster size to measure alongside the single DB")
+		zipfS    = flag.Float64("zipf-s", 1.5, "cache scenario: Zipf skew exponent (>1; higher = hotter head)")
 	)
 	flag.Parse()
 
@@ -183,9 +224,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh", "restart":
+	case "serve", "rebuild", "refresh", "restart", "cache":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh or restart)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart or cache)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -225,6 +266,15 @@ func main() {
 			log.Fatal(err)
 		}
 		report.RestartRuns, err = restartScenario(cfg, opts, popSizes, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		return
+	}
+
+	if *scenario == "cache" {
+		report.CacheRuns, err = cacheScenario(cfg, opts, *side, *levels, *k, *cacheQ, *cacheSh, *cacheCap, *zipfS, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -452,6 +502,145 @@ func restartScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, 
 			if !reflect.DeepEqual(got, coldAnswers[q]) {
 				return nil, fmt.Errorf("restart scenario: warm answers diverge for %s: %v vs %v", name, got, coldAnswers[q])
 			}
+		}
+	}
+	return runs, nil
+}
+
+// cacheScenario measures the generation-keyed hot-query cache under a
+// Zipfian query mix: one fixed query sequence (rank-r entity drawn with
+// probability ∝ 1/(1+r)^s) replayed sequentially against the single DB and
+// an N-shard cluster, cache off then on. Every engine answers from its own
+// deterministically regenerated city, so all four cells serve identical
+// data; the cached cells also verify sampled answers against their uncached
+// twin before reporting.
+func cacheScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, side, levels, k, queries, shards, capacity int, zipfS float64, seed int64) ([]CacheRun, error) {
+	if queries < 1 || shards < 1 || capacity < 1 {
+		return nil, fmt.Errorf("cache scenario: need -cache-queries, -cache-shards and -cache-entries ≥ 1")
+	}
+	if zipfS <= 1 {
+		return nil, fmt.Errorf("cache scenario: -zipf-s must be > 1, got %v", zipfS)
+	}
+	zrng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(zrng, zipfS, 1, uint64(cfg.Entities-1))
+	names := make([]string, queries)
+	distinct := map[string]bool{}
+	for i := range names {
+		names[i] = fmt.Sprintf("entity-%d", zipf.Uint64())
+		distinct[names[i]] = true
+	}
+	log.Printf("cache scenario: %d Zipfian queries (s=%.2f) over %d distinct entities", queries, zipfS, len(distinct))
+
+	newEngine := func(kind string, cached, naive bool) (digitaltraces.Engine, error) {
+		dbOpts := opts
+		if cached && kind == "db" {
+			dbOpts = append(append([]digitaltraces.Option{}, opts...), digitaltraces.WithQueryCache(capacity))
+		}
+		src, err := digitaltraces.SyntheticCity(cfg, dbOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "db" {
+			return src, nil
+		}
+		clusterCap := 0
+		if cached {
+			clusterCap = capacity
+		}
+		return shard.Partition(src, shard.Config{
+			Shards:      shards,
+			CacheSize:   clusterCap,
+			NaiveGather: naive,
+			NewShard: func(int) (*digitaltraces.DB, error) {
+				return digitaltraces.NewGridDB(side, levels, opts...)
+			},
+		})
+	}
+
+	type cell struct {
+		kind          string
+		cached, naive bool
+	}
+	cells := []cell{
+		{kind: "db", cached: false},
+		{kind: "db", cached: true},
+		// The naive row is the PR 2 design measured on today's host — the
+		// honest baseline the pruned row's latency is read against.
+		{kind: "cluster", cached: false, naive: true},
+		{kind: "cluster", cached: false},
+		{kind: "cluster", cached: true},
+	}
+
+	var runs []CacheRun
+	baseline := map[string]float64{} // uncached pruned ops/sec per engine kind
+	reference := map[string][]digitaltraces.Match{}
+	for _, cl := range cells {
+		kind, cached := cl.kind, cl.cached
+		{
+			eng, err := newEngine(kind, cached, cl.naive)
+			if err != nil {
+				return nil, fmt.Errorf("cache scenario (%s cached=%v): %w", kind, cached, err)
+			}
+			if err := eng.BuildIndex(); err != nil {
+				return nil, fmt.Errorf("cache scenario (%s cached=%v): build: %w", kind, cached, err)
+			}
+			run := CacheRun{Engine: kind, Cached: cached, Queries: queries, Shards: 1}
+			if kind == "cluster" {
+				run.Shards = shards
+				run.Gather = "pruned"
+				if cl.naive {
+					run.Gather = "naive"
+				}
+			}
+			if cached {
+				run.CacheEntries = capacity
+			}
+			lat := make([]time.Duration, 0, queries)
+			hits := 0
+			// Collect the previous cell's dead engine before timing: on small
+			// hosts a GC pause mid-loop would otherwise land in this cell's
+			// tail latency.
+			runtime.GC()
+			start := time.Now()
+			for _, name := range names {
+				qStart := time.Now()
+				ms, qs, err := eng.TopK(name, k)
+				if err != nil {
+					return nil, fmt.Errorf("cache scenario (%s cached=%v): TopK(%s): %w", kind, cached, name, err)
+				}
+				lat = append(lat, time.Since(qStart))
+				if qs.CacheHit {
+					hits++
+				}
+				// Exactness spot-check: every cell of one engine kind —
+				// naive, pruned, cached — must answer identically over the
+				// same data.
+				key := kind + "|" + name
+				if want, ok := reference[key]; !ok {
+					reference[key] = ms
+				} else if !reflect.DeepEqual(ms, want) {
+					return nil, fmt.Errorf("cache scenario (%s cached=%v naive=%v): answer for %s diverges: %v vs %v", kind, cached, cl.naive, name, ms, want)
+				}
+			}
+			elapsed := time.Since(start)
+			slices.Sort(lat)
+			run.HitRate = float64(hits) / float64(queries)
+			run.OpsPerSec = float64(queries) / elapsed.Seconds()
+			run.P50Micros = float64(percentile(lat, 50).Microseconds())
+			run.P99Micros = float64(percentile(lat, 99).Microseconds())
+			if !cached {
+				if !cl.naive {
+					baseline[kind] = run.OpsPerSec
+				}
+			} else if baseline[kind] > 0 {
+				run.SpeedupVsUncached = run.OpsPerSec / baseline[kind]
+			}
+			log.Printf("cache scenario %s shards=%d gather=%s cached=%v: %.0f q/s, p50 %.0fµs, p99 %.0fµs, hit rate %.1f%%",
+				kind, run.Shards, run.Gather, cached, run.OpsPerSec, run.P50Micros, run.P99Micros, 100*run.HitRate)
+			if run.SpeedupVsUncached > 0 {
+				log.Printf("  throughput speedup vs uncached %s: %.1fx", kind, run.SpeedupVsUncached)
+			}
+			runs = append(runs, run)
 		}
 	}
 	return runs, nil

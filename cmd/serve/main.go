@@ -59,6 +59,7 @@ func main() {
 		u         = flag.Float64("u", 2, "ADM level exponent")
 		v         = flag.Float64("v", 2, "ADM duration exponent")
 		shards    = flag.Int("shards", 1, "entity-partitioned shards (1 = single DB; >1 builds in parallel and scatter-gathers queries)")
+		cacheSize = flag.Int("cache", 0, "generation-keyed hot-query cache entries (0 = no cache); invalidates automatically when ingest reaches the serving index")
 		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
 		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
 		refDirty  = flag.Int("refresh-dirty", 0, "auto-refresh: fold ingested visits into the index once this many entities are dirty (0 = no dirty trigger)")
@@ -72,6 +73,14 @@ func main() {
 		digitaltraces.WithHashFunctions(*nh),
 		digitaltraces.WithSeed(uint64(*seed)),
 		digitaltraces.WithPaperMeasure(*u, *v),
+	}
+	if *cacheSize > 0 && *shards <= 1 {
+		// Single DB: the cache lives in the DB itself. For -shards > 1 the
+		// cluster gets one cluster-level cache instead (Config.CacheSize) —
+		// per-shard caches would never be consulted by the cluster's
+		// incremental fan-out path.
+		opts = append(opts, digitaltraces.WithQueryCache(*cacheSize))
+		log.Printf("query cache: %d entries", *cacheSize)
 	}
 	if *refDirty > 0 || *refStale > 0 {
 		// Each DB (every shard, for -shards > 1) folds its own dirt in the
@@ -116,8 +125,12 @@ func main() {
 	engine := digitaltraces.Engine(db)
 	if *shards > 1 {
 		log.Printf("partitioning %d entities across %d shards", db.NumEntities(), *shards)
+		if *cacheSize > 0 {
+			log.Printf("query cache: %d entries (cluster-level)", *cacheSize)
+		}
 		cluster, err := shard.Partition(db, shard.Config{
-			Shards: *shards,
+			Shards:    *shards,
+			CacheSize: *cacheSize,
 			NewShard: func(i int) (*digitaltraces.DB, error) {
 				return digitaltraces.NewGridDB(*side, *levels, opts...)
 			},

@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"digitaltraces/internal/core"
+	"digitaltraces/internal/qcache"
 	"digitaltraces/internal/spindex"
 	"digitaltraces/internal/trace"
 )
@@ -198,6 +199,10 @@ type QueryStats struct {
 	PE      float64
 	Pruned  float64
 	Elapsed time.Duration
+	// CacheHit reports that the answer was served from the generation-keyed
+	// query cache (WithQueryCache / shard.Config.CacheSize) without running a
+	// search: Checked is then 0 and PE/Pruned describe no work at all.
+	CacheHit bool
 }
 
 // Option customizes a DB.
@@ -336,6 +341,11 @@ type DB struct {
 	// cloneRefresh selects the pre-COW full-copy refresh path (see
 	// WithCloneRefresh); the default is the O(dirty) copy-on-write derive.
 	cloneRefresh bool
+
+	// cache is the generation-keyed hot-query cache (nil without
+	// WithQueryCache). Keyed by the serving snapshot's generation, so a
+	// publish invalidates every entry without any cache writes (cache.go).
+	cache *qcache.Cache[[]Match]
 
 	// Background auto-refresh policy (autorefresh.go). Zero thresholds mean
 	// disabled; the goroutine channels are nil then and Close is a no-op.
@@ -519,7 +529,7 @@ func (db *DB) TopK(entity string, k int) ([]Match, QueryStats, error) {
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return s.topK(q, k)
+	return db.cachedTopK(s, q, k, entityKey(entity, k))
 }
 
 // Visit describes one presence for query-by-example.
@@ -540,26 +550,40 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	q, err := db.exampleSequences(visits)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return db.cachedTopK(s, q, k, exampleKey(q, k))
+}
+
+// exampleSequences discretizes example visits into the hypothetical entity's
+// ST-cell sequences (entity ID −1), applying exactly the ingest-path rounding
+// so an example built from VisitsOf output reproduces the entity's stored
+// cells bit-for-bit. Callers must hold a built snapshot (the epoch is fixed
+// once one exists); TopKByExample and SearchByExample share this so the
+// one-shot and incremental example paths can never discretize differently.
+func (db *DB) exampleSequences(visits []Visit) (*trace.Sequences, error) {
 	epoch, set, explicit := db.epochInfo()
 	if !set {
 		// Unreachable after snapshotForQuery (indexing requires visits, and
 		// the first visit fixes the epoch), but guard it: converting with the
 		// zero epoch would silently produce nonsense unit offsets.
-		return nil, QueryStats{}, fmt.Errorf("digitaltraces: no epoch to anchor example visits (ingest a visit or set WithEpoch)")
+		return nil, fmt.Errorf("digitaltraces: no epoch to anchor example visits (ingest a visit or set WithEpoch)")
 	}
 	var recs []trace.Record
 	for i, v := range visits {
 		base, ok := db.venues[v.Venue]
 		if !ok {
-			return nil, QueryStats{}, fmt.Errorf("digitaltraces: unknown venue %q", v.Venue)
+			return nil, fmt.Errorf("digitaltraces: unknown venue %q", v.Venue)
 		}
 		if !v.End.After(v.Start) {
-			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d: empty span %v..%v", i, v.Start, v.End)
+			return nil, fmt.Errorf("digitaltraces: example visit %d: empty span %v..%v", i, v.Start, v.End)
 		}
 		su := int64(v.Start.Sub(epoch) / db.unit)
 		eu := int64((v.End.Sub(epoch) + db.unit - 1) / db.unit)
 		if su < 0 {
-			return nil, QueryStats{}, fmt.Errorf("digitaltraces: example visit %d at %v precedes the epoch %v — the epoch was %s; set WithEpoch to cover the example's span",
+			return nil, fmt.Errorf("digitaltraces: example visit %d at %v precedes the epoch %v — the epoch was %s; set WithEpoch to cover the example's span",
 				i, v.Start, epoch, epochOrigin(explicit))
 		}
 		if eu <= su {
@@ -567,8 +591,7 @@ func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) 
 		}
 		recs = append(recs, trace.Record{Entity: -1, Base: base, Start: trace.Time(su), End: trace.Time(eu)})
 	}
-	q := trace.NewSequences(db.ix, -1, recs)
-	return s.topK(q, k)
+	return trace.NewSequences(db.ix, -1, recs), nil
 }
 
 // epochInfo reads the write-once epoch fields under the ingest lock. Once a
@@ -733,12 +756,29 @@ type IndexStats struct {
 	// the snapshot came from a full BuildIndex (or none exists). An
 	// aggregated engine reports its slowest member's, mirroring BuildTime.
 	LastRefreshDuration time.Duration
+	// Query-cache counters (all zero unless the engine was built with
+	// WithQueryCache, or shard.Config.CacheSize for a cluster). Hits and
+	// misses count lookups; evictions count capacity displacements only —
+	// generation bumps invalidate by keying, they never evict. Entries is
+	// the current live entry count for the serving generation. An aggregated
+	// engine sums its members' counters plus its own cluster-level cache's.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheEntries   int
 }
 
 // IndexStats returns current index statistics — one atomic snapshot load
 // plus a shared-lock dirty count, never blocked by rebuilds.
 func (db *DB) IndexStats() IndexStats {
 	out := IndexStats{DirtyCount: db.dirtyCount()}
+	if db.cache != nil {
+		cs := db.cache.Stats()
+		out.CacheHits = cs.Hits
+		out.CacheMisses = cs.Misses
+		out.CacheEvictions = cs.Evictions
+		out.CacheEntries = cs.Entries
+	}
 	s := db.snap.Load()
 	if s == nil {
 		return out

@@ -77,8 +77,20 @@ func (t *Tree) ApproxTopK(q *trace.Sequences, k int, measure adm.Measure, opts A
 	for cands.Len() > 0 {
 		c := heap.Pop(&cands).(*candidate)
 		stats.NodesPopped++
-		if results.Len() == k && results[0].Degree >= (1-opts.Epsilon)*c.ub {
+		// Strict, mirroring TopK: at equality a remaining node may hide an
+		// equal-degree entity with a smaller ID.
+		if results.Len() == k && results[0].Degree > (1-opts.Epsilon)*c.ub {
 			remainingUB = c.ub
+			break
+		}
+		if c.ub == 0 {
+			// Same zero shortcut as TopK: everything left has degree exactly
+			// 0, so the answer completes without further degree computations
+			// and stays exact.
+			offerZeros(c.n, q.Entity, k, &results)
+			for _, rc := range cands {
+				offerZeros(rc.n, q.Entity, k, &results)
+			}
 			break
 		}
 		if opts.MaxChecked > 0 && stats.Checked >= opts.MaxChecked {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"digitaltraces/internal/adm"
+	"digitaltraces/internal/trace"
+)
+
+// Iter is an incremental exact top-k search: instead of materializing one
+// k-sized answer, it streams entities out one at a time in exactly the order
+// Tree.TopK ranks them — degree descending, ties by ascending entity ID —
+// together with an admissible upper bound on everything not yet emitted.
+//
+// The iterator is the per-shard half of the threshold-style scatter-gather
+// (package shard): a coordinator pulls a few results from each shard, checks
+// whether its global k-th result dominates every shard's Bound, and stops
+// fanning out as soon as it does — no shard ever computes a full local top-k
+// for a query the first handful of its entities already settles.
+//
+// It is Algorithm 2 recast as a best-first emitter (the incremental
+// nearest-neighbor transformation of Hjaltason & Samet applied to the
+// MinSigTree): one priority queue holds both unexpanded tree nodes, keyed by
+// their Theorem-4 upper bound, and exactly-scored entities, keyed by their
+// true degree. Nodes are expanded whenever their bound ties or beats the best
+// scored entity — an equal bound may still hide an equal-degree entity with a
+// smaller ID, which must be emitted first to preserve TopK's tie order — so
+// when an entity finally surfaces, nothing unexamined can outrank it.
+//
+// An Iter pins the tree it was opened on: like TopK it is read-only, but it
+// holds its search frontier across calls, so the tree must stay unmutated for
+// the iterator's whole lifetime (the root package guarantees this by only
+// opening iterators on immutable snapshot trees). An Iter is not safe for
+// concurrent use; open one per goroutine.
+type Iter struct {
+	t       *Tree
+	q       *trace.Sequences
+	measure adm.Measure
+	qCounts []int
+
+	cands candidateHeap // unexpanded nodes, max-heap on upper bound
+	exact exactHeap     // scored entities, max-heap on (degree, -entity)
+	seq   int
+
+	stats SearchStats
+}
+
+// exactHeap orders scored entities exactly like TopK's output: degree
+// descending, ties by ascending entity ID.
+type exactHeap []Result
+
+func (h exactHeap) Len() int { return len(h) }
+func (h exactHeap) Less(i, j int) bool {
+	if h[i].Degree != h[j].Degree {
+		return h[i].Degree > h[j].Degree
+	}
+	return h[i].Entity < h[j].Entity
+}
+func (h exactHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *exactHeap) Push(x any)   { *h = append(*h, x.(Result)) }
+func (h *exactHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// NewIter opens an incremental search for the query sequences q (excluding
+// the entity q.Entity itself, like TopK). The validation mirrors TopK's.
+func (t *Tree) NewIter(q *trace.Sequences, measure adm.Measure) (*Iter, error) {
+	if q.Levels() != t.m {
+		return nil, fmt.Errorf("core: query has %d levels, index has %d", q.Levels(), t.m)
+	}
+	if measure.Levels() != t.m {
+		return nil, fmt.Errorf("core: measure scores %d levels, index has %d", measure.Levels(), t.m)
+	}
+	it := &Iter{t: t, q: q, measure: measure, seq: 1}
+	it.qCounts = make([]int, t.m)
+	for l := 1; l <= t.m; l++ {
+		it.qCounts[l-1] = q.Size(l)
+	}
+	heap.Init(&it.cands)
+	heap.Push(&it.cands, &candidate{
+		n:         t.root,
+		ub:        measure.UpperBound(it.qCounts, it.qCounts),
+		surviving: q.Base(),
+		counts:    it.qCounts,
+	})
+	heap.Init(&it.exact)
+	return it, nil
+}
+
+// Next returns the next entity in exact rank order (degree descending, ties
+// by ascending entity ID), or ok = false when every indexed entity has been
+// emitted. The first k results of an iterator are bit-identical to
+// Tree.TopK(q, k) for every k.
+func (it *Iter) Next() (Result, bool, error) {
+	// Expand nodes until the best scored entity provably outranks every
+	// unexpanded subtree. The expansion condition is ≥, not >: a node whose
+	// bound equals the best degree may contain an equal-degree entity with a
+	// smaller ID, which the tie order puts first.
+	for it.cands.Len() > 0 && (it.exact.Len() == 0 || it.cands[0].ub >= it.exact[0].Degree) {
+		if it.cands[0].ub == 0 {
+			// Everything still behind a candidate has degree exactly 0
+			// (admissible bounds, non-negative degrees). Score-free flush:
+			// move the entities into the exact heap so the canonical order
+			// emits them by ascending ID, without touching the source.
+			for _, c := range it.cands {
+				subtreeEntities(c.n, it.q.Entity, func(e trace.EntityID) {
+					heap.Push(&it.exact, Result{Entity: e})
+				})
+			}
+			it.cands = it.cands[:0]
+			break
+		}
+		c := heap.Pop(&it.cands).(*candidate)
+		it.stats.NodesPopped++
+		if c.n.level == it.t.m {
+			it.stats.LeavesRead++
+			for _, e := range c.n.entities {
+				if e == it.q.Entity {
+					continue
+				}
+				s := it.t.src.Get(e)
+				if s == nil {
+					return Result{}, false, fmt.Errorf("core: indexed entity %d missing from source", e)
+				}
+				it.stats.Checked++
+				heap.Push(&it.exact, Result{Entity: e, Degree: it.measure.Degree(it.q, s)})
+			}
+			continue
+		}
+		for _, child := range c.n.sortedChildren() {
+			cc := it.t.expand(c, child, it.qCounts, it.measure, &it.stats)
+			cc.seq = it.seq
+			it.seq++
+			heap.Push(&it.cands, cc)
+		}
+	}
+	if it.exact.Len() == 0 {
+		return Result{}, false, nil
+	}
+	return heap.Pop(&it.exact).(Result), true, nil
+}
+
+// Bound returns an admissible upper bound on the degree of every entity Next
+// has not yet returned: no future Next result exceeds it. Once the iterator
+// is exhausted it returns 0 (degrees are in [0, 1], so an exhausted shard
+// never blocks a coordinator's termination check — but coordinators should
+// cut on Next's ok = false, since a real entity with degree 0 may remain
+// behind a Bound of 0).
+func (it *Iter) Bound() float64 {
+	b := 0.0
+	if it.cands.Len() > 0 {
+		b = it.cands[0].ub
+	}
+	if it.exact.Len() > 0 && it.exact[0].Degree > b {
+		b = it.exact[0].Degree
+	}
+	return b
+}
+
+// Stats reports the work performed so far: Checked counts exact degree
+// computations, the cost early termination exists to cut. PE and Pruned are
+// left zero — an incremental search has no fixed answer size to normalize
+// against; coordinators recompute them over their own population.
+func (it *Iter) Stats() SearchStats { return it.stats }

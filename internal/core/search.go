@@ -86,8 +86,19 @@ func (h *resultHeap) Pop() any {
 // query sequences q, excluding the entity q.Entity itself, under the given
 // association degree measure. It implements Algorithm 2: best-first search
 // over MinSigTree nodes ordered by upper bound, with early termination once
-// k exact degrees dominate every remaining bound. Results are ordered by
-// descending degree (ties by ascending entity ID).
+// k exact degrees strictly dominate every remaining bound. Results are
+// ordered by descending degree (ties by ascending entity ID).
+//
+// The answer is canonical: it is exactly the first k entries of the total
+// order (degree descending, entity ID ascending) over the population,
+// independent of tree shape. Termination is therefore strict — a node whose
+// bound ties the current k-th degree may still hide an equal-degree entity
+// with a smaller ID, so it must be examined. The one case where a tied
+// bound need not force exact degree computations is 0: admissibility plus
+// non-negative degrees mean every entity under a 0-bound node has degree
+// exactly 0, so those entities are offered to the selection directly. The
+// canonical guarantee is what lets package shard reproduce this answer
+// bit-identically from per-shard searches over differently-shaped trees.
 //
 // The returned answers are exact for any admissible measure: pruning relies
 // only on Theorems 2-4, never on hash quality.
@@ -133,9 +144,21 @@ func (t *Tree) TopK(q *trace.Sequences, k int, measure adm.Measure) ([]Result, S
 	for cands.Len() > 0 {
 		c := heap.Pop(&cands).(*candidate)
 		stats.NodesPopped++
-		// Early termination: the k-th best exact degree already matches or
-		// beats every remaining upper bound.
-		if results.Len() == k && results[0].Degree >= c.ub {
+		// Early termination: the k-th best exact degree strictly beats every
+		// remaining upper bound. Strict, not ≥: at equality the node may hide
+		// an equal-degree entity with a smaller ID, which the canonical tie
+		// order puts ahead of the current k-th.
+		if results.Len() == k && results[0].Degree > c.ub {
+			break
+		}
+		if c.ub == 0 {
+			// Every entity under this candidate — and, by heap order, under
+			// all remaining ones — has degree exactly 0. Offer them to the
+			// selection without computing degrees.
+			offerZeros(c.n, q.Entity, k, &results)
+			for _, rc := range cands {
+				offerZeros(rc.n, q.Entity, k, &results)
+			}
 			break
 		}
 		if c.n.level == t.m {
@@ -227,6 +250,36 @@ func (t *Tree) expand(parent *candidate, child *node, qCounts []int, measure adm
 	}
 	cc.ub = measure.UpperBound(cc.counts, qCounts)
 	return cc
+}
+
+// subtreeEntities calls fn for every entity indexed under n, except skip.
+// Visit order is unspecified: callers feed order-insensitive selections.
+func subtreeEntities(n *node, skip trace.EntityID, fn func(trace.EntityID)) {
+	if n.entities != nil {
+		for _, e := range n.entities {
+			if e != skip {
+				fn(e)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		subtreeEntities(c, skip, fn)
+	}
+}
+
+// offerZeros feeds every entity under n into the k-best selection with
+// degree 0, without touching the sequence source. Sound only when the
+// node's upper bound is 0 (then admissibility forces every degree to 0).
+func offerZeros(n *node, skip trace.EntityID, k int, results *resultHeap) {
+	subtreeEntities(n, skip, func(e trace.EntityID) {
+		if results.Len() < k {
+			heap.Push(results, Result{Entity: e})
+		} else if r := &(*results)[0]; r.Degree == 0 && e < r.Entity {
+			r.Entity = e
+			heap.Fix(results, 0)
+		}
+	})
 }
 
 // distinctAncestors counts the distinct level-l cells covering the given

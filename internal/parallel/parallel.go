@@ -4,6 +4,7 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,13 +19,78 @@ const threshold = 4
 // safe to call concurrently for distinct i (writes only to per-index
 // state); For returns once every call has. Small n runs inline on the
 // caller's goroutine.
+//
+// A panic in fn does not crash the process from a worker goroutine: the
+// first panic is captured, every remaining iteration still runs (workers
+// keep draining, so per-index outputs stay fully populated for the
+// iterations that succeeded), and the panic is re-raised on the caller's
+// goroutine once all workers have returned — the same observable contract
+// as a sequential loop wrapped in the caller's own defer/recover.
 func For(n int, fn func(int)) {
+	if pv := run(n, func(i int) error { fn(i); return nil }); pv != nil {
+		panic(pv.reraise())
+	}
+}
+
+// ForErr is For with fallible iterations: it runs fn(i) for every i in
+// [0, n) and returns the error of the smallest failing index (nil if every
+// call succeeded). All n iterations run regardless of failures — the pool
+// never short-circuits, so per-index outputs are as populated as their own
+// iterations made them — and the lowest-index error wins deterministically,
+// independent of goroutine scheduling. Panics propagate like For's.
+func ForErr(n int, fn func(int) error) error {
+	var (
+		mu      sync.Mutex
+		firstI  int
+		firstE  error
+		someErr bool
+	)
+	pv := run(n, func(i int) error {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if !someErr || i < firstI {
+				firstI, firstE, someErr = i, err, true
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if pv != nil {
+		panic(pv.reraise())
+	}
+	return firstE
+}
+
+// panicValue carries a recovered panic from a worker to the caller.
+type panicValue struct {
+	val any
+}
+
+// reraise wraps the original value so the rethrown panic is attributable to
+// the pool while preserving what was thrown.
+func (p *panicValue) reraise() any {
+	return fmt.Errorf("parallel: panic in worker: %v", p.val)
+}
+
+// run is the shared pool: a work-stealing counter over [0, n) with panic
+// capture. It returns the first recovered panic (by completion order), or
+// nil.
+func run(n int, fn func(int) error) *panicValue {
+	var panicked atomic.Pointer[panicValue]
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{val: r})
+			}
+		}()
+		fn(i) //nolint:errcheck // error collection is the caller's wrapper's job
+	}
 	workers := min(runtime.GOMAXPROCS(0), n)
 	if workers < 2 || n < threshold {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
+		return panicked.Load()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -37,9 +103,10 @@ func For(n int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				call(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return panicked.Load()
 }

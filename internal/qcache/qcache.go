@@ -1,0 +1,139 @@
+// Package qcache is a version-keyed answer cache for exact query engines
+// whose serving state advances through discrete published versions (the
+// snapshot generations of the root package, or a cluster's vector of shard
+// generations).
+//
+// The invalidation model is the whole point: entries are stored under the
+// version that produced them, and a lookup presents the version it is about
+// to answer over. When the cache sees a version it has not seen before, it
+// discards everything it holds — a single map swap — so a generation bump
+// invalidates every cached answer at zero per-entry cost, and a stale answer
+// can never be served as long as callers key lookups by the state they
+// actually query. The cache never extends an answer's life across versions;
+// it only short-circuits repeats within one.
+package qcache
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that found nothing (including version wipes)
+	Evictions uint64 // entries displaced by capacity (never by version bumps)
+	Entries   int    // live entries for the current version
+}
+
+// Cache maps (version, key) → V for a single current version. Safe for
+// concurrent use. The zero value is not usable; call New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	version  string
+	entries  map[uint64]entry[V]
+	order    []uint64 // insertion order of hashes, for FIFO eviction
+	stats    Stats
+}
+
+// entry stores the full key alongside the value: lookups compare it so a
+// 64-bit hash collision degrades to a miss (or an overwrite on store), never
+// to a wrong answer.
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New creates a cache holding at most capacity entries (capacity ≥ 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		entries:  make(map[uint64]entry[V], capacity),
+	}
+}
+
+// Get returns the value stored under key at exactly this version. A version
+// the cache has not seen wipes it first, so an answer computed under any
+// earlier version is unreachable.
+func (c *Cache[V]) Get(version, key string) (V, bool) {
+	return c.getHashed(version, hashKey(key), key)
+}
+
+// Put stores the value computed under version, wiping first when the cache
+// currently holds a different version's entries. An entry is only ever
+// reachable by a Get presenting the same version it was stored under, so
+// racing Puts and Gets across a version bump can waste work (mutual wipes)
+// but can never surface a stale answer.
+func (c *Cache[V]) Put(version, key string, v V) {
+	c.putHashed(version, hashKey(key), key, v)
+}
+
+// getHashed is Get with the hash precomputed — split out so tests can force
+// two distinct keys onto one hash and exercise the collision guard.
+func (c *Cache[V]) getHashed(version string, h uint64, key string) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncVersion(version)
+	e, ok := c.entries[h]
+	if !ok || e.key != key {
+		c.stats.Misses++
+		return zero, false
+	}
+	c.stats.Hits++
+	return e.val, true
+}
+
+// putHashed is Put with the hash precomputed (see getHashed).
+func (c *Cache[V]) putHashed(version string, h uint64, key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncVersion(version)
+	if _, ok := c.entries[h]; ok {
+		// Same key: refresh the value. Colliding key: overwrite — the slot
+		// holds one answer and the full-key compare on Get keeps it honest.
+		c.entries[h] = entry[V]{key: key, val: v}
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		drop := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, drop)
+		c.stats.Evictions++
+	}
+	c.entries[h] = entry[V]{key: key, val: v}
+	c.order = append(c.order, h)
+}
+
+// syncVersion wipes the cache when the presented version differs from the
+// stored one. Callers must hold mu.
+func (c *Cache[V]) syncVersion(version string) {
+	if version == c.version {
+		return
+	}
+	c.version = version
+	if len(c.entries) > 0 {
+		c.entries = make(map[uint64]entry[V], c.capacity)
+		c.order = c.order[:0]
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// hashKey is 64-bit FNV-1a over the key bytes.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}

@@ -1,0 +1,141 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("v1", "a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("v1", "a", 42)
+	got, ok := c.Get("v1", "a")
+	if !ok || got != 42 {
+		t.Fatalf("Get = %d, %v; want 42, true", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVersionBumpWipes(t *testing.T) {
+	c := New[string](8)
+	c.Put("v1", "a", "old")
+	c.Put("v1", "b", "old")
+
+	// A new version makes every v1 entry unreachable...
+	if _, ok := c.Get("v2", "a"); ok {
+		t.Fatal("v1 entry served under v2")
+	}
+	// ...including by going back: the wipe is total, not per-version storage.
+	if _, ok := c.Get("v1", "a"); ok {
+		t.Fatal("v1 entry survived the v2 wipe")
+	}
+	c.Put("v2", "a", "new")
+	if got, ok := c.Get("v2", "a"); !ok || got != "new" {
+		t.Fatalf("Get = %q, %v; want new, true", got, ok)
+	}
+	// Version wipes never count as evictions.
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d after version wipes, want 0", st.Evictions)
+	}
+}
+
+func TestPutRefreshesSameKey(t *testing.T) {
+	c := New[int](2)
+	c.Put("v", "a", 1)
+	c.Put("v", "a", 2)
+	if got, _ := c.Get("v", "a"); got != 2 {
+		t.Fatalf("Get = %d, want refreshed 2", got)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v; refresh must not grow or evict", st)
+	}
+}
+
+func TestCapacityFIFO(t *testing.T) {
+	c := New[int](2)
+	c.Put("v", "a", 1)
+	c.Put("v", "b", 2)
+	c.Put("v", "c", 3) // displaces a, the oldest
+
+	if _, ok := c.Get("v", "a"); ok {
+		t.Fatal("oldest entry survived over-capacity insert")
+	}
+	for key, want := range map[string]int{"b": 2, "c": 3} {
+		if got, ok := c.Get("v", key); !ok || got != want {
+			t.Fatalf("Get(%s) = %d, %v; want %d, true", key, got, ok, want)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestCapacityFloorIsOne(t *testing.T) {
+	c := New[int](0)
+	c.Put("v", "a", 1)
+	c.Put("v", "b", 2)
+	if _, ok := c.Get("v", "a"); ok {
+		t.Fatal("capacity-0 cache held two entries")
+	}
+	if got, ok := c.Get("v", "b"); !ok || got != 2 {
+		t.Fatalf("Get(b) = %d, %v; want 2, true", got, ok)
+	}
+}
+
+// TestHashCollision forces two distinct keys onto one hash slot via the
+// *Hashed entry points: the colliding Get must miss (never return the other
+// key's value) and a colliding Put overwrites the slot.
+func TestHashCollision(t *testing.T) {
+	c := New[string](4)
+	const h = uint64(0xdeadbeef)
+
+	c.putHashed("v", h, "keyA", "valA")
+
+	// Same hash, different key: full-key compare turns it into a miss.
+	if got, ok := c.getHashed("v", h, "keyB"); ok {
+		t.Fatalf("colliding Get returned %q — cross-key contamination", got)
+	}
+	// Colliding Put overwrites the slot; the old key is gone, new is served.
+	c.putHashed("v", h, "keyB", "valB")
+	if got, ok := c.getHashed("v", h, "keyB"); !ok || got != "valB" {
+		t.Fatalf("Get(keyB) = %q, %v; want valB, true", got, ok)
+	}
+	if _, ok := c.getHashed("v", h, "keyA"); ok {
+		t.Fatal("overwritten key still served")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (one slot)", st.Entries)
+	}
+}
+
+// TestConcurrentMixedVersions hammers the cache from writers and readers
+// racing across version bumps; the correctness claim is that a Get only ever
+// returns a value stored under the exact version it presented. Run with
+// -race this also proves the locking.
+func TestConcurrentMixedVersions(t *testing.T) {
+	c := New[string](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				version := fmt.Sprintf("v%d", i%3)
+				key := fmt.Sprintf("k%d", i%5)
+				want := version + "/" + key
+				c.Put(version, key, want)
+				if got, ok := c.Get(version, key); ok && got != want {
+					t.Errorf("Get(%s, %s) = %q, want %q", version, key, got, want)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -116,10 +116,11 @@ type Stats struct {
 	PE        float64 `json:"pe"`
 	Pruned    float64 `json:"pruned"`
 	ElapsedUS int64   `json:"elapsed_us"`
+	CacheHit  bool    `json:"cache_hit,omitempty"`
 }
 
 func toStats(qs digitaltraces.QueryStats) Stats {
-	return Stats{Checked: qs.Checked, PE: qs.PE, Pruned: qs.Pruned, ElapsedUS: qs.Elapsed.Microseconds()}
+	return Stats{Checked: qs.Checked, PE: qs.PE, Pruned: qs.Pruned, ElapsedUS: qs.Elapsed.Microseconds(), CacheHit: qs.CacheHit}
 }
 
 func toMatches(ms []digitaltraces.Match) []Match {
@@ -404,6 +405,13 @@ type ShardStat struct {
 	LastSwap      string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
 	DirtyCount    int     `json:"dirty_count"`
 	LastRefreshMS float64 `json:"last_refresh_ms"` // 0 when the shard's snapshot came from a full build
+	// Query-cache counters for the shard's own digitaltraces.WithQueryCache
+	// cache (all zero when the shard runs uncached, the cluster-level cache
+	// being the usual configuration — see StatsResponse.Index).
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    uint64 `json:"cache_misses,omitempty"`
+	CacheEvictions uint64 `json:"cache_evictions,omitempty"`
+	CacheEntries   int    `json:"cache_entries,omitempty"`
 }
 
 // StatsResponse is the /stats reply: the index shape (cluster totals for a
@@ -425,6 +433,15 @@ type StatsResponse struct {
 		LastSwap      string  `json:"last_swap,omitempty"` // RFC 3339; empty before first build
 		DirtyCount    int     `json:"dirty_count"`
 		LastRefreshMS float64 `json:"last_refresh_ms"` // 0 when the snapshot came from a full build
+		// Query-cache counters (zero unless the engine was built with a
+		// query cache — digitaltraces.WithQueryCache or a cluster
+		// CacheSize). Hits and misses count lookups, evictions count
+		// capacity displacements; a sharded engine sums its shards'
+		// counters plus its cluster-level cache's.
+		CacheHits      uint64 `json:"cache_hits"`
+		CacheMisses    uint64 `json:"cache_misses"`
+		CacheEvictions uint64 `json:"cache_evictions"`
+		CacheEntries   int    `json:"cache_entries"`
 	} `json:"index"`
 	Entities int         `json:"entities"`
 	Venues   int         `json:"venues"`
@@ -456,6 +473,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.LastSwap = swapTime(ix.LastSwap)
 	resp.Index.DirtyCount = ix.DirtyCount
 	resp.Index.LastRefreshMS = float64(ix.LastRefreshDuration.Microseconds()) / 1e3
+	resp.Index.CacheHits = ix.CacheHits
+	resp.Index.CacheMisses = ix.CacheMisses
+	resp.Index.CacheEvictions = ix.CacheEvictions
+	resp.Index.CacheEntries = ix.CacheEntries
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()
 	resp.Levels = s.eng.Levels()
@@ -464,17 +485,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sh, ok := s.eng.(interface{ ShardStats() []shard.ShardStat }); ok {
 		for _, st := range sh.ShardStats() {
 			resp.Shards = append(resp.Shards, ShardStat{
-				Shard:         st.Shard,
-				Entities:      st.Entities,
-				IndexEntities: st.Index.Entities,
-				Nodes:         st.Index.Nodes,
-				Leaves:        st.Index.Leaves,
-				MemoryBytes:   st.Index.MemoryBytes,
-				BuildMS:       float64(st.Index.BuildTime.Microseconds()) / 1e3,
-				Generation:    st.Index.Generation,
-				LastSwap:      swapTime(st.Index.LastSwap),
-				DirtyCount:    st.Index.DirtyCount,
-				LastRefreshMS: float64(st.Index.LastRefreshDuration.Microseconds()) / 1e3,
+				Shard:          st.Shard,
+				Entities:       st.Entities,
+				IndexEntities:  st.Index.Entities,
+				Nodes:          st.Index.Nodes,
+				Leaves:         st.Index.Leaves,
+				MemoryBytes:    st.Index.MemoryBytes,
+				BuildMS:        float64(st.Index.BuildTime.Microseconds()) / 1e3,
+				Generation:     st.Index.Generation,
+				LastSwap:       swapTime(st.Index.LastSwap),
+				DirtyCount:     st.Index.DirtyCount,
+				LastRefreshMS:  float64(st.Index.LastRefreshDuration.Microseconds()) / 1e3,
+				CacheHits:      st.Index.CacheHits,
+				CacheMisses:    st.Index.CacheMisses,
+				CacheEvictions: st.Index.CacheEvictions,
+				CacheEntries:   st.Index.CacheEntries,
 			})
 		}
 	}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/internal/qcache"
 )
 
 // Config describes a cluster.
@@ -63,6 +64,20 @@ type Config struct {
 	// that every shard discretizes a visit to the same ST-cells; NewCluster
 	// rejects incompatible or pre-populated shards.
 	NewShard func(i int) (*digitaltraces.DB, error)
+	// CacheSize, when positive, equips the cluster with a generation-keyed
+	// hot-query cache of that many entries: TopK/TopKByExample answers are
+	// memoized under the vector of shard snapshot generations and served
+	// without any fan-out while no shard's serving state has changed
+	// (cache.go). Per-shard digitaltraces.WithQueryCache caches are
+	// independent and unnecessary here — cluster queries stream through the
+	// incremental search path, which bypasses them.
+	CacheSize int
+	// NaiveGather disables the threshold-pruned fan-out: every shard runs a
+	// full local top-k and the lists are merged whole — the pre-pruning
+	// design. Answers are bit-identical either way (the equivalence the
+	// property suite locks in); the switch exists so cmd/bench -scenario
+	// cache can A/B the two gathers on the same host and data.
+	NaiveGather bool
 }
 
 // Cluster is an entity-partitioned composition of DB shards answering exact
@@ -79,6 +94,15 @@ type Cluster struct {
 	// the shard's own order by construction of the k-way merge (merge.go).
 	mu  sync.RWMutex
 	ord map[string]int
+
+	// cache is the cluster-level generation-keyed query cache (nil unless
+	// Config.CacheSize > 0); see cache.go for the version-vector soundness
+	// argument.
+	cache *qcache.Cache[[]digitaltraces.Match]
+
+	// naive switches TopK/TopKByExample to the unpruned full fan-out
+	// (Config.NaiveGather) — the benchmarking A/B escape hatch.
+	naive bool
 }
 
 var _ digitaltraces.Engine = (*Cluster)(nil)
@@ -137,7 +161,11 @@ func NewCluster(cfg Config) (_ *Cluster, err error) {
 			return nil, fmt.Errorf("shard: shard %d is pre-populated with %d entities; route all ingest through the Cluster", i, sh.NumEntities())
 		}
 	}
-	return &Cluster{shards: shards, ord: map[string]int{}}, nil
+	c := &Cluster{shards: shards, ord: map[string]int{}, naive: cfg.NaiveGather}
+	if cfg.CacheSize > 0 {
+		c.cache = qcache.New[[]digitaltraces.Match](cfg.CacheSize)
+	}
+	return c, nil
 }
 
 // Partition splits a populated single DB into a cluster by replaying its
@@ -252,16 +280,100 @@ func (c *Cluster) AddVisits(visits []digitaltraces.VisitRecord) (int, error) {
 // TopK returns the k entities most closely associated with the named entity,
 // with exact degrees: the entity's visits are resolved once on its home
 // shard, and every shard — home included — ranks its own entities against
-// that one snapshot through the query-by-example path, so the merged answer
-// never mixes two states of the query entity even when a writer races the
-// query. The home shard is asked for k+1 candidates because the query entity
-// itself ranks among them; the merge filters it out (dropping one entity
-// from a k+1 list still leaves the shard's exact non-self top-k, so the
-// merge stays lossless — see the package comment). Stats aggregate across
-// shards: Checked sums the exact degree computations and PE/Pruned are
-// recomputed over the cluster-wide population, so they are comparable with
-// single-DB numbers.
+// that one snapshot through the incremental query-by-example search, so the
+// merged answer never mixes two states of the query entity even when a
+// writer races the query. The fan-out is threshold-pruned (gather.go): the
+// coordinator pulls per-shard results in doubling rounds and stops pulling
+// from a shard once the merged k-th degree strictly dominates that shard's
+// remainder bound, so shards whose candidates are quickly dominated never
+// run a full local top-k — while the answer stays bit-identical to the
+// naive full fan-out (TestGatherEquivalence) and to a single DB
+// (TestClusterExactness). The query entity itself is excluded during the
+// merge. Stats aggregate across shards: Checked sums the exact degree
+// computations actually performed and PE/Pruned are recomputed over the
+// cluster-wide population, so they are comparable with single-DB numbers.
+//
+// With Config.CacheSize set, repeat queries against an unchanged cluster
+// (same shard snapshot generations, nothing dirty) are answered from the
+// cluster cache with no fan-out at all, QueryStats.CacheHit set.
 func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	start := time.Now()
+	if k < 1 {
+		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+	}
+	home := c.shards[c.owner(entity)]
+	visits, err := home.VisitsOf(entity)
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	version, versionOK := c.cacheVersion()
+	key := entityCacheKey(entity, k)
+	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
+		return out, qs, nil
+	}
+	if c.naive {
+		out, qs, err := c.topKNaive(entity, k)
+		if err != nil {
+			return nil, qs, err
+		}
+		c.naiveCachePut(version, versionOK, key, out)
+		return out, qs, nil
+	}
+	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
+		return sh.SearchByExample(visits)
+	})
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	out, checked, err := c.gatherByShard(byShard, k, entity)
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	c.cachePut(version, versionOK, byShard, key, out)
+	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start), nil
+}
+
+// TopKByExample answers for a hypothetical entity described by visits,
+// fanning the example out to every shard through the same threshold-pruned
+// gather as TopK, with no self to exclude.
+func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	start := time.Now()
+	if k < 1 {
+		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+	}
+	version, versionOK := c.cacheVersion()
+	key := exampleCacheKey(visits, k)
+	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
+		return out, qs, nil
+	}
+	if c.naive {
+		out, qs, err := c.topKByExampleNaive(visits, k)
+		if err != nil {
+			return nil, qs, err
+		}
+		c.naiveCachePut(version, versionOK, key, out)
+		return out, qs, nil
+	}
+	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
+		return sh.SearchByExample(visits)
+	})
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	out, checked, err := c.gatherByShard(byShard, k, "")
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	c.cachePut(version, versionOK, byShard, key, out)
+	return out, c.gatherStats(checked, len(out), c.NumEntities(), start), nil
+}
+
+// topKNaive is the pre-pruning reference fan-out: every shard computes a
+// full local top-k (k+1 on the home shard, whose example search ranks the
+// query entity itself) and the lists are merged whole. Kept unexported as
+// the oracle the property and equivalence tests compare the pruned path
+// against — both must return bit-identical answers.
+func (c *Cluster) topKNaive(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 	start := time.Now()
 	if k < 1 {
 		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
@@ -288,10 +400,9 @@ func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltrac
 	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start), nil
 }
 
-// TopKByExample answers for a hypothetical entity described by visits,
-// fanning the example out to every shard and merging, with no self to
-// exclude.
-func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+// topKByExampleNaive is TopKByExample's full-fan-out reference; see
+// topKNaive.
+func (c *Cluster) topKByExampleNaive(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 	start := time.Now()
 	lists, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 		return sh.TopKByExample(visits, k)
@@ -301,6 +412,51 @@ func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitalt
 	}
 	out := c.merge(lists, k)
 	return out, c.gatherStats(checked, len(out), c.NumEntities(), start), nil
+}
+
+// openSearches opens one incremental search per non-empty shard, in
+// parallel (opening may fold a shard's dirt, so the builds overlap like
+// scatter's searches did). The result is aligned to c.shards, nil for
+// shards that held no entities — cache.go renders the generation vector
+// from it, and gatherByShard compacts it for the bounded merge.
+func (c *Cluster) openSearches(open func(sh *digitaltraces.DB) (*digitaltraces.Search, error)) ([]*digitaltraces.Search, error) {
+	byShard := make([]*digitaltraces.Search, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	opened := 0
+	for i, sh := range c.shards {
+		if sh.NumEntities() == 0 {
+			continue // an empty shard has no candidates (and no index to search)
+		}
+		opened++
+		wg.Add(1)
+		go func(i int, sh *digitaltraces.DB) {
+			defer wg.Done()
+			byShard[i], errs[i] = open(sh)
+		}(i, sh)
+	}
+	if opened == 0 {
+		return nil, fmt.Errorf("shard: cluster has no visits to index")
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return byShard, nil
+}
+
+// gatherByShard compacts an openSearches result and runs the threshold-
+// pruned gather over the active streams.
+func (c *Cluster) gatherByShard(byShard []*digitaltraces.Search, k int, exclude string) ([]digitaltraces.Match, int, error) {
+	active := make([]*digitaltraces.Search, 0, len(byShard))
+	for _, s := range byShard {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	return c.gatherSearches(active, k, exclude)
 }
 
 // TopKBatch answers top-k for every named entity over a bounded worker pool
@@ -421,6 +577,13 @@ func (c *Cluster) Levels() int { return c.shards[0].Levels() }
 // (when the cluster's serving state last changed anywhere).
 func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 	var agg digitaltraces.IndexStats
+	if c.cache != nil {
+		cs := c.cache.Stats()
+		agg.CacheHits = cs.Hits
+		agg.CacheMisses = cs.Misses
+		agg.CacheEvictions = cs.Evictions
+		agg.CacheEntries = cs.Entries
+	}
 	for _, sh := range c.shards {
 		s := sh.IndexStats()
 		agg.Entities += s.Entities
@@ -429,6 +592,10 @@ func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 		agg.MemoryBytes += s.MemoryBytes
 		agg.Generation += s.Generation
 		agg.DirtyCount += s.DirtyCount
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.CacheEvictions += s.CacheEvictions
+		agg.CacheEntries += s.CacheEntries
 		if s.BuildTime > agg.BuildTime {
 			agg.BuildTime = s.BuildTime
 		}

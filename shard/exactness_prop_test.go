@@ -1,0 +1,235 @@
+package shard
+
+// Randomized exactness property suite for the threshold-pruned scatter-
+// gather: over random visit logs — varying entity counts, time horizons,
+// deliberately duplicated visit patterns (exact degree ties) and post-build
+// dirty fractions — the pruned fan-out, the naive full fan-out and a single
+// DB must return bit-identical answers, tie order included, for
+// N ∈ {1, 2, 4, 8} shards. Run under -race this also exercises the
+// coordinator's parallel pull rounds against concurrent lazy refreshes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"digitaltraces"
+)
+
+const (
+	propSide   = 4 // 16 venues
+	propLevels = 3
+	propHash   = 16
+)
+
+// randomLog generates a visit log with adversarial degree structure:
+//   - base entities visit random venues at random hours inside the trial's
+//     horizon;
+//   - a slice of clone entities replays another entity's exact visits, so
+//     every query degree ties between the original and its clones and only
+//     the ingest-order tie-break separates them;
+//   - a slice of strangers visits inside a disjoint time window, producing
+//     degree-0 ties against most queries (the k-th boundary the old
+//     non-canonical termination used to resolve by tree shape).
+func randomLog(rng *rand.Rand, entities, horizonHours int) []digitaltraces.VisitRecord {
+	numVenues := propSide * propSide
+	visitsOf := make([][]digitaltraces.VisitRecord, entities)
+	kind := make([]int, entities) // 0 base, 1 clone, 2 stranger
+	for e := 1; e < entities; e++ {
+		switch r := rng.Float64(); {
+		case r < 0.25:
+			kind[e] = 1
+		case r < 0.40:
+			kind[e] = 2
+		}
+	}
+	for e := 0; e < entities; e++ {
+		name := fmt.Sprintf("e%03d", e)
+		if kind[e] == 1 {
+			// Clone an earlier entity's visits verbatim under a new name.
+			src := rng.Intn(e)
+			for _, v := range visitsOf[src] {
+				visitsOf[e] = append(visitsOf[e], digitaltraces.VisitRecord{
+					Entity: name, Venue: v.Venue, Start: v.Start, End: v.End,
+				})
+			}
+			if len(visitsOf[e]) > 0 {
+				continue
+			}
+			// Source had none (can't happen — everyone gets ≥ 1 below), but
+			// fall through to a normal trace rather than an empty entity.
+		}
+		lo, span := 0, horizonHours
+		if kind[e] == 2 {
+			// Strangers live in the back half of the horizon only.
+			lo, span = horizonHours, horizonHours/2+1
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			h := lo + rng.Intn(span)
+			visitsOf[e] = append(visitsOf[e], digitaltraces.VisitRecord{
+				Entity: name,
+				Venue:  digitaltraces.VenueName(rng.Intn(numVenues)),
+				Start:  digitaltraces.TimeAt(h),
+				End:    digitaltraces.TimeAt(h + 1 + rng.Intn(3)),
+			})
+		}
+	}
+	var log []digitaltraces.VisitRecord
+	for _, vs := range visitsOf {
+		log = append(log, vs...)
+	}
+	return log
+}
+
+func propDB(t *testing.T) *digitaltraces.DB {
+	t.Helper()
+	db, err := digitaltraces.NewGridDB(propSide, propLevels, digitaltraces.WithHashFunctions(propHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func propCluster(t *testing.T, src *digitaltraces.DB, n int) *Cluster {
+	t.Helper()
+	c, err := Partition(src, Config{
+		Shards: n,
+		NewShard: func(i int) (*digitaltraces.DB, error) {
+			return digitaltraces.NewGridDB(propSide, propLevels, digitaltraces.WithHashFunctions(propHash))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// comparePaths asserts pruned ≡ naive ≡ single for one query set.
+func comparePaths(t *testing.T, label string, db *digitaltraces.DB, c *Cluster, entities []string, ks []int) {
+	t.Helper()
+	for _, q := range entities {
+		for _, k := range ks {
+			want, _, err := db.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: single TopK(%s,%d): %v", label, q, k, err)
+			}
+			pruned, _, err := c.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: pruned TopK(%s,%d): %v", label, q, k, err)
+			}
+			naive, _, err := c.topKNaive(q, k)
+			if err != nil {
+				t.Fatalf("%s: naive TopK(%s,%d): %v", label, q, k, err)
+			}
+			requireSameMatches(t, fmt.Sprintf("%s: pruned vs single TopK(%s,%d)", label, q, k), pruned, want)
+			requireSameMatches(t, fmt.Sprintf("%s: naive vs single TopK(%s,%d)", label, q, k), naive, want)
+		}
+		// Query-by-example through the same three paths, using the entity's
+		// own visits (the densest overlap structure available).
+		visits, err := db.VisitsOf(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ks[len(ks)-1]
+		want, _, err := db.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, _, err := c.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, _, err := c.topKByExampleNaive(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameMatches(t, fmt.Sprintf("%s: pruned vs single ByExample(%s,%d)", label, q, k), pruned, want)
+		requireSameMatches(t, fmt.Sprintf("%s: naive vs single ByExample(%s,%d)", label, q, k), naive, want)
+	}
+}
+
+// TestPrunedGatherExactnessProperty is the randomized acceptance property.
+// Each trial builds one random log, replays it into a single DB and into
+// clusters of 1/2/4/8 shards, compares all three query paths bit-for-bit,
+// then dirties a random fraction of entities with fresh visits and compares
+// again (the query paths fold the dirt lazily on both sides).
+func TestPrunedGatherExactnessProperty(t *testing.T) {
+	trials := []struct {
+		seed         int64
+		entities     int
+		horizonHours int
+	}{
+		{seed: 1, entities: 24, horizonHours: 24},
+		{seed: 2, entities: 60, horizonHours: 48},
+		{seed: 3, entities: 90, horizonHours: 12}, // dense: short horizon, many collisions
+	}
+	for _, tr := range trials {
+		tr := tr
+		t.Run(fmt.Sprintf("seed=%d/entities=%d", tr.seed, tr.entities), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(tr.seed))
+			log := randomLog(rng, tr.entities, tr.horizonHours)
+
+			db := propDB(t)
+			if _, err := db.AddVisits(log); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sample queries: include entity 0 (often heavily cloned) and a
+			// random spread. k beyond the population exercises the zero-tail
+			// and exhaustion paths.
+			queried := map[string]bool{"e000": true}
+			for len(queried) < 5 {
+				queried[fmt.Sprintf("e%03d", rng.Intn(tr.entities))] = true
+			}
+			var entities []string
+			for q := range queried {
+				entities = append(entities, q)
+			}
+			ks := []int{1, 3, 10, tr.entities + 5}
+
+			for _, n := range []int{1, 2, 4, 8} {
+				c := propCluster(t, db, n)
+				if err := c.BuildIndex(); err != nil {
+					t.Fatal(err)
+				}
+				comparePaths(t, fmt.Sprintf("clean/shards=%d", n), db, c, entities, ks)
+
+				// Dirty a random ~30% of entities with fresh visits inside
+				// the indexed horizon, replayed identically into both the
+				// single DB's log position and the cluster's. Queries must
+				// agree again — each side folds its own dirt lazily.
+				var dirt []digitaltraces.VisitRecord
+				for e := 0; e < tr.entities; e++ {
+					if rng.Float64() > 0.3 {
+						continue
+					}
+					h := rng.Intn(tr.horizonHours)
+					dirt = append(dirt, digitaltraces.VisitRecord{
+						Entity: fmt.Sprintf("e%03d", e),
+						Venue:  digitaltraces.VenueName(rng.Intn(propSide * propSide)),
+						Start:  digitaltraces.TimeAt(h),
+						End:    digitaltraces.TimeAt(h + 1),
+					})
+				}
+				if len(dirt) > 0 {
+					if _, err := db.AddVisits(dirt); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := c.AddVisits(dirt); err != nil {
+						t.Fatal(err)
+					}
+					comparePaths(t, fmt.Sprintf("dirty/shards=%d", n), db, c, entities, ks)
+					// Re-sync the single DB for the next cluster size: fold
+					// everything so the next Partition replay sees one state.
+					if err := db.Refresh(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

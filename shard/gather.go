@@ -1,0 +1,191 @@
+package shard
+
+// Threshold-pruned scatter-gather — the Fagin-style early-termination
+// coordinator over per-shard incremental searches.
+//
+// The naive fan-out asks every shard for a full local top-k and merges the
+// ≤ N·k candidates; at 8 shards that is 8 complete searches per query, which
+// is why single-query latency *rises* with the shard count even as build
+// throughput scales. The threshold-algorithm observation (Fagin et al.; see
+// also the incremental access in PAPERS.md's trajectory and personal-trace
+// search entries) is that the coordinator only needs each shard's results
+// down to the global k-th degree: every digitaltraces.Search streams results
+// in exact rank order together with an admissible upper bound on its
+// remainder (Search.Bound), so once the merged k-th result strictly beats a
+// shard's bound, nothing that shard has not yet emitted can enter the global
+// answer — that shard's search stops where it stands, leaf scans unperformed.
+//
+// # Exactness
+//
+// boundedGather returns exactly mergeEntries over the full per-shard streams
+// (the naive answer), by the prefix-cut argument:
+//
+//   - Each stream is in its shard's exact order, so a pulled prefix is a
+//     prefix of the full list; the k-way merge consumes lists in order, so
+//     merging prefixes instead of full lists can only change the answer if
+//     an unpulled element belonged in it.
+//   - A shard is only cut when its bound b satisfies kth > b, where kth is
+//     the k-th merged degree over current prefixes. Every unpulled element
+//     has degree ≤ b < kth, and the final merged k-th degree only grows as
+//     prefixes extend, so the element is strictly dominated by k merged
+//     results — under any tie-break, it cannot displace them. The cut must
+//     be strict: bounds cap degrees only, so an unpulled element at degree
+//     == kth could still win on the (ordinal, name) tie-break.
+//   - A shard that reaches k+1 pulled entries is cut unconditionally: at
+//     most one of them is the excluded self, so ≥ k same-shard entries
+//     precede every unpulled element in the shard's own exact order; if an
+//     unpulled element made the global top-k, those k would too — k+1 > k.
+//     This cap also bounds the worst case (a degree plateau across shards)
+//     at the naive fan-out's k+1 per shard, never worse.
+//
+// Rounds double the per-shard batch size, so a hot shard that owns the whole
+// answer is drained in O(log k) rounds while shards whose first result is
+// already dominated are pulled exactly once.
+
+import (
+	"fmt"
+	"sync"
+
+	"digitaltraces"
+)
+
+// pullReq asks one stream for up to want more results.
+type pullReq struct {
+	stream int
+	want   int
+}
+
+// pullResp carries one stream's round: the results pulled (in stream order),
+// the stream's bound after the pull, and whether more results may remain.
+type pullResp struct {
+	entries []entry
+	bound   float64
+	live    bool
+}
+
+// boundedGather merges n incremental streams into the global top-k with
+// threshold early termination, excluding the named entity. pull must
+// fulfill every request of a round (it may fan out in parallel) and return
+// responses in request order. Returns the merged answer and the number of
+// excluded entries skipped.
+func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, error)) ([]digitaltraces.Match, int, error) {
+	bufs := make([][]entry, n)
+	bounds := make([]float64, n)
+	live := make([]bool, n)
+	pulled := make([]int, n)
+	for i := range live {
+		live[i] = true
+		bounds[i] = 1 // degrees live in [0, 1]; an unpulled stream may hold anything
+	}
+	// The self entity consumes one slot wherever it ranks, so k+1 entries
+	// from one shard always contain that shard's full possible contribution.
+	limit := k + 1
+	batch := (k + n - 1) / n
+	if batch < 1 {
+		batch = 1
+	}
+	for {
+		merged, excluded := mergeEntries(bufs, k, exclude)
+		var reqs []pullReq
+		for i := 0; i < n; i++ {
+			if !live[i] || pulled[i] >= limit {
+				continue
+			}
+			// Pull while the stream could still contribute: the answer is
+			// short of k, or the stream's bound ties-or-beats the k-th
+			// merged degree (ties can win on ordinal, so ≥, cut on <).
+			if len(merged) < k || bounds[i] >= merged[k-1].Degree {
+				want := limit - pulled[i]
+				if want > batch {
+					want = batch
+				}
+				reqs = append(reqs, pullReq{stream: i, want: want})
+			}
+		}
+		if len(reqs) == 0 {
+			return merged, excluded, nil
+		}
+		resps, err := pull(reqs)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(resps) != len(reqs) {
+			return nil, 0, fmt.Errorf("shard: pull returned %d responses for %d requests", len(resps), len(reqs))
+		}
+		for j, r := range reqs {
+			i := r.stream
+			bufs[i] = append(bufs[i], resps[j].entries...)
+			bounds[i] = resps[j].bound
+			live[i] = resps[j].live
+			pulled[i] += len(resps[j].entries)
+			if len(resps[j].entries) == 0 {
+				// No progress from a live stream would loop forever; a
+				// stream with nothing to give is done.
+				live[i] = false
+			}
+		}
+		batch *= 2
+	}
+}
+
+// gatherSearches runs boundedGather over opened per-shard searches, pulling
+// each round's requests in parallel and resolving global ordinals for the
+// pulled matches. searches must be non-nil; checked sums every search's
+// exact degree computations after termination (the quantity the pruning
+// saves versus the naive full fan-out).
+func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclude string) (out []digitaltraces.Match, checked int, err error) {
+	pull := func(reqs []pullReq) ([]pullResp, error) {
+		resps := make([]pullResp, len(reqs))
+		errs := make([]error, len(reqs))
+		var wg sync.WaitGroup
+		for j := range reqs {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				s := searches[reqs[j].stream]
+				es := make([]entry, 0, reqs[j].want)
+				live := true
+				for len(es) < reqs[j].want {
+					m, ok, err := s.Next()
+					if err != nil {
+						errs[j] = err
+						return
+					}
+					if !ok {
+						live = false
+						break
+					}
+					es = append(es, entry{m: m})
+				}
+				resps[j] = pullResp{entries: es, bound: s.Bound(), live: live}
+			}(j)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		// Resolve ordinals once per round, outside the pull goroutines.
+		c.mu.RLock()
+		for j := range resps {
+			for i := range resps[j].entries {
+				resps[j].entries[i].rank = c.rankLocked(resps[j].entries[i].m.Entity)
+			}
+		}
+		c.mu.RUnlock()
+		return resps, nil
+	}
+	out, excluded, err := boundedGather(len(searches), k, exclude, pull)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, s := range searches {
+		checked += s.Checked()
+	}
+	// The home shard's example search scores the query entity itself (a
+	// single DB never does); subtract what the merge skipped so
+	// Checked/PE/Pruned stay comparable with single-DB numbers.
+	checked -= excluded
+	return out, checked, nil
+}

@@ -1,0 +1,188 @@
+package shard
+
+// Fuzz target for the threshold-pruned merge/termination logic.
+//
+// FuzzBoundedGather decodes arbitrary bytes into per-shard candidate lists
+// (coarse degrees to force ties, colliding ordinals to force name
+// tie-breaks, an optional excluded entity, and per-stream bound slack) and
+// drives boundedGather over simulated streams that serve prefixes of those
+// lists with admissible bounds. The invariant is the acceptance property in
+// miniature: the pruned gather must return exactly what mergeEntries over
+// the FULL lists returns — it never surfaces a result a full merge wouldn't,
+// never drops or reorders one, for any list shape the decoder can produce.
+//
+// Run the smoke in CI with:
+//
+//	go test -run=^$ -fuzz=FuzzBoundedGather -fuzztime=10s ./shard/
+//
+// The seed corpus lives in testdata/fuzz/FuzzBoundedGather plus the f.Add
+// seeds below.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"digitaltraces"
+	"sort"
+)
+
+// gatherCase is a decoded fuzz input: full per-shard lists in shard-exact
+// order, the query k, the excluded entity, and per-stream bound slack.
+type gatherCase struct {
+	lists   [][]entry
+	k       int
+	exclude string
+	slack   []float64
+}
+
+// decodeGatherCase maps fuzz bytes onto a gather case. Every byte string
+// decodes to something valid; short inputs produce small cases.
+func decodeGatherCase(data []byte) gatherCase {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	g := gatherCase{
+		k: 1 + int(next())%12,
+	}
+	n := 1 + int(next())%6
+	g.lists = make([][]entry, n)
+	g.slack = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := int(next()) % 10
+		// Slack in {0, 0.15, 0.3, 0.45}: bounds stay admissible (they only
+		// ever overestimate), exercising termination under loose bounds.
+		g.slack[i] = float64(int(next())%4) * 0.15
+		for j := 0; j < m; j++ {
+			g.lists[i] = append(g.lists[i], entry{
+				m: digitaltraces.Match{
+					// Unique names across all streams (entities live on
+					// exactly one shard); coarse degree grid forces ties.
+					Entity: fmt.Sprintf("s%de%d", i, j),
+					Degree: float64(int(next())%8) / 7,
+				},
+				// Colliding ordinals are allowed: entryBefore falls back to
+				// the name, and the invariant must hold under that too.
+				rank: int(next()) % 32,
+			})
+		}
+		// Streams emit in shard-exact order.
+		sort.SliceStable(g.lists[i], func(a, b int) bool {
+			return entryBefore(g.lists[i][a], g.lists[i][b])
+		})
+	}
+	// Sometimes exclude an entity that exists, sometimes one that doesn't.
+	switch next() % 4 {
+	case 0:
+		s := int(next()) % n
+		if len(g.lists[s]) > 0 {
+			g.exclude = g.lists[s][int(next())%len(g.lists[s])].m.Entity
+		}
+	case 1:
+		g.exclude = "absent"
+	}
+	return g
+}
+
+// runBoundedGather drives boundedGather over simulated prefix streams with
+// exact-plus-slack bounds, also returning the deepest prefix pulled per
+// stream so tests can assert the pruning actually prunes.
+func runBoundedGather(t *testing.T, g gatherCase) ([]digitaltraces.Match, []int) {
+	t.Helper()
+	pos := make([]int, len(g.lists))
+	pull := func(reqs []pullReq) ([]pullResp, error) {
+		resps := make([]pullResp, len(reqs))
+		for j, r := range reqs {
+			if r.want < 1 {
+				t.Fatalf("pull requested want=%d", r.want)
+			}
+			l := g.lists[r.stream]
+			p := pos[r.stream]
+			end := p + r.want
+			if end > len(l) {
+				end = len(l)
+			}
+			es := append([]entry(nil), l[p:end]...)
+			pos[r.stream] = end
+			// Admissible bound on the remainder: the next (largest
+			// remaining) degree, plus the stream's slack.
+			bound := 0.0
+			if end < len(l) {
+				bound = l[end].m.Degree + g.slack[r.stream]
+			}
+			resps[j] = pullResp{entries: es, bound: bound, live: end < len(l)}
+		}
+		return resps, nil
+	}
+	got, _, err := boundedGather(len(g.lists), g.k, g.exclude, pull)
+	if err != nil {
+		t.Fatalf("boundedGather: %v", err)
+	}
+	return got, pos
+}
+
+func FuzzBoundedGather(f *testing.F) {
+	// Seeds that reach the interesting regimes: empty case, single stream,
+	// many tied degrees, exclusion hits, zero-degree plateaus, large k.
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 4, 0, 7, 1, 7, 2, 6, 3, 4, 0, 5, 1, 5, 2, 3, 3, 0, 0})
+	f.Add([]byte{0, 3, 2, 1, 0, 0, 0, 1, 5, 2, 7, 0, 7, 0, 7, 0, 4, 1, 0, 2, 1})
+	f.Add([]byte{11, 4, 9, 3, 7, 7, 7, 7, 7, 7, 0, 0, 0, 0, 9, 0, 7, 7, 7, 7, 7, 7, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeGatherCase(data)
+		got, _ := runBoundedGather(t, g)
+		want, _ := mergeEntries(g.lists, g.k, g.exclude)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pruned gather diverged from full merge\ncase: %+v\ngot:  %v\nwant: %v", g, got, want)
+		}
+	})
+}
+
+// TestBoundedGatherPrunes pins the point of the whole exercise: with one hot
+// stream owning the answer and cold streams whose bounds are immediately
+// dominated, the cold streams are pulled once (the initial round) and never
+// drained — while the answer stays the exact full merge.
+func TestBoundedGatherPrunes(t *testing.T) {
+	const n, k, cold = 4, 3, 40
+	g := gatherCase{k: k, lists: make([][]entry, n), slack: make([]float64, n)}
+	for j := 0; j < k+1; j++ {
+		g.lists[0] = append(g.lists[0], entry{
+			m:    digitaltraces.Match{Entity: fmt.Sprintf("hot%02d", j), Degree: 1 - float64(j)/100},
+			rank: j,
+		})
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < cold; j++ {
+			g.lists[i] = append(g.lists[i], entry{
+				m:    digitaltraces.Match{Entity: fmt.Sprintf("s%dc%02d", i, j), Degree: 0.1 - float64(j)/1000},
+				rank: 100 + i*cold + j,
+			})
+		}
+	}
+	got, pos := runBoundedGather(t, g)
+	want, _ := mergeEntries(g.lists, g.k, "")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := 1; i < n; i++ {
+		if pos[i] >= cold {
+			t.Errorf("cold stream %d fully drained (%d entries) — no pruning happened", i, pos[i])
+		}
+	}
+	if pos[0] > k+1 {
+		t.Errorf("hot stream pulled %d > k+1 = %d entries", pos[0], k+1)
+	}
+}
+
+// TestBoundedGatherPullError verifies pull failures surface to the caller.
+func TestBoundedGatherPullError(t *testing.T) {
+	pull := func([]pullReq) ([]pullResp, error) { return nil, fmt.Errorf("shard down") }
+	if _, _, err := boundedGather(2, 3, "", pull); err == nil || err.Error() != "shard down" {
+		t.Fatalf("err = %v, want shard down", err)
+	}
+}

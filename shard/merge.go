@@ -6,6 +6,14 @@ import (
 	"digitaltraces"
 )
 
+// entry is one per-shard candidate inside the merge: the match plus its
+// global first-arrival ordinal (resolved from the cluster registry once,
+// outside the selection loop).
+type entry struct {
+	m    digitaltraces.Match
+	rank int
+}
+
 // merge folds per-shard exact top-k lists into the global top-k by k-way
 // merge: repeatedly take the best list head under (degree descending, global
 // ingest ordinal ascending, name ascending). Entries within one shard's list
@@ -39,56 +47,70 @@ func (c *Cluster) merge(lists [][]digitaltraces.Match, k int) []digitaltraces.Ma
 // "self", so TopK excludes the query entity here and corrects the Checked
 // statistic by the dropped count).
 func (c *Cluster) mergeExcluding(lists [][]digitaltraces.Match, k int, exclude string) ([]digitaltraces.Match, int) {
-	// Snapshot the ordinals of every candidate once, outside the selection
-	// loop.
-	ranks := make([][]int, len(lists))
+	entries := make([][]entry, len(lists))
 	c.mu.RLock()
 	for i, l := range lists {
-		ranks[i] = make([]int, len(l))
+		entries[i] = make([]entry, len(l))
 		for j, m := range l {
-			if o, ok := c.ord[m.Entity]; ok {
-				ranks[i][j] = o
-			} else { // defensive: every answer was ingested through the router
-				ranks[i][j] = math.MaxInt
-			}
+			entries[i][j] = entry{m: m, rank: c.rankLocked(m.Entity)}
 		}
 	}
 	c.mu.RUnlock()
+	return mergeEntries(entries, k, exclude)
+}
 
+// rankLocked resolves an entity's global first-arrival ordinal; callers hold
+// c.mu. Unknown names (defensive: every answer was ingested through the
+// router) sort last.
+func (c *Cluster) rankLocked(entity string) int {
+	if o, ok := c.ord[entity]; ok {
+		return o
+	}
+	return math.MaxInt
+}
+
+// mergeEntries is the pure k-way selection the cluster's merge — and the
+// bounded gather's termination checks — run on: per-shard candidate lists,
+// each already in its shard's exact order, folded into the global top-k
+// under (degree descending, rank ascending, name ascending), skipping the
+// excluded entity. It returns the merged matches and how many entries were
+// excluded. Pure over its inputs (no cluster state), which is what makes the
+// merge/termination logic fuzzable in isolation (FuzzBoundedGather).
+func mergeEntries(lists [][]entry, k int, exclude string) ([]digitaltraces.Match, int) {
 	pos := make([]int, len(lists))
 	out := make([]digitaltraces.Match, 0, k)
 	excluded := 0
 	for len(out) < k {
 		best := -1
 		for i := range lists {
-			for exclude != "" && pos[i] < len(lists[i]) && lists[i][pos[i]].Entity == exclude {
+			for exclude != "" && pos[i] < len(lists[i]) && lists[i][pos[i]].m.Entity == exclude {
 				pos[i]++
 				excluded++
 			}
 			if pos[i] >= len(lists[i]) {
 				continue
 			}
-			if best == -1 || headBefore(lists[i][pos[i]], ranks[i][pos[i]], lists[best][pos[best]], ranks[best][pos[best]]) {
+			if best == -1 || entryBefore(lists[i][pos[i]], lists[best][pos[best]]) {
 				best = i
 			}
 		}
 		if best == -1 {
 			break
 		}
-		out = append(out, lists[best][pos[best]])
+		out = append(out, lists[best][pos[best]].m)
 		pos[best]++
 	}
 	return out, excluded
 }
 
-// headBefore reports whether head a outranks head b: degree descending,
+// entryBefore reports whether head a outranks head b: degree descending,
 // global ordinal ascending, name ascending.
-func headBefore(a digitaltraces.Match, aRank int, b digitaltraces.Match, bRank int) bool {
-	if a.Degree != b.Degree {
-		return a.Degree > b.Degree
+func entryBefore(a, b entry) bool {
+	if a.m.Degree != b.m.Degree {
+		return a.m.Degree > b.m.Degree
 	}
-	if aRank != bRank {
-		return aRank < bRank
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
-	return a.Entity < b.Entity
+	return a.m.Entity < b.m.Entity
 }
