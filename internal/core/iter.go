@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"slices"
 
 	"digitaltraces/internal/adm"
 	"digitaltraces/internal/trace"
@@ -39,8 +40,9 @@ type Iter struct {
 	measure adm.Measure
 	qCounts []int
 
-	cands candidateHeap // unexpanded nodes, max-heap on upper bound
-	exact exactHeap     // scored entities, max-heap on (degree, -entity)
+	cands candidateHeap    // unexpanded nodes, max-heap on upper bound
+	exact exactHeap        // scored entities, max-heap on (degree, -entity)
+	zeros []trace.EntityID // zero-flush tail, ascending ID (nil until the frontier's bound hits 0)
 	seq   int
 
 	stats SearchStats
@@ -96,23 +98,37 @@ func (t *Tree) NewIter(q *trace.Sequences, measure adm.Measure) (*Iter, error) {
 // emitted. The first k results of an iterator are bit-identical to
 // Tree.TopK(q, k) for every k.
 func (it *Iter) Next() (Result, bool, error) {
+	if it.zeros != nil {
+		return it.nextZero()
+	}
 	// Expand nodes until the best scored entity provably outranks every
 	// unexpanded subtree. The expansion condition is ≥, not >: a node whose
 	// bound equals the best degree may contain an equal-degree entity with a
 	// smaller ID, which the tie order puts first.
 	for it.cands.Len() > 0 && (it.exact.Len() == 0 || it.cands[0].ub >= it.exact[0].Degree) {
 		if it.cands[0].ub == 0 {
-			// Everything still behind a candidate has degree exactly 0
-			// (admissible bounds, non-negative degrees). Score-free flush:
-			// move the entities into the exact heap so the canonical order
-			// emits them by ascending ID, without touching the source.
+			// Everything left — already scored or still behind a candidate —
+			// has degree exactly 0 (admissible bounds, non-negative degrees,
+			// and the loop condition puts the best scored degree at ≤ the
+			// zero bound). Score-free flush into one ID slice sorted once,
+			// emitted incrementally: the canonical ascending-ID order at the
+			// cost of a single int sort instead of O(N log N) Result heap
+			// sifts, and no per-entity work after the pull a caller stops at
+			// (the gather caps pulls at k+1).
+			zeros := make([]trace.EntityID, 0, it.exact.Len())
+			for _, r := range it.exact {
+				zeros = append(zeros, r.Entity)
+			}
 			for _, c := range it.cands {
 				subtreeEntities(c.n, it.q.Entity, func(e trace.EntityID) {
-					heap.Push(&it.exact, Result{Entity: e})
+					zeros = append(zeros, e)
 				})
 			}
+			slices.Sort(zeros)
+			it.exact = it.exact[:0]
 			it.cands = it.cands[:0]
-			break
+			it.zeros = zeros
+			return it.nextZero()
 		}
 		c := heap.Pop(&it.cands).(*candidate)
 		it.stats.NodesPopped++
@@ -142,6 +158,17 @@ func (it *Iter) Next() (Result, bool, error) {
 		return Result{}, false, nil
 	}
 	return heap.Pop(&it.exact).(Result), true, nil
+}
+
+// nextZero drains the zero-flush tail: every remaining entity has degree 0,
+// pre-sorted by ascending ID.
+func (it *Iter) nextZero() (Result, bool, error) {
+	if len(it.zeros) == 0 {
+		return Result{}, false, nil
+	}
+	e := it.zeros[0]
+	it.zeros = it.zeros[1:]
+	return Result{Entity: e}, true, nil
 }
 
 // Bound returns an admissible upper bound on the degree of every entity Next

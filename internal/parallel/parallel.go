@@ -4,7 +4,6 @@
 package parallel
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,12 +22,15 @@ const threshold = 4
 // A panic in fn does not crash the process from a worker goroutine: the
 // first panic is captured, every remaining iteration still runs (workers
 // keep draining, so per-index outputs stay fully populated for the
-// iterations that succeeded), and the panic is re-raised on the caller's
-// goroutine once all workers have returned — the same observable contract
-// as a sequential loop wrapped in the caller's own defer/recover.
+// iterations that succeeded), and the recovered value is re-raised
+// unchanged on the caller's goroutine once all workers have returned — a
+// caller recovering a sentinel or typed panic value sees exactly what fn
+// threw, the same observable contract as a sequential loop wrapped in the
+// caller's own defer/recover. (Only the worker's stack trace is lost; the
+// re-raised panic unwinds the caller's.)
 func For(n int, fn func(int)) {
 	if pv := run(n, func(i int) error { fn(i); return nil }); pv != nil {
-		panic(pv.reraise())
+		panic(pv.val)
 	}
 }
 
@@ -56,20 +58,17 @@ func ForErr(n int, fn func(int) error) error {
 		return nil
 	})
 	if pv != nil {
-		panic(pv.reraise())
+		panic(pv.val)
 	}
 	return firstE
 }
 
-// panicValue carries a recovered panic from a worker to the caller.
+// panicValue carries a recovered panic from a worker to the caller. The box
+// exists so the CAS can distinguish "no panic yet" from any recovered value
+// (recover never returns nil for a real panic since Go 1.21's PanicNilError,
+// but boxing keeps that assumption out of the contract).
 type panicValue struct {
 	val any
-}
-
-// reraise wraps the original value so the rethrown panic is attributable to
-// the pool while preserving what was thrown.
-func (p *panicValue) reraise() any {
-	return fmt.Errorf("parallel: panic in worker: %v", p.val)
 }
 
 // run is the shared pool: a work-stealing counter over [0, n) with panic

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -90,10 +89,16 @@ func TestForErrInlinePath(t *testing.T) {
 	}
 }
 
+// sentinel is a typed panic value; the pool must re-raise it with its type
+// and identity intact so callers can recover it like a sequential loop's.
+type sentinel struct{ why string }
+
 // TestForPanicContainment verifies a worker panic does not crash the
-// process, the remaining iterations still run, and the panic re-raises on
-// the caller's goroutine with the pool's wrapping.
+// process, the remaining iterations still run, and the original panic value
+// re-raises unchanged on the caller's goroutine — type and identity
+// preserved, no pool wrapping.
 func TestForPanicContainment(t *testing.T) {
+	thrown := &sentinel{why: "boom"}
 	for _, n := range []int{2, 100} { // inline path and pooled path
 		var ran atomic.Int32
 		func() {
@@ -102,15 +107,14 @@ func TestForPanicContainment(t *testing.T) {
 				if r == nil {
 					t.Fatalf("n=%d: panic was swallowed", n)
 				}
-				msg := fmt.Sprint(r)
-				if !strings.Contains(msg, "parallel: panic in worker") || !strings.Contains(msg, "boom") {
-					t.Fatalf("n=%d: recovered %q, want wrapped boom", n, msg)
+				if got, ok := r.(*sentinel); !ok || got != thrown {
+					t.Fatalf("n=%d: recovered %#v, want the thrown *sentinel unchanged", n, r)
 				}
 			}()
 			For(n, func(i int) {
 				ran.Add(1)
 				if i == 0 {
-					panic("boom")
+					panic(thrown)
 				}
 			})
 		}()

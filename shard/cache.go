@@ -11,6 +11,12 @@ package shard
 // from the generations the per-shard searches actually pinned and drop the
 // answer on any mismatch — so an ingest racing the fan-out can only cost a
 // missed store, never a stale (or time-travelled) cache entry.
+//
+// The pinned-generation check covers the fan-out but not TopK's home-shard
+// visits read that precedes it, so TopK brackets that read with a vector
+// derivation on each side and disables caching unless both are usable and
+// equal (cluster.go): generations only grow, so equality proves the visits
+// match the pinned version.
 
 import (
 	"encoding/binary"

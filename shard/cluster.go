@@ -302,11 +302,24 @@ func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltrac
 		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
 	home := c.shards[c.owner(entity)]
+	// The version vector is derived on both sides of the visits read:
+	// generations only grow and an unfolded ingest leaves its shard dirty,
+	// so an identical usable vector before and after proves the visits are
+	// exactly the entity's state at that version. Pinning the version only
+	// after VisitsOf would let an ingest for this entity land in between
+	// and fold before the pin — the searches would then agree with the new
+	// generation and cachePut would store an answer computed from stale
+	// visits under it, a wrong hit served until the next bump.
+	version, versionOK := c.cacheVersion()
 	visits, err := home.VisitsOf(entity)
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, err
 	}
-	version, versionOK := c.cacheVersion()
+	if versionOK {
+		if after, ok := c.cacheVersion(); !ok || after != version {
+			versionOK = false
+		}
+	}
 	key := entityCacheKey(entity, k)
 	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
 		return out, qs, nil
