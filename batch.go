@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"digitaltraces/internal/obs"
 	"digitaltraces/internal/trace"
 )
 
@@ -52,6 +53,7 @@ func (db *DB) TopKBatch(entities []string, k, workers int) (map[string][]Match, 
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	batchID := db.tracer.NextBatchID()
 	out := make(map[string][]Match, len(joined))
 	for _, jr := range joined {
 		ms := make([]Match, len(jr.Matches))
@@ -59,11 +61,32 @@ func (db *DB) TopKBatch(entities []string, k, workers int) (map[string][]Match, 
 			ms[i] = Match{Entity: s.byID[r.Entity], Degree: r.Degree}
 		}
 		out[s.byID[jr.Query]] = ms
+		if batchID != 0 {
+			// Each batch item records its own trace, linked by the shared
+			// batch ID so tracetool can group a batch and explain its skew.
+			qt := obs.QueryTrace{
+				Kind:       obs.KindTopK,
+				BatchID:    batchID,
+				Entity:     s.byID[jr.Query],
+				K:          k,
+				Generation: s.generation,
+				Checked:    jr.Stats.Checked,
+				Start:      startT,
+				Total:      jr.Elapsed,
+			}
+			if len(ms) == k && k > 0 {
+				qt.KthDegree = ms[k-1].Degree
+			}
+			db.tracer.Record(qt)
+		}
 	}
 	stats := QueryStats{Checked: js.TotalChecked, PE: js.AvgPE, Elapsed: time.Since(startT)}
 	// Batch-wide pruned fraction: each query scans at most |E|−1 candidates.
 	if n := s.tree.Len() - 1; n > 0 && js.Queries > 0 {
 		stats.Pruned = 1 - float64(js.TotalChecked)/float64(js.Queries*n)
 	}
+	// The whole batch is histogram-only under its own kind; the items above
+	// carry the structured detail.
+	db.tracer.Observe(obs.KindBatch, stats.Elapsed)
 	return out, stats, nil
 }

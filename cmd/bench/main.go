@@ -59,6 +59,18 @@
 // throughput speedup at the reported hit rate; the uncached cluster row
 // doubles as the threshold-pruned scatter-gather's single-query latency
 // (the bounded gather is always on).
+//
+// The -scenario trace mode measures the cost of leaving per-query tracing
+// on: sequential latency over the same query sequence with the trace ring
+// off and on, in alternating rounds so thermal and GC drift hits both modes
+// equally, on the single DB and an N-shard cluster:
+//
+//	bench -label trace -scenario trace -entities 2000 -trace-shards 4
+//
+// writes BENCH_trace.json. The headline is the traced rows' p99 overhead
+// percentage — the number that justifies running production with -trace N.
+// Pass -assert-trace-overhead 5 to exit nonzero when overhead exceeds 5%
+// (the CI guardrail).
 package main
 
 import (
@@ -169,6 +181,24 @@ type CacheRun struct {
 	SpeedupVsUncached float64 `json:"speedup_vs_uncached,omitempty"`
 }
 
+// TraceRun is one (engine, traced) cell of the -scenario trace matrix:
+// sequential query latency over one fixed query sequence with the trace
+// ring off or on. Quantiles are the median of per-round quantiles across
+// the alternating rounds (see traceScenario). On traced rows
+// P99OverheadPct is (p99 traced − p99 untraced) / p99 untraced × 100
+// against the same engine's untraced twin — the acceptance budget is < 5%.
+type TraceRun struct {
+	Engine         string  `json:"engine"` // "db" or "cluster"
+	Shards         int     `json:"shards"`
+	Traced         bool    `json:"traced"`
+	RingSize       int     `json:"ring_size,omitempty"`
+	Queries        int     `json:"queries"` // total samples across rounds
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	P99OverheadPct float64 `json:"p99_overhead_pct,omitempty"`
+}
+
 // Report is the BENCH_<label>.json schema.
 type Report struct {
 	Label       string `json:"label"`
@@ -189,6 +219,7 @@ type Report struct {
 	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
 	RestartRuns []RestartRun `json:"restart_runs,omitempty"`
 	CacheRuns   []CacheRun   `json:"cache_runs,omitempty"`
+	TraceRuns   []TraceRun   `json:"trace_runs,omitempty"`
 }
 
 func main() {
@@ -216,6 +247,10 @@ func main() {
 		cacheQ   = flag.Int("cache-queries", 1000, "cache scenario: Zipfian queries per cell")
 		cacheSh  = flag.Int("cache-shards", 8, "cache scenario: cluster size to measure alongside the single DB")
 		zipfS    = flag.Float64("zipf-s", 1.5, "cache scenario: Zipf skew exponent (>1; higher = hotter head)")
+		trcRing  = flag.Int("trace-ring", 512, "trace scenario: trace ring capacity for the traced rows")
+		trcRds   = flag.Int("trace-rounds", 6, "trace scenario: alternating off/on measurement rounds")
+		trcSh    = flag.Int("trace-shards", 4, "trace scenario: cluster size to measure alongside the single DB")
+		trcMax   = flag.Float64("assert-trace-overhead", 0, "trace scenario: exit nonzero if any traced row's p99 overhead exceeds this percentage (0 = no assertion)")
 	)
 	flag.Parse()
 
@@ -224,9 +259,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh", "restart", "cache":
+	case "serve", "rebuild", "refresh", "restart", "cache", "trace":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart or cache)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache or trace)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -279,6 +314,23 @@ func main() {
 			log.Fatal(err)
 		}
 		writeReport(report, *out, *label)
+		return
+	}
+
+	if *scenario == "trace" {
+		report.TraceRuns, err = traceScenario(cfg, opts, *side, *levels, *k, *queries, *trcSh, *trcRing, *trcRds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		if *trcMax > 0 {
+			for _, run := range report.TraceRuns {
+				if run.Traced && run.P99OverheadPct > *trcMax {
+					log.Fatalf("trace scenario: %s/%d traced p99 overhead %.1f%% exceeds the %.1f%% budget",
+						run.Engine, run.Shards, run.P99OverheadPct, *trcMax)
+				}
+			}
+		}
 		return
 	}
 
@@ -646,6 +698,122 @@ func cacheScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, si
 	return runs, nil
 }
 
+// traceScenario measures the latency cost of leaving the trace ring on.
+// Per engine kind, two engines serve identical deterministically regenerated
+// data — one untraced, one with a ring — and the same query sequence runs
+// against them in alternating rounds (off, on, off, on, …) so slow drift
+// (thermals, background GC) lands on both modes equally. Quantiles are
+// computed per round and the median across rounds is reported: a single
+// descheduled round then shifts one sample of the estimator instead of
+// owning the pooled tail, which matters because the effect being measured
+// (one ring write per query) is orders of magnitude below scheduler noise.
+func traceScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, side, levels, k, queries, shards, ring, rounds int) ([]TraceRun, error) {
+	if queries < 1 || shards < 1 || ring < 1 || rounds < 1 {
+		return nil, fmt.Errorf("trace scenario: need -queries, -trace-shards, -trace-ring and -trace-rounds ≥ 1")
+	}
+	names := make([]string, queries)
+	for i := range names {
+		names[i] = fmt.Sprintf("entity-%d", (i*37)%cfg.Entities)
+	}
+
+	newEngine := func(kind string, traced bool) (digitaltraces.Engine, error) {
+		dbOpts := opts
+		if traced && kind == "db" {
+			dbOpts = append(append([]digitaltraces.Option{}, opts...), digitaltraces.WithTracing(ring))
+		}
+		src, err := digitaltraces.SyntheticCity(cfg, dbOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "db" {
+			return src, nil
+		}
+		traceSize := 0
+		if traced {
+			traceSize = ring
+		}
+		return shard.Partition(src, shard.Config{
+			Shards:    shards,
+			TraceSize: traceSize,
+			NewShard: func(int) (*digitaltraces.DB, error) {
+				return digitaltraces.NewGridDB(side, levels, opts...)
+			},
+		})
+	}
+
+	var runs []TraceRun
+	for _, kind := range []string{"db", "cluster"} {
+		engs := map[bool]digitaltraces.Engine{}
+		for _, traced := range []bool{false, true} {
+			eng, err := newEngine(kind, traced)
+			if err != nil {
+				return nil, fmt.Errorf("trace scenario (%s traced=%v): %w", kind, traced, err)
+			}
+			if err := eng.BuildIndex(); err != nil {
+				return nil, fmt.Errorf("trace scenario (%s traced=%v): build: %w", kind, traced, err)
+			}
+			engs[traced] = eng
+		}
+		p50s := map[bool][]float64{}
+		p99s := map[bool][]float64{}
+		elapsed := map[bool]time.Duration{}
+		total := map[bool]int{}
+		// One untimed warmup pass per mode, then the alternating rounds.
+		for _, traced := range []bool{false, true} {
+			for _, name := range names {
+				if _, _, err := engs[traced].TopK(name, k); err != nil {
+					return nil, fmt.Errorf("trace scenario (%s traced=%v): TopK(%s): %w", kind, traced, name, err)
+				}
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			for _, traced := range []bool{false, true} {
+				eng := engs[traced]
+				lat := make([]time.Duration, 0, len(names))
+				runtime.GC()
+				roundStart := time.Now()
+				for _, name := range names {
+					qStart := time.Now()
+					if _, _, err := eng.TopK(name, k); err != nil {
+						return nil, fmt.Errorf("trace scenario (%s traced=%v): TopK(%s): %w", kind, traced, name, err)
+					}
+					lat = append(lat, time.Since(qStart))
+				}
+				elapsed[traced] += time.Since(roundStart)
+				total[traced] += len(lat)
+				slices.Sort(lat)
+				p50s[traced] = append(p50s[traced], float64(percentile(lat, 50).Microseconds()))
+				p99s[traced] = append(p99s[traced], float64(percentile(lat, 99).Microseconds()))
+			}
+		}
+		var basep99 float64
+		for _, traced := range []bool{false, true} {
+			run := TraceRun{Engine: kind, Shards: 1, Traced: traced, Queries: total[traced]}
+			if kind == "cluster" {
+				run.Shards = shards
+			}
+			if traced {
+				run.RingSize = ring
+			}
+			run.OpsPerSec = float64(total[traced]) / elapsed[traced].Seconds()
+			run.P50Micros = medianOf(p50s[traced])
+			run.P99Micros = medianOf(p99s[traced])
+			if !traced {
+				basep99 = run.P99Micros
+			} else if basep99 > 0 {
+				run.P99OverheadPct = 100 * (run.P99Micros - basep99) / basep99
+			}
+			log.Printf("trace scenario %s shards=%d traced=%v: %.0f q/s, p50 %.0fµs, p99 %.0fµs",
+				kind, run.Shards, traced, run.OpsPerSec, run.P50Micros, run.P99Micros)
+			if traced {
+				log.Printf("  p99 overhead vs untraced %s: %+.1f%%", kind, run.P99OverheadPct)
+			}
+			runs = append(runs, run)
+		}
+	}
+	return runs, nil
+}
+
 // lockedEngine recreates the pre-snapshot concurrency design around a DB:
 // one RWMutex, queries under the read lock, BuildIndex and ingest under the
 // write lock. It is the honest baseline for the rebuild scenario — exactly
@@ -832,6 +1000,16 @@ func measure(kind string, shards int, eng digitaltraces.Engine, names []string, 
 	log.Printf("%s shards=%d: build %.3fs, index %.1f KiB, %.0f q/s, p50 %.0fµs, p99 %.0fµs",
 		kind, shards, run.BuildSeconds, float64(run.IndexBytes)/1024, run.OpsPerSec, run.P50Micros, run.P99Micros)
 	return run, nil
+}
+
+// medianOf returns the median of an unsorted float sample (0 when empty).
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	slices.Sort(s)
+	return s[len(s)/2]
 }
 
 // percentile reads the p-th percentile from an ascending-sorted sample.

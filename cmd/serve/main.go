@@ -60,6 +60,7 @@ func main() {
 		v         = flag.Float64("v", 2, "ADM duration exponent")
 		shards    = flag.Int("shards", 1, "entity-partitioned shards (1 = single DB; >1 builds in parallel and scatter-gathers queries)")
 		cacheSize = flag.Int("cache", 0, "generation-keyed hot-query cache entries (0 = no cache); invalidates automatically when ingest reaches the serving index")
+		traceSize = flag.Int("trace", 0, "per-query trace ring capacity (0 = tracing off); enables GET /traces and per-kind latency quantiles in /stats")
 		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
 		maxBatch  = flag.Int("maxbatch", 10000, "most entities one /topk/batch request may name")
 		refDirty  = flag.Int("refresh-dirty", 0, "auto-refresh: fold ingested visits into the index once this many entities are dirty (0 = no dirty trigger)")
@@ -81,6 +82,13 @@ func main() {
 		// incremental fan-out path.
 		opts = append(opts, digitaltraces.WithQueryCache(*cacheSize))
 		log.Printf("query cache: %d entries", *cacheSize)
+	}
+	if *traceSize > 0 && *shards <= 1 {
+		// Like the cache, the trace ring lives wherever queries are answered:
+		// in the DB when serving one, in the cluster coordinator when sharded
+		// (Config.TraceSize) — per-shard rings would miss the fan-out shape.
+		opts = append(opts, digitaltraces.WithTracing(*traceSize))
+		log.Printf("query tracing: ring of %d", *traceSize)
 	}
 	if *refDirty > 0 || *refStale > 0 {
 		// Each DB (every shard, for -shards > 1) folds its own dirt in the
@@ -128,9 +136,13 @@ func main() {
 		if *cacheSize > 0 {
 			log.Printf("query cache: %d entries (cluster-level)", *cacheSize)
 		}
+		if *traceSize > 0 {
+			log.Printf("query tracing: ring of %d (cluster-level)", *traceSize)
+		}
 		cluster, err := shard.Partition(db, shard.Config{
 			Shards:    *shards,
 			CacheSize: *cacheSize,
+			TraceSize: *traceSize,
 			NewShard: func(i int) (*digitaltraces.DB, error) {
 				return digitaltraces.NewGridDB(*side, *levels, opts...)
 			},
@@ -161,7 +173,7 @@ func main() {
 	if *idxSave != "" {
 		srvOpts = append(srvOpts, server.WithIndexPath(*idxSave))
 	}
-	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /healthz)", *addr)
+	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /traces /healthz)", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(engine, srvOpts...),

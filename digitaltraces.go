@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"digitaltraces/internal/core"
+	"digitaltraces/internal/obs"
 	"digitaltraces/internal/qcache"
 	"digitaltraces/internal/spindex"
 	"digitaltraces/internal/trace"
@@ -203,6 +204,14 @@ type QueryStats struct {
 	// query cache (WithQueryCache / shard.Config.CacheSize) without running a
 	// search: Checked is then 0 and PE/Pruned describe no work at all.
 	CacheHit bool
+	// Shards counts the shards a scatter-gather touched (0 on a single DB —
+	// no fan-out) and Pulled the candidates they surrendered to the
+	// coordinator before the threshold cut; Pulled close to Shards×(k+1)
+	// means the cut never fired. Merge is the coordinator's k-way merge
+	// time, separated from the per-shard cost inside Elapsed.
+	Shards int
+	Pulled int
+	Merge  time.Duration
 }
 
 // Option customizes a DB.
@@ -346,6 +355,10 @@ type DB struct {
 	// WithQueryCache). Keyed by the serving snapshot's generation, so a
 	// publish invalidates every entry without any cache writes (cache.go).
 	cache *qcache.Cache[[]Match]
+
+	// tracer is the per-query trace ring (nil without WithTracing — the
+	// disabled state every obs method no-ops on; tracing.go).
+	tracer *obs.Tracer
 
 	// Background auto-refresh policy (autorefresh.go). Zero thresholds mean
 	// disabled; the goroutine channels are nil then and Close is a no-op.
@@ -521,15 +534,18 @@ func (db *DB) Refresh() error {
 // from any number of goroutines, and never blocked by a concurrent
 // BuildIndex/Refresh; see the DB concurrency contract.
 func (db *DB) TopK(entity string, k int) ([]Match, QueryStats, error) {
-	s, err := db.snapshotForQuery()
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	q, err := db.lookup(s, entity)
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	return db.cachedTopK(s, q, k, entityKey(entity, k))
+	return db.tracedQuery(obs.KindTopK, entity, k, func() (*snapshot, []Match, QueryStats, error) {
+		s, err := db.snapshotForQuery()
+		if err != nil {
+			return nil, nil, QueryStats{}, err
+		}
+		q, err := db.lookup(s, entity)
+		if err != nil {
+			return s, nil, QueryStats{}, err
+		}
+		out, qs, err := db.cachedTopK(s, q, k, entityKey(entity, k))
+		return s, out, qs, err
+	})
 }
 
 // Visit describes one presence for query-by-example.
@@ -546,15 +562,18 @@ type Visit struct {
 // reproduces that entity's stored ST-cells bit-for-bit — the property the
 // shard.Cluster scatter-gather path relies on for exact merged answers.
 func (db *DB) TopKByExample(visits []Visit, k int) ([]Match, QueryStats, error) {
-	s, err := db.snapshotForQuery()
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	q, err := db.exampleSequences(visits)
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	return db.cachedTopK(s, q, k, exampleKey(q, k))
+	return db.tracedQuery(obs.KindExample, "", k, func() (*snapshot, []Match, QueryStats, error) {
+		s, err := db.snapshotForQuery()
+		if err != nil {
+			return nil, nil, QueryStats{}, err
+		}
+		q, err := db.exampleSequences(visits)
+		if err != nil {
+			return s, nil, QueryStats{}, err
+		}
+		out, qs, err := db.cachedTopK(s, q, k, exampleKey(q, k))
+		return s, out, qs, err
+	})
 }
 
 // exampleSequences discretizes example visits into the hypothetical entity's
@@ -766,12 +785,17 @@ type IndexStats struct {
 	CacheMisses    uint64
 	CacheEvictions uint64
 	CacheEntries   int
+	// Latencies summarizes per-query-kind latency histograms ("topk",
+	// "example", "batch", "merge") — nil unless tracing is on (WithTracing /
+	// shard.Config.TraceSize) and at least one query was observed. An
+	// aggregated engine reports its own coordinator-level tracer's view.
+	Latencies map[string]LatencySummary
 }
 
 // IndexStats returns current index statistics — one atomic snapshot load
 // plus a shared-lock dirty count, never blocked by rebuilds.
 func (db *DB) IndexStats() IndexStats {
-	out := IndexStats{DirtyCount: db.dirtyCount()}
+	out := IndexStats{DirtyCount: db.dirtyCount(), Latencies: db.tracer.Summaries()}
 	if db.cache != nil {
 		cs := db.cache.Stats()
 		out.CacheHits = cs.Hits

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"digitaltraces/internal/obs"
 	"digitaltraces/internal/trace"
 )
 
@@ -55,6 +56,10 @@ type Engine interface {
 	Levels() int
 	// IndexStats describes the built index (aggregated, for compositions).
 	IndexStats() IndexStats
+	// Tracer exposes the engine's query-trace ring — nil when tracing is
+	// disabled (the default). All obs.Tracer methods are nil-receiver safe,
+	// so callers use the result without checking.
+	Tracer() *obs.Tracer
 }
 
 var _ Engine = (*DB)(nil)

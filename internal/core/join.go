@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"digitaltraces/internal/adm"
 	"digitaltraces/internal/trace"
@@ -26,10 +27,14 @@ import (
 //  2. queries run on a bounded worker pool. The tree is immutable during
 //     the join, so concurrent TopK calls are safe.
 
-// JoinResult is the answer for one query entity of a join.
+// JoinResult is the answer for one query entity of a join, with that
+// query's own search statistics and wall-clock — so callers can attribute
+// batch cost per item instead of only in aggregate.
 type JoinResult struct {
 	Query   trace.EntityID
 	Matches []Result
+	Stats   SearchStats
+	Elapsed time.Duration
 }
 
 // JoinStats aggregates the per-query search statistics.
@@ -66,10 +71,11 @@ func (t *Tree) KNNJoin(queries []trace.EntityID, k int, measure adm.Measure, wor
 	})
 
 	type item struct {
-		q     trace.EntityID
-		res   []Result
-		stats SearchStats
-		err   error
+		q       trace.EntityID
+		res     []Result
+		stats   SearchStats
+		elapsed time.Duration
+		err     error
 	}
 	out := make([]item, len(order))
 	var wg sync.WaitGroup
@@ -85,8 +91,9 @@ func (t *Tree) KNNJoin(queries []trace.EntityID, k int, measure adm.Measure, wor
 					out[i] = item{q: e, err: fmt.Errorf("core: join query %d missing from source", e)}
 					continue
 				}
+				qStart := time.Now()
 				res, stats, err := t.TopK(s, k, measure)
-				out[i] = item{q: e, res: res, stats: stats, err: err}
+				out[i] = item{q: e, res: res, stats: stats, elapsed: time.Since(qStart), err: err}
 			}
 		}()
 	}
@@ -101,7 +108,7 @@ func (t *Tree) KNNJoin(queries []trace.EntityID, k int, measure adm.Measure, wor
 		if it.err != nil {
 			return nil, js, it.err
 		}
-		results = append(results, JoinResult{Query: it.q, Matches: it.res})
+		results = append(results, JoinResult{Query: it.q, Matches: it.res, Stats: it.stats, Elapsed: it.elapsed})
 		js.TotalChecked += it.stats.Checked
 		js.AvgPE += it.stats.PE
 	}

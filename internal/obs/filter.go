@@ -1,0 +1,125 @@
+package obs
+
+// Trace selection and anomaly detection — the query surface behind
+// GET /traces and tracetool. Filtering is pure (operates on a Snapshot
+// copy), so the ring is never held across evaluation.
+
+import (
+	"sort"
+	"time"
+)
+
+// Default anomaly thresholds: a trace is anomalous when its total latency
+// exceeds the median by DefaultLatencyFactor, or when one shard pulled more
+// than DefaultSkewFactor times its fair share of the trace's candidates.
+const (
+	DefaultLatencyFactor = 3.0
+	DefaultSkewFactor    = 2.0
+)
+
+// Filter selects traces from a snapshot. The zero value selects everything.
+type Filter struct {
+	// Slowest keeps only the N slowest traces (by Total), still returned
+	// newest-first among the kept set when 0 — when set, ordered slowest
+	// first. 0 means no slowest cut.
+	Slowest int
+	// MinLatency drops traces faster than this.
+	MinLatency time.Duration
+	// Entity, when non-empty, keeps only traces for that query entity.
+	Entity string
+	// Cache filters by cache outcome: "hit", "miss", or "" for both.
+	Cache string
+	// AnomaliesOnly keeps only traces flagged by Anomalies.
+	AnomaliesOnly bool
+	// LatencyFactor and SkewFactor override the anomaly thresholds
+	// (≤ 0 means use the defaults).
+	LatencyFactor float64
+	SkewFactor    float64
+	// Limit caps the result length after all other filtering (0 = no cap).
+	Limit int
+}
+
+// MedianLatency returns the median Total over the traces (0 when empty).
+// Anomaly detection compares each trace against the median of the *whole*
+// ring, not the filtered subset, so the baseline doesn't shift with the
+// filter.
+func MedianLatency(traces []QueryTrace) time.Duration {
+	if len(traces) == 0 {
+		return 0
+	}
+	ds := make([]time.Duration, len(traces))
+	for i, t := range traces {
+		ds[i] = t.Total
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// Anomalies returns the reasons a trace is anomalous relative to the given
+// median latency: "slow" when Total > median × latFactor (median must be
+// positive), and "shard-skew" when any shard pulled more than skewFactor
+// times its fair share (Pulled/len(Shards)) of the trace's candidates.
+// Factors ≤ 0 fall back to the defaults. Nil means not anomalous.
+func Anomalies(t QueryTrace, median time.Duration, latFactor, skewFactor float64) []string {
+	if latFactor <= 0 {
+		latFactor = DefaultLatencyFactor
+	}
+	if skewFactor <= 0 {
+		skewFactor = DefaultSkewFactor
+	}
+	var reasons []string
+	if median > 0 && float64(t.Total) > float64(median)*latFactor {
+		reasons = append(reasons, "slow")
+	}
+	if len(t.Shards) > 1 && t.Pulled > 0 {
+		fair := float64(t.Pulled) / float64(len(t.Shards))
+		for _, st := range t.Shards {
+			if float64(st.Pulled) > skewFactor*fair {
+				reasons = append(reasons, "shard-skew")
+				break
+			}
+		}
+	}
+	return reasons
+}
+
+// Select applies the filter to a snapshot (as returned by Tracer.Snapshot,
+// newest first) and returns the kept traces. With Slowest set the result is
+// ordered slowest-first; otherwise the snapshot's newest-first order is
+// preserved. The input slice is not modified.
+func (f Filter) Select(traces []QueryTrace) []QueryTrace {
+	median := MedianLatency(traces)
+	kept := make([]QueryTrace, 0, len(traces))
+	for _, t := range traces {
+		if t.Total < f.MinLatency {
+			continue
+		}
+		if f.Entity != "" && t.Entity != f.Entity {
+			continue
+		}
+		switch f.Cache {
+		case "hit":
+			if !t.CacheHit {
+				continue
+			}
+		case "miss":
+			if t.CacheHit {
+				continue
+			}
+		}
+		if f.AnomaliesOnly && len(Anomalies(t, median, f.LatencyFactor, f.SkewFactor)) == 0 {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if f.Slowest > 0 {
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Total > kept[j].Total })
+		if len(kept) > f.Slowest {
+			kept = kept[:f.Slowest]
+		}
+	}
+	if f.Limit > 0 && len(kept) > f.Limit {
+		kept = kept[:f.Limit]
+	}
+	return kept
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sampleTraces builds a snapshot-ordered (newest first) set covering every
+// filter axis.
+func sampleTraces() []QueryTrace {
+	return []QueryTrace{
+		{ID: 5, Kind: KindTopK, Entity: "carol", Total: 40 * time.Millisecond, CacheHit: false},
+		{ID: 4, Kind: KindTopK, Entity: "bob", Total: 2 * time.Millisecond, CacheHit: true},
+		{ID: 3, Kind: KindExample, Entity: "", Total: 9 * time.Millisecond},
+		{ID: 2, Kind: KindTopK, Entity: "alice", Total: 5 * time.Millisecond, CacheHit: false},
+		{ID: 1, Kind: KindTopK, Entity: "alice", Total: 1 * time.Millisecond, CacheHit: true},
+	}
+}
+
+func ids(ts []QueryTrace) []uint64 {
+	out := make([]uint64, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func equalIDs(a []uint64, b ...uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFilterZeroValueKeepsAll(t *testing.T) {
+	got := Filter{}.Select(sampleTraces())
+	if !equalIDs(ids(got), 5, 4, 3, 2, 1) {
+		t.Fatalf("zero filter kept %v", ids(got))
+	}
+}
+
+func TestFilterSlowest(t *testing.T) {
+	got := Filter{Slowest: 2}.Select(sampleTraces())
+	if !equalIDs(ids(got), 5, 3) {
+		t.Fatalf("slowest=2 kept %v, want [5 3] slowest-first", ids(got))
+	}
+}
+
+func TestFilterMinLatency(t *testing.T) {
+	got := Filter{MinLatency: 5 * time.Millisecond}.Select(sampleTraces())
+	if !equalIDs(ids(got), 5, 3, 2) {
+		t.Fatalf("min latency kept %v", ids(got))
+	}
+}
+
+func TestFilterEntity(t *testing.T) {
+	got := Filter{Entity: "alice"}.Select(sampleTraces())
+	if !equalIDs(ids(got), 2, 1) {
+		t.Fatalf("entity filter kept %v", ids(got))
+	}
+}
+
+func TestFilterCache(t *testing.T) {
+	hits := Filter{Cache: "hit"}.Select(sampleTraces())
+	if !equalIDs(ids(hits), 4, 1) {
+		t.Fatalf("cache=hit kept %v", ids(hits))
+	}
+	misses := Filter{Cache: "miss"}.Select(sampleTraces())
+	if !equalIDs(ids(misses), 5, 3, 2) {
+		t.Fatalf("cache=miss kept %v", ids(misses))
+	}
+}
+
+func TestFilterLimit(t *testing.T) {
+	got := Filter{Limit: 3}.Select(sampleTraces())
+	if !equalIDs(ids(got), 5, 4, 3) {
+		t.Fatalf("limit kept %v", ids(got))
+	}
+}
+
+func TestFilterCombined(t *testing.T) {
+	got := Filter{Entity: "alice", Cache: "miss"}.Select(sampleTraces())
+	if !equalIDs(ids(got), 2) {
+		t.Fatalf("combined filter kept %v", ids(got))
+	}
+}
+
+func TestMedianLatency(t *testing.T) {
+	if m := MedianLatency(nil); m != 0 {
+		t.Fatalf("median of empty = %v", m)
+	}
+	// Totals sorted: 1,2,5,9,40 ms → median (index 2) is 5ms.
+	if m := MedianLatency(sampleTraces()); m != 5*time.Millisecond {
+		t.Fatalf("median = %v, want 5ms", m)
+	}
+}
+
+func TestAnomalySlow(t *testing.T) {
+	median := 5 * time.Millisecond
+	slow := QueryTrace{Total: 40 * time.Millisecond}
+	if got := Anomalies(slow, median, 0, 0); len(got) != 1 || got[0] != "slow" {
+		t.Fatalf("40ms vs 5ms median: %v, want [slow]", got)
+	}
+	ok := QueryTrace{Total: 14 * time.Millisecond} // under 3× median
+	if got := Anomalies(ok, median, 0, 0); got != nil {
+		t.Fatalf("14ms vs 5ms median flagged: %v", got)
+	}
+	// Custom factor tightens the rule.
+	if got := Anomalies(ok, median, 2, 0); len(got) != 1 || got[0] != "slow" {
+		t.Fatalf("factor 2 should flag 14ms vs 5ms: %v", got)
+	}
+	// No baseline → no slow flag regardless of latency.
+	if got := Anomalies(slow, 0, 0, 0); got != nil {
+		t.Fatalf("zero median flagged: %v", got)
+	}
+}
+
+// TestAnomalyShardSkew flags an artificially skewed shard: one shard
+// contributes far more than its fair share of pulled candidates.
+func TestAnomalyShardSkew(t *testing.T) {
+	skewed := QueryTrace{
+		Pulled: 100,
+		Shards: []ShardTrace{
+			{Shard: 0, Pulled: 90}, // fair share 25, 90 > 2×25
+			{Shard: 1, Pulled: 4},
+			{Shard: 2, Pulled: 3},
+			{Shard: 3, Pulled: 3},
+		},
+	}
+	if got := Anomalies(skewed, 0, 0, 0); len(got) != 1 || got[0] != "shard-skew" {
+		t.Fatalf("skewed shard not flagged: %v", got)
+	}
+	balanced := QueryTrace{
+		Pulled: 100,
+		Shards: []ShardTrace{
+			{Shard: 0, Pulled: 30},
+			{Shard: 1, Pulled: 25},
+			{Shard: 2, Pulled: 25},
+			{Shard: 3, Pulled: 20},
+		},
+	}
+	if got := Anomalies(balanced, 0, 0, 0); got != nil {
+		t.Fatalf("balanced shards flagged: %v", got)
+	}
+	// Single-shard traces can't skew.
+	single := QueryTrace{Pulled: 100, Shards: []ShardTrace{{Shard: 0, Pulled: 100}}}
+	if got := Anomalies(single, 0, 0, 0); got != nil {
+		t.Fatalf("single shard flagged: %v", got)
+	}
+	// A looser factor can unflag.
+	if got := Anomalies(skewed, 0, 0, 10); got != nil {
+		t.Fatalf("skew factor 10 still flagged: %v", got)
+	}
+}
+
+func TestFilterAnomaliesOnly(t *testing.T) {
+	traces := []QueryTrace{
+		{ID: 4, Total: 100 * time.Millisecond}, // slow vs median
+		{ID: 3, Total: 5 * time.Millisecond, Pulled: 99, Shards: []ShardTrace{
+			{Shard: 0, Pulled: 90}, {Shard: 1, Pulled: 5}, {Shard: 2, Pulled: 4},
+		}}, // skewed: fair share 33, shard 0 pulled 90 > 2×33
+		{ID: 2, Total: 5 * time.Millisecond},
+		{ID: 1, Total: 4 * time.Millisecond},
+	}
+	got := Filter{AnomaliesOnly: true}.Select(traces)
+	if !equalIDs(ids(got), 4, 3) {
+		t.Fatalf("anomalies filter kept %v, want [4 3]", ids(got))
+	}
+	// A custom latency factor loosens the slow rule away.
+	got = Filter{AnomaliesOnly: true, LatencyFactor: 100}.Select(traces)
+	if !equalIDs(ids(got), 3) {
+		t.Fatalf("loose latency factor kept %v, want [3]", ids(got))
+	}
+}

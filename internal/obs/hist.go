@@ -1,0 +1,124 @@
+package obs
+
+// Log-bucketed latency histograms. Buckets are powers of two of
+// microseconds: bucket 0 holds samples under 1µs and bucket b ≥ 1 holds
+// [2^(b-1), 2^b) µs, so 41 buckets span sub-microsecond to ~2^40µs
+// (≈ 12.7 days) — more than any query can take — at a fixed 41 × 8 bytes
+// per histogram. Observation is one atomic add (plus a CAS loop for the
+// running max); quantiles are resolved only when read, by walking the
+// cumulative counts and reporting the matched bucket's upper bound, clamped
+// to the true observed max. That makes quantiles conservative (never
+// under-reported) with at most 2x bucket resolution error — the right
+// trade-off for an always-on hot path.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets spans [0, 2^40) µs in power-of-two steps.
+const histBuckets = 41
+
+// Histogram is a log-bucketed latency histogram safe for concurrent
+// observation. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	max    atomic.Int64 // nanoseconds, exact
+}
+
+// LatencySummary is a point-in-time histogram read-out. Quantiles are upper
+// bounds at bucket resolution (a reported p99 of 2ms means the true p99 is
+// in (1ms, 2ms]); Max is exact.
+type LatencySummary struct {
+	Count uint64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// upperBound is the bucket's exclusive upper edge as a duration.
+func upperBound(bucket int) time.Duration {
+	return time.Duration(uint64(1)<<uint(bucket)) * time.Microsecond
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Summary reads the histogram: sample count, p50/p90/p99 upper bounds and
+// the exact max. Concurrent observations may land between bucket reads;
+// the summary is then a consistent-enough view of an instant in between —
+// quantiles remain upper bounds of *some* prefix of the sample stream.
+func (h *Histogram) Summary() LatencySummary {
+	var buckets [histBuckets]uint64
+	var total uint64
+	for i := range buckets {
+		buckets[i] = h.counts[i].Load()
+		total += buckets[i]
+	}
+	s := LatencySummary{Count: total, Max: time.Duration(h.max.Load())}
+	if total == 0 {
+		return s
+	}
+	s.P50 = h.quantile(buckets[:], total, 50)
+	s.P90 = h.quantile(buckets[:], total, 90)
+	s.P99 = h.quantile(buckets[:], total, 99)
+	return s
+}
+
+// quantile resolves the p-th percentile as the upper bound of the bucket
+// the target rank falls into, clamped to the observed max.
+func (h *Histogram) quantile(buckets []uint64, total uint64, p int) time.Duration {
+	// ceil(total * p / 100): the rank of the percentile sample, 1-based.
+	target := (total*uint64(p) + 99) / 100
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum >= target {
+			if i == len(buckets)-1 {
+				// The overflow bucket is open-ended; its only honest upper
+				// bound is the observed max.
+				return time.Duration(h.max.Load())
+			}
+			ub := upperBound(i)
+			if max := time.Duration(h.max.Load()); max > 0 && ub > max {
+				return max
+			}
+			return ub
+		}
+	}
+	return time.Duration(h.max.Load())
+}

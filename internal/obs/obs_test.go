@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerSafe proves the disabled state (nil *Tracer) no-ops on every
+// method — instrumented call sites need no conditionals.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Cap() != 0 {
+		t.Fatal("nil tracer has capacity")
+	}
+	if id := tr.Record(QueryTrace{Kind: KindTopK}); id != 0 {
+		t.Fatalf("nil Record returned id %d", id)
+	}
+	if id := tr.NextBatchID(); id != 0 {
+		t.Fatalf("nil NextBatchID returned %d", id)
+	}
+	tr.Observe(KindMerge, time.Millisecond)
+	if s := tr.Snapshot(); s != nil {
+		t.Fatalf("nil Snapshot returned %v", s)
+	}
+	if m := tr.Summaries(); m != nil {
+		t.Fatalf("nil Summaries returned %v", m)
+	}
+}
+
+func TestNewDisabledOnNonPositiveSize(t *testing.T) {
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("New with size <= 0 must return the nil (disabled) tracer")
+	}
+	if tr := New(4); tr == nil || tr.Cap() != 4 {
+		t.Fatal("New(4) must return a 4-slot tracer")
+	}
+}
+
+// TestRingWrapKeepsNewest fills a small ring past capacity and checks the
+// snapshot holds exactly the newest traces, newest first.
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(QueryTrace{Kind: KindTopK, K: i, Total: time.Duration(i) * time.Millisecond})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length = %d, want ring capacity 4", len(snap))
+	}
+	for i, qt := range snap {
+		wantID := uint64(10 - i)
+		if qt.ID != wantID {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (newest first)", i, qt.ID, wantID)
+		}
+		if qt.K != int(wantID) {
+			t.Fatalf("snapshot[%d].K = %d, want %d", i, qt.K, wantID)
+		}
+	}
+}
+
+// TestRingConcurrentNoTornTraces runs many writers lapping a small ring
+// while readers continuously snapshot it. Every trace is written with fields
+// derived from a single seed, so a snapshot that ever observes an
+// inconsistent combination has seen a torn trace. Run under -race this also
+// exercises the slot synchronization.
+func TestRingConcurrentNoTornTraces(t *testing.T) {
+	tr := New(8)
+	const writers = 8
+	const perWriter = 500
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seed := w*perWriter + i + 1
+				tr.Record(QueryTrace{
+					Kind:    KindTopK,
+					K:       seed,
+					Checked: 2 * seed,
+					Pulled:  3 * seed,
+					Total:   time.Duration(seed) * time.Microsecond,
+					Shards: []ShardTrace{
+						{Shard: 0, Pulled: seed},
+						{Shard: 1, Pulled: 2 * seed},
+					},
+				})
+			}
+		}(w)
+	}
+
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 2 {
+		readers = 2
+	}
+	errc := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tr.Snapshot()
+				if len(snap) > tr.Cap() {
+					errc <- "snapshot exceeds ring capacity"
+					return
+				}
+				for _, qt := range snap {
+					seed := qt.K
+					if qt.Checked != 2*seed || qt.Pulled != 3*seed ||
+						qt.Total != time.Duration(seed)*time.Microsecond ||
+						len(qt.Shards) != 2 ||
+						qt.Shards[0].Pulled != seed || qt.Shards[1].Pulled != 2*seed {
+						errc <- "torn trace: fields disagree with seed"
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Wait for writers, then release readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Writers are the first `writers` Adds; wait via a second group would
+		// race with wg reuse, so just poll the trace counter.
+		for tr.ids.Load() < writers*perWriter {
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case msg := <-errc:
+		close(stop)
+		wg.Wait()
+		t.Fatal(msg)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+
+	if got := tr.ids.Load(); got != writers*perWriter {
+		t.Fatalf("assigned %d trace IDs, want %d", got, writers*perWriter)
+	}
+	if len(tr.Snapshot()) != tr.Cap() {
+		t.Fatalf("final snapshot not full: %d of %d", len(tr.Snapshot()), tr.Cap())
+	}
+}
+
+func TestNextBatchIDMonotonic(t *testing.T) {
+	tr := New(2)
+	a, b := tr.NextBatchID(), tr.NextBatchID()
+	if a == 0 || b != a+1 {
+		t.Fatalf("batch IDs not monotonically nonzero: %d then %d", a, b)
+	}
+}
+
+// TestHistogramQuantiles checks the log-bucketed quantiles are conservative
+// (upper bounds) and the max is exact.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram summary = %+v", s)
+	}
+	// 99 samples at ~100µs, one at 50ms: p50/p90 land in the 100µs bucket
+	// ([64µs,128µs)), p99 rank 99/100 still lands there; max is exact.
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50 < 100*time.Microsecond || s.P50 > 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want upper bound of the 100µs bucket", s.P50)
+	}
+	if s.P99 < 100*time.Microsecond || s.P99 > 128*time.Microsecond {
+		t.Fatalf("p99 = %v, want within the 100µs bucket (rank 99 of 100)", s.P99)
+	}
+	if s.Max != 50*time.Millisecond {
+		t.Fatalf("max = %v, want exact 50ms", s.Max)
+	}
+	// One more slow sample moves p99 (rank 100 of 101) into the tail; the
+	// bucket upper bound must clamp to the observed max.
+	h.Observe(50 * time.Millisecond)
+	s = h.Summary()
+	if s.P99 != 50*time.Millisecond {
+		t.Fatalf("p99 = %v, want clamped to max 50ms", s.P99)
+	}
+}
+
+func TestHistogramNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(1 << 62)      // beyond the last bucket edge
+	s := h.Summary()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Max != 1<<62 {
+		t.Fatalf("max = %v, want exact huge sample", s.Max)
+	}
+	if s.P99 != 1<<62 {
+		t.Fatalf("p99 = %v, want clamped to max for overflow bucket", s.P99)
+	}
+}
+
+// TestObserveUnknownKindIgnored proves a stray kind can't index out of the
+// histogram registry.
+func TestObserveUnknownKindIgnored(t *testing.T) {
+	tr := New(1)
+	tr.Observe(Kind("nope"), time.Second)
+	if m := tr.Summaries(); m != nil {
+		t.Fatalf("unknown kind produced summaries: %v", m)
+	}
+}
+
+// TestSummariesPerKind checks Record feeds the kind's histogram and
+// Observe-only kinds appear too.
+func TestSummariesPerKind(t *testing.T) {
+	tr := New(4)
+	tr.Record(QueryTrace{Kind: KindTopK, Total: time.Millisecond})
+	tr.Record(QueryTrace{Kind: KindExample, Total: 2 * time.Millisecond})
+	tr.Observe(KindBatch, 3*time.Millisecond)
+	tr.Observe(KindMerge, 10*time.Microsecond)
+	m := tr.Summaries()
+	for _, k := range []Kind{KindTopK, KindExample, KindBatch, KindMerge} {
+		s, ok := m[string(k)]
+		if !ok || s.Count != 1 {
+			t.Fatalf("kind %q: summary %+v, ok=%v", k, s, ok)
+		}
+	}
+}

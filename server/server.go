@@ -12,7 +12,11 @@
 //	                      configured path (WithIndexPath / serve -index-save)
 //	GET      /stats       index + server statistics: snapshot generation and
 //	                      last-swap time, shape, serving counters (+ per-shard
-//	                      breakdown when the engine is sharded)
+//	                      breakdown when the engine is sharded, + per-kind
+//	                      latency quantiles when tracing is on)
+//	GET      /traces      recent per-query traces from the engine's trace
+//	                      ring (?slowest=N, ?min_ms=, ?entity=, ?cache=miss,
+//	                      ?anomalies=1); 409 unless started with -trace N
 //	GET      /healthz     liveness probe
 //
 // All concurrency control lives in the engine — queries answer lock-free
@@ -96,6 +100,7 @@ func New(eng digitaltraces.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("/visits", s.handleVisits)
 	s.mux.HandleFunc("/index/save", s.handleSaveIndex)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
@@ -110,17 +115,25 @@ type Match struct {
 }
 
 // Stats mirrors digitaltraces.QueryStats on the wire (elapsed in
-// microseconds).
+// microseconds). Shards, Pulled and MergeUS describe the scatter-gather
+// fan-out on a sharded engine; a plain DB omits them.
 type Stats struct {
 	Checked   int     `json:"checked"`
 	PE        float64 `json:"pe"`
 	Pruned    float64 `json:"pruned"`
 	ElapsedUS int64   `json:"elapsed_us"`
 	CacheHit  bool    `json:"cache_hit,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
+	Pulled    int     `json:"pulled,omitempty"`
+	MergeUS   int64   `json:"merge_us,omitempty"`
 }
 
 func toStats(qs digitaltraces.QueryStats) Stats {
-	return Stats{Checked: qs.Checked, PE: qs.PE, Pruned: qs.Pruned, ElapsedUS: qs.Elapsed.Microseconds(), CacheHit: qs.CacheHit}
+	return Stats{
+		Checked: qs.Checked, PE: qs.PE, Pruned: qs.Pruned,
+		ElapsedUS: qs.Elapsed.Microseconds(), CacheHit: qs.CacheHit,
+		Shards: qs.Shards, Pulled: qs.Pulled, MergeUS: qs.Merge.Microseconds(),
+	}
 }
 
 func toMatches(ms []digitaltraces.Match) []Match {
@@ -442,6 +455,10 @@ type StatsResponse struct {
 		CacheMisses    uint64 `json:"cache_misses"`
 		CacheEvictions uint64 `json:"cache_evictions"`
 		CacheEntries   int    `json:"cache_entries"`
+		// Latencies holds per-query-kind latency summaries (p50/p90/p99/max)
+		// when the engine runs with a trace ring (WithTracing / cluster
+		// TraceSize / serve -trace N); absent otherwise.
+		Latencies map[string]LatencyStat `json:"latencies,omitempty"`
 	} `json:"index"`
 	Entities int         `json:"entities"`
 	Venues   int         `json:"venues"`
@@ -477,6 +494,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.CacheMisses = ix.CacheMisses
 	resp.Index.CacheEvictions = ix.CacheEvictions
 	resp.Index.CacheEntries = ix.CacheEntries
+	resp.Index.Latencies = toLatencies(ix.Latencies)
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()
 	resp.Levels = s.eng.Levels()

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/internal/obs"
 	"digitaltraces/internal/qcache"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// property suite locks in); the switch exists so cmd/bench -scenario
 	// cache can A/B the two gathers on the same host and data.
 	NaiveGather bool
+	// TraceSize, when positive, equips the cluster with a coordinator-level
+	// query-trace ring of that many slots (internal/obs): every cluster
+	// query records a structured trace with the per-shard scatter-gather
+	// breakdown, served through Tracer() and the server's /traces endpoint.
+	// ≤ 0 (the default) disables tracing — zero allocation on the hot path.
+	TraceSize int
 }
 
 // Cluster is an entity-partitioned composition of DB shards answering exact
@@ -103,6 +110,10 @@ type Cluster struct {
 	// naive switches TopK/TopKByExample to the unpruned full fan-out
 	// (Config.NaiveGather) — the benchmarking A/B escape hatch.
 	naive bool
+
+	// tracer is the coordinator-level query-trace ring (nil unless
+	// Config.TraceSize > 0); see trace.go.
+	tracer *obs.Tracer
 }
 
 var _ digitaltraces.Engine = (*Cluster)(nil)
@@ -161,7 +172,7 @@ func NewCluster(cfg Config) (_ *Cluster, err error) {
 			return nil, fmt.Errorf("shard: shard %d is pre-populated with %d entities; route all ingest through the Cluster", i, sh.NumEntities())
 		}
 	}
-	c := &Cluster{shards: shards, ord: map[string]int{}, naive: cfg.NaiveGather}
+	c := &Cluster{shards: shards, ord: map[string]int{}, naive: cfg.NaiveGather, tracer: obs.New(cfg.TraceSize)}
 	if cfg.CacheSize > 0 {
 		c.cache = qcache.New[[]digitaltraces.Match](cfg.CacheSize)
 	}
@@ -297,9 +308,21 @@ func (c *Cluster) AddVisits(visits []digitaltraces.VisitRecord) (int, error) {
 // (same shard snapshot generations, nothing dirty) are answered from the
 // cluster cache with no fan-out at all, QueryStats.CacheHit set.
 func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	return c.topKTraced(entity, k, 0)
+}
+
+// topKTraced is TopK with trace linkage: batchID groups the item traces of
+// one TopKBatch call (0 outside a batch).
+func (c *Cluster) topKTraced(entity string, k int, batchID uint64) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 	start := time.Now()
+	out, qs, d, err := c.topKDetail(entity, k, start)
+	c.record(obs.KindTopK, entity, k, batchID, out, qs, d, err, start)
+	return out, qs, err
+}
+
+func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	if k < 1 {
-		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
 	home := c.shards[c.owner(entity)]
 	// The version vector is derived on both sides of the visits read:
@@ -313,7 +336,7 @@ func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltrac
 	version, versionOK := c.cacheVersion()
 	visits, err := home.VisitsOf(entity)
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
 	if versionOK {
 		if after, ok := c.cacheVersion(); !ok || after != version {
@@ -322,28 +345,29 @@ func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltrac
 	}
 	key := entityCacheKey(entity, k)
 	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
-		return out, qs, nil
+		return out, qs, gatherDetail{generations: versionGenerations(version)}, nil
 	}
 	if c.naive {
-		out, qs, err := c.topKNaive(entity, k)
+		out, qs, d, err := c.topKNaiveDetail(entity, k)
 		if err != nil {
-			return nil, qs, err
+			return nil, qs, d, err
 		}
 		c.naiveCachePut(version, versionOK, key, out)
-		return out, qs, nil
+		return out, qs, d, nil
 	}
 	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
 		return sh.SearchByExample(visits)
 	})
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
-	out, checked, err := c.gatherByShard(byShard, k, entity)
+	out, checked, d, err := c.gatherByShard(byShard, k, entity)
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, d, err
 	}
+	d.generations = searchGenerations(byShard)
 	c.cachePut(version, versionOK, byShard, key, out)
-	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start), nil
+	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start, d), d, nil
 }
 
 // TopKByExample answers for a hypothetical entity described by visits,
@@ -351,34 +375,41 @@ func (c *Cluster) TopK(entity string, k int) ([]digitaltraces.Match, digitaltrac
 // gather as TopK, with no self to exclude.
 func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 	start := time.Now()
+	out, qs, d, err := c.topKByExampleDetail(visits, k, start)
+	c.record(obs.KindExample, "", k, 0, out, qs, d, err, start)
+	return out, qs, err
+}
+
+func (c *Cluster) topKByExampleDetail(visits []digitaltraces.Visit, k int, start time.Time) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	if k < 1 {
-		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
 	version, versionOK := c.cacheVersion()
 	key := exampleCacheKey(visits, k)
 	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
-		return out, qs, nil
+		return out, qs, gatherDetail{generations: versionGenerations(version)}, nil
 	}
 	if c.naive {
-		out, qs, err := c.topKByExampleNaive(visits, k)
+		out, qs, d, err := c.topKByExampleNaiveDetail(visits, k)
 		if err != nil {
-			return nil, qs, err
+			return nil, qs, d, err
 		}
 		c.naiveCachePut(version, versionOK, key, out)
-		return out, qs, nil
+		return out, qs, d, nil
 	}
 	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
 		return sh.SearchByExample(visits)
 	})
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
-	out, checked, err := c.gatherByShard(byShard, k, "")
+	out, checked, d, err := c.gatherByShard(byShard, k, "")
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, d, err
 	}
+	d.generations = searchGenerations(byShard)
 	c.cachePut(version, versionOK, byShard, key, out)
-	return out, c.gatherStats(checked, len(out), c.NumEntities(), start), nil
+	return out, c.gatherStats(checked, len(out), c.NumEntities(), start, d), d, nil
 }
 
 // topKNaive is the pre-pruning reference fan-out: every shard computes a
@@ -387,44 +418,64 @@ func (c *Cluster) TopKByExample(visits []digitaltraces.Visit, k int) ([]digitalt
 // the oracle the property and equivalence tests compare the pruned path
 // against — both must return bit-identical answers.
 func (c *Cluster) topKNaive(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	out, qs, _, err := c.topKNaiveDetail(entity, k)
+	return out, qs, err
+}
+
+func (c *Cluster) topKNaiveDetail(entity string, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	start := time.Now()
 	if k < 1 {
-		return nil, digitaltraces.QueryStats{}, fmt.Errorf("shard: k = %d < 1", k)
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
 	home := c.shards[c.owner(entity)]
 	visits, err := home.VisitsOf(entity)
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
-	lists, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	lists, d, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 		if sh == home {
 			return sh.TopKByExample(visits, k+1)
 		}
 		return sh.TopKByExample(visits, k)
 	})
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
+	mergeStart := time.Now()
 	out, excluded := c.mergeExcluding(lists, k, entity)
+	d.merge = time.Since(mergeStart)
+	if len(out) == k && k > 0 {
+		d.kth = out[k-1].Degree
+	}
 	// The home shard's example search scored the query entity itself (a
 	// single DB never does); subtract it so Checked/PE/Pruned stay
 	// comparable with single-DB numbers.
 	checked -= excluded
-	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start), nil
+	return out, c.gatherStats(checked, len(out), c.NumEntities()-1, start, d), d, nil
 }
 
 // topKByExampleNaive is TopKByExample's full-fan-out reference; see
 // topKNaive.
 func (c *Cluster) topKByExampleNaive(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	out, qs, _, err := c.topKByExampleNaiveDetail(visits, k)
+	return out, qs, err
+}
+
+func (c *Cluster) topKByExampleNaiveDetail(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	start := time.Now()
-	lists, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	lists, d, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 		return sh.TopKByExample(visits, k)
 	})
 	if err != nil {
-		return nil, digitaltraces.QueryStats{}, err
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
+	mergeStart := time.Now()
 	out := c.merge(lists, k)
-	return out, c.gatherStats(checked, len(out), c.NumEntities(), start), nil
+	d.merge = time.Since(mergeStart)
+	if len(out) == k && k > 0 {
+		d.kth = out[k-1].Degree
+	}
+	return out, c.gatherStats(checked, len(out), c.NumEntities(), start, d), d, nil
 }
 
 // openSearches opens one incremental search per non-empty shard, in
@@ -460,16 +511,23 @@ func (c *Cluster) openSearches(open func(sh *digitaltraces.DB) (*digitaltraces.S
 	return byShard, nil
 }
 
-// gatherByShard compacts an openSearches result and runs the threshold-
-// pruned gather over the active streams.
-func (c *Cluster) gatherByShard(byShard []*digitaltraces.Search, k int, exclude string) ([]digitaltraces.Match, int, error) {
+// gatherByShard compacts an openSearches result, runs the threshold-pruned
+// gather over the active streams, and maps the stream-indexed report back
+// to shard ordinals for the trace detail.
+func (c *Cluster) gatherByShard(byShard []*digitaltraces.Search, k int, exclude string) ([]digitaltraces.Match, int, gatherDetail, error) {
 	active := make([]*digitaltraces.Search, 0, len(byShard))
-	for _, s := range byShard {
+	ords := make([]int, 0, len(byShard))
+	for i, s := range byShard {
 		if s != nil {
 			active = append(active, s)
+			ords = append(ords, i)
 		}
 	}
-	return c.gatherSearches(active, k, exclude)
+	out, checked, rep, err := c.gatherSearches(active, k, exclude)
+	if err != nil {
+		return nil, 0, gatherDetail{}, err
+	}
+	return out, checked, detailFromReport(rep, ords, active), nil
 }
 
 // TopKBatch answers top-k for every named entity over a bounded worker pool
@@ -492,8 +550,11 @@ func (c *Cluster) TopKBatch(entities []string, k, workers int) (map[string][]dig
 		err error
 	}
 	results := make([]result, len(entities))
+	// Each batch item records its own trace, linked by one shared batch ID
+	// (0 — no linkage — when tracing is off).
+	batchID := c.tracer.NextBatchID()
 	runPool(len(entities), workers, func(i int) {
-		ms, qs, err := c.TopK(entities[i], k)
+		ms, qs, err := c.topKTraced(entities[i], k, batchID)
 		results[i] = result{ms, qs, err}
 	})
 	out := make(map[string][]digitaltraces.Match, len(entities))
@@ -512,16 +573,23 @@ func (c *Cluster) TopKBatch(entities []string, k, workers int) (map[string][]dig
 		stats.Pruned = 1 - float64(stats.Checked)/float64(len(entities)*n)
 	}
 	stats.Elapsed = time.Since(start)
+	// The whole batch is histogram-only; the per-item traces above carry
+	// the structured detail.
+	c.tracer.Observe(obs.KindBatch, stats.Elapsed)
 	return out, stats, nil
 }
 
 // scatter runs query against every shard that holds entities, concurrently,
-// and collects the per-shard match lists plus the summed Checked count.
-// The first error (by shard index) wins.
-func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, int, error) {
+// and collects the per-shard match lists, the per-shard trace detail
+// (generation vector included) and the summed Checked count. The first
+// error (by shard index) wins. Naive scatter rows report Rounds 1 and
+// neither Cut nor Exhausted — the shard itself truncated at its local k.
+func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, gatherDetail, int, error) {
 	lists := make([][]digitaltraces.Match, len(c.shards))
 	statsArr := make([]digitaltraces.QueryStats, len(c.shards))
+	gens := make([]uint64, len(c.shards))
 	errs := make([]error, len(c.shards))
+	queriedBy := make([]bool, len(c.shards))
 	var wg sync.WaitGroup
 	queried := 0
 	for i, sh := range c.shards {
@@ -529,30 +597,53 @@ func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Matc
 			continue // an empty shard has no candidates (and no index to search)
 		}
 		queried++
+		queriedBy[i] = true
 		wg.Add(1)
 		go func(i int, sh *digitaltraces.DB) {
 			defer wg.Done()
 			lists[i], statsArr[i], errs[i] = query(sh)
+			gens[i], _ = sh.SnapshotGeneration()
 		}(i, sh)
 	}
 	if queried == 0 {
-		return nil, 0, fmt.Errorf("shard: cluster has no visits to index")
+		return nil, gatherDetail{}, 0, fmt.Errorf("shard: cluster has no visits to index")
 	}
 	wg.Wait()
+	d := gatherDetail{generations: gens, shards: make([]obs.ShardTrace, 0, queried)}
 	checked := 0
 	for i := range c.shards {
 		if errs[i] != nil {
-			return nil, 0, errs[i]
+			return nil, gatherDetail{}, 0, errs[i]
+		}
+		if !queriedBy[i] {
+			continue
 		}
 		checked += statsArr[i].Checked
+		d.pulled += len(lists[i])
+		d.shards = append(d.shards, obs.ShardTrace{
+			Shard:      i,
+			Generation: gens[i],
+			Pulled:     len(lists[i]),
+			Rounds:     1,
+			Checked:    statsArr[i].Checked,
+			Latency:    statsArr[i].Elapsed,
+		})
 	}
-	return lists, checked, nil
+	return lists, d, checked, nil
 }
 
 // gatherStats recomputes the Definition 5 statistics over the cluster-wide
-// candidate population n, mirroring the single-DB formulas.
-func (c *Cluster) gatherStats(checked, returned, n int, start time.Time) digitaltraces.QueryStats {
-	qs := digitaltraces.QueryStats{Checked: checked, Elapsed: time.Since(start)}
+// candidate population n, mirroring the single-DB formulas, and carries the
+// gather detail's fan-out shape (shards touched, candidates pulled, merge
+// time — the merge/scatter attribution split) into the QueryStats.
+func (c *Cluster) gatherStats(checked, returned, n int, start time.Time, d gatherDetail) digitaltraces.QueryStats {
+	qs := digitaltraces.QueryStats{
+		Checked: checked,
+		Elapsed: time.Since(start),
+		Shards:  len(d.shards),
+		Pulled:  d.pulled,
+		Merge:   d.merge,
+	}
 	if n > 0 {
 		qs.PE = float64(checked-returned) / float64(n)
 		if qs.PE < 0 {
@@ -589,7 +680,7 @@ func (c *Cluster) Levels() int { return c.shards[0].Levels() }
 // machine with ≥ NumShards cores sees — and LastSwap, the latest shard swap
 // (when the cluster's serving state last changed anywhere).
 func (c *Cluster) IndexStats() digitaltraces.IndexStats {
-	var agg digitaltraces.IndexStats
+	agg := digitaltraces.IndexStats{Latencies: c.tracer.Summaries()}
 	if c.cache != nil {
 		cs := c.cache.Stats()
 		agg.CacheHits = cs.Hits

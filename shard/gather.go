@@ -45,6 +45,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"digitaltraces"
 )
@@ -56,23 +57,47 @@ type pullReq struct {
 }
 
 // pullResp carries one stream's round: the results pulled (in stream order),
-// the stream's bound after the pull, and whether more results may remain.
+// the stream's bound after the pull, whether more results may remain, and
+// the wall-clock the pull cost (attributed to the stream's shard).
 type pullResp struct {
 	entries []entry
 	bound   float64
 	live    bool
+	took    time.Duration
+}
+
+// streamReport is one stream's share of a boundedGather, index-aligned with
+// the streams: what it surrendered, how it ended, and what it cost.
+type streamReport struct {
+	pulled    int
+	rounds    int
+	cut       bool // stopped by the threshold or the k+1 cap while live
+	exhausted bool // ran dry
+	bound     float64
+	latency   time.Duration
+}
+
+// gatherReport describes one boundedGather run: the per-stream breakdown,
+// the coordinator's cumulative merge time (the cost not attributable to any
+// stream — the satellite-2 attribution split), and the merged k-th degree
+// the cuts fired against (0 when fewer than k results exist).
+type gatherReport struct {
+	streams []streamReport
+	merge   time.Duration
+	kth     float64
 }
 
 // boundedGather merges n incremental streams into the global top-k with
 // threshold early termination, excluding the named entity. pull must
 // fulfill every request of a round (it may fan out in parallel) and return
-// responses in request order. Returns the merged answer and the number of
-// excluded entries skipped.
-func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, error)) ([]digitaltraces.Match, int, error) {
+// responses in request order. Returns the merged answer, the number of
+// excluded entries skipped, and the per-stream gather report.
+func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, error)) ([]digitaltraces.Match, int, gatherReport, error) {
 	bufs := make([][]entry, n)
 	bounds := make([]float64, n)
 	live := make([]bool, n)
 	pulled := make([]int, n)
+	rep := gatherReport{streams: make([]streamReport, n)}
 	for i := range live {
 		live[i] = true
 		bounds[i] = 1 // degrees live in [0, 1]; an unpulled stream may hold anything
@@ -85,7 +110,9 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 		batch = 1
 	}
 	for {
+		mergeStart := time.Now()
 		merged, excluded := mergeEntries(bufs, k, exclude)
+		rep.merge += time.Since(mergeStart)
 		var reqs []pullReq
 		for i := 0; i < n; i++ {
 			if !live[i] || pulled[i] >= limit {
@@ -103,14 +130,26 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 			}
 		}
 		if len(reqs) == 0 {
-			return merged, excluded, nil
+			if len(merged) == k && k > 0 {
+				rep.kth = merged[k-1].Degree
+			}
+			for i := 0; i < n; i++ {
+				rep.streams[i].pulled = pulled[i]
+				rep.streams[i].bound = bounds[i]
+				// A stream that still had candidates was stopped by the
+				// coordinator (threshold cut or the k+1 cap); one that ran
+				// dry exhausted itself.
+				rep.streams[i].cut = live[i]
+				rep.streams[i].exhausted = !live[i]
+			}
+			return merged, excluded, rep, nil
 		}
 		resps, err := pull(reqs)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, rep, err
 		}
 		if len(resps) != len(reqs) {
-			return nil, 0, fmt.Errorf("shard: pull returned %d responses for %d requests", len(resps), len(reqs))
+			return nil, 0, rep, fmt.Errorf("shard: pull returned %d responses for %d requests", len(resps), len(reqs))
 		}
 		for j, r := range reqs {
 			i := r.stream
@@ -118,6 +157,8 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 			bounds[i] = resps[j].bound
 			live[i] = resps[j].live
 			pulled[i] += len(resps[j].entries)
+			rep.streams[i].rounds++
+			rep.streams[i].latency += resps[j].took
 			if len(resps[j].entries) == 0 {
 				// No progress from a live stream would loop forever; a
 				// stream with nothing to give is done.
@@ -132,8 +173,9 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 // each round's requests in parallel and resolving global ordinals for the
 // pulled matches. searches must be non-nil; checked sums every search's
 // exact degree computations after termination (the quantity the pruning
-// saves versus the naive full fan-out).
-func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclude string) (out []digitaltraces.Match, checked int, err error) {
+// saves versus the naive full fan-out). The report's streams are aligned
+// with searches.
+func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclude string) (out []digitaltraces.Match, checked int, rep gatherReport, err error) {
 	pull := func(reqs []pullReq) ([]pullResp, error) {
 		resps := make([]pullResp, len(reqs))
 		errs := make([]error, len(reqs))
@@ -142,6 +184,7 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
+				pullStart := time.Now()
 				s := searches[reqs[j].stream]
 				es := make([]entry, 0, reqs[j].want)
 				live := true
@@ -157,7 +200,7 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 					}
 					es = append(es, entry{m: m})
 				}
-				resps[j] = pullResp{entries: es, bound: s.Bound(), live: live}
+				resps[j] = pullResp{entries: es, bound: s.Bound(), live: live, took: time.Since(pullStart)}
 			}(j)
 		}
 		wg.Wait()
@@ -176,9 +219,9 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 		c.mu.RUnlock()
 		return resps, nil
 	}
-	out, excluded, err := boundedGather(len(searches), k, exclude, pull)
+	out, excluded, rep, err := boundedGather(len(searches), k, exclude, pull)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, rep, err
 	}
 	for _, s := range searches {
 		checked += s.Checked()
@@ -187,5 +230,5 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 	// single DB never does); subtract what the merge skipped so
 	// Checked/PE/Pruned stay comparable with single-DB numbers.
 	checked -= excluded
-	return out, checked, nil
+	return out, checked, rep, nil
 }

@@ -119,9 +119,20 @@ func runBoundedGather(t *testing.T, g gatherCase) ([]digitaltraces.Match, []int)
 		}
 		return resps, nil
 	}
-	got, _, err := boundedGather(len(g.lists), g.k, g.exclude, pull)
+	got, _, rep, err := boundedGather(len(g.lists), g.k, g.exclude, pull)
 	if err != nil {
 		t.Fatalf("boundedGather: %v", err)
+	}
+	// The report's per-stream pulled counts must agree with the simulated
+	// stream positions — the consistency the /traces endpoint exposes.
+	for i := range g.lists {
+		if rep.streams[i].pulled != pos[i] {
+			t.Fatalf("stream %d report pulled %d, stream served %d", i, rep.streams[i].pulled, pos[i])
+		}
+		if rep.streams[i].cut == rep.streams[i].exhausted {
+			t.Fatalf("stream %d: cut=%v exhausted=%v — exactly one must hold after a bounded gather",
+				i, rep.streams[i].cut, rep.streams[i].exhausted)
+		}
 	}
 	return got, pos
 }
@@ -182,7 +193,7 @@ func TestBoundedGatherPrunes(t *testing.T) {
 // TestBoundedGatherPullError verifies pull failures surface to the caller.
 func TestBoundedGatherPullError(t *testing.T) {
 	pull := func([]pullReq) ([]pullResp, error) { return nil, fmt.Errorf("shard down") }
-	if _, _, err := boundedGather(2, 3, "", pull); err == nil || err.Error() != "shard down" {
+	if _, _, _, err := boundedGather(2, 3, "", pull); err == nil || err.Error() != "shard down" {
 		t.Fatalf("err = %v, want shard down", err)
 	}
 }
