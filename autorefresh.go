@@ -119,15 +119,23 @@ func (db *DB) autoRefreshTick() {
 }
 
 // Close stops the background auto-refresh goroutine, blocking until it has
-// exited. Closing a DB without auto-refresh is a no-op; Close is idempotent
-// and the error is always nil (the signature is io.Closer-shaped for
-// composition). Queries and ingest remain usable after Close — only the
-// background policy stops.
+// exited, and unmaps any index file mappings (LoadMappedIndex). Close is
+// idempotent and the error is always nil (the signature is io.Closer-shaped
+// for composition). Queries and ingest remain usable after Close on a
+// heap-served DB — only the background policy stops — but a mapped DB's
+// snapshots must not be queried after Close unmaps their backing.
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
 		if db.autoStop != nil {
 			close(db.autoStop)
 			<-db.autoDone
+		}
+		db.mu.Lock()
+		maps := db.mappings
+		db.mappings = nil
+		db.mu.Unlock()
+		for _, m := range maps {
+			m.Close()
 		}
 	})
 	return nil

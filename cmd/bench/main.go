@@ -45,7 +45,12 @@
 //	bench -label restart -scenario restart -restart-sizes 1000,4000,16000
 //
 // writes BENCH_restart.json. The headline is the per-size load speedup —
-// what a restarted server saves before its first query.
+// what a restarted server saves before its first query. A third "mmap" row
+// per size measures LoadMappedIndex over a SaveMappedIndex file: the mapped
+// boot needs no re-ingested visit log at all and publishes after validating
+// the header and replaying digests, faulting sequence pages in lazily, so
+// its time-to-first-query should sit well under the load row and grow
+// sub-linearly with the population.
 //
 // The -scenario cache mode measures the generation-keyed hot-query cache
 // under a Zipfian query mix (a few celebrity entities dominate, the
@@ -71,6 +76,17 @@
 // percentage — the number that justifies running production with -trace N.
 // Pass -assert-trace-overhead 5 to exit nonzero when overhead exceeds 5%
 // (the CI guardrail).
+//
+// The -scenario ingest mode measures the out-of-core bulk path: a shuffled
+// (arrival-order) record file several times larger than the external sort's
+// buffer budget is ingested once in-memory (LoadRecordFile + BuildIndex)
+// and once via BulkLoadRecordFile, the two verified to answer sampled top-k
+// queries bit-identically, and the bulk row's measured page I/O checked
+// against the paper's 2N·(1+⌈log_B⌈N/B⌉⌉) bound (exit nonzero beyond 2×):
+//
+//	bench -label ingest -scenario ingest -entities 2000 -ingest-buffers 8
+//
+// writes BENCH_ingest.json.
 package main
 
 import (
@@ -92,6 +108,9 @@ import (
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/internal/extsort"
+	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/trace"
 	"digitaltraces/shard"
 )
 
@@ -149,14 +168,37 @@ type RefreshRun struct {
 // RestartRun is one (mode, population) cell of the -scenario restart
 // matrix: the wall-clock cost of reaching a query-ready published index
 // snapshot over a freshly ingested population. Mode "cold" is BuildIndex;
-// mode "load" is LoadIndex over a SaveIndex snapshot (SnapshotBytes big).
-// SpeedupVsCold is cold/load at the same population, on the load rows only.
+// mode "load" is LoadIndex over a SaveIndex snapshot (SnapshotBytes big);
+// mode "mmap" is LoadMappedIndex over a SaveMappedIndex file — no
+// re-ingested log at all, sequence pages fault in lazily. SpeedupVsCold is
+// cold/this at the same population (load and mmap rows); SpeedupVsLoad is
+// load/mmap (mmap rows only) — the decode-vs-map headline.
 type RestartRun struct {
-	Mode          string  `json:"mode"` // "cold" or "load"
+	Mode          string  `json:"mode"` // "cold", "load" or "mmap"
 	Entities      int     `json:"entities"`
 	Seconds       float64 `json:"seconds"` // time to a query-ready snapshot
 	SnapshotBytes int64   `json:"snapshot_bytes,omitempty"`
 	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+	SpeedupVsLoad float64 `json:"speedup_vs_load,omitempty"`
+}
+
+// IngestRun is one mode of the -scenario ingest comparison: building a
+// query-ready DB from the same shuffled record file. Mode "memory" is
+// LoadRecordFile + BuildIndex (the whole log resident); mode "bulk" is
+// BulkLoadRecordFile (resident set bounded by BudgetBytes ≈ BufferPages ×
+// page size). On bulk rows PageIO is the external sort's measured page
+// transfers and TheoreticalPageIO the paper's 2N·(1+⌈log_B⌈N/B⌉⌉) bound.
+type IngestRun struct {
+	Mode              string  `json:"mode"` // "memory" or "bulk"
+	Records           int     `json:"records"`
+	FileBytes         int64   `json:"file_bytes"`
+	BufferPages       int     `json:"buffer_pages,omitempty"`
+	BudgetBytes       int64   `json:"budget_bytes,omitempty"`
+	Seconds           float64 `json:"seconds"` // time to a query-ready index
+	SortSeconds       float64 `json:"sort_seconds,omitempty"`
+	BuildSeconds      float64 `json:"build_seconds,omitempty"`
+	PageIO            int     `json:"page_io,omitempty"`
+	TheoreticalPageIO int     `json:"theoretical_page_io,omitempty"`
 }
 
 // CacheRun is one (engine, cached) cell of the -scenario cache matrix:
@@ -218,6 +260,7 @@ type Report struct {
 	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
 	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
 	RestartRuns []RestartRun `json:"restart_runs,omitempty"`
+	IngestRuns  []IngestRun  `json:"ingest_runs,omitempty"`
 	CacheRuns   []CacheRun   `json:"cache_runs,omitempty"`
 	TraceRuns   []TraceRun   `json:"trace_runs,omitempty"`
 }
@@ -237,12 +280,15 @@ func main() {
 		k        = flag.Int("k", 10, "top-k result size")
 		queries  = flag.Int("queries", 200, "queries per latency/throughput sample")
 		shardSet = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes to benchmark alongside the single DB")
-		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size), "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap), "refresh" (Refresh latency at fixed dirty count across population sizes, full-copy baseline vs copy-on-write derive) or "restart" (time to a query-ready index on a fresh process, cold BuildIndex vs warm LoadIndex)`)
+		scenario = flag.String("scenario", "serve", `"serve" (build/latency/throughput per engine size), "rebuild" (query latency during a concurrent BuildIndex, locked baseline vs snapshot swap), "refresh" (Refresh latency at fixed dirty count across population sizes, full-copy baseline vs copy-on-write derive), "restart" (time to a query-ready index on a fresh process, cold BuildIndex vs warm LoadIndex vs mapped LoadMappedIndex) or "ingest" (time to a query-ready index from a record file larger than the sort buffer budget, in-memory vs out-of-core bulk load)`)
 		rebuilds = flag.Int("rebuilds", 3, "rebuild scenario: concurrent BuildIndex runs to sample queries against")
 		refSizes = flag.String("refresh-sizes", "1000,4000,16000", "refresh scenario: comma-separated population sizes")
 		dirtyN   = flag.Int("dirty", 64, "refresh scenario: dirty entities per swap")
 		refCount = flag.Int("refreshes", 30, "refresh scenario: measured swaps per (mode, size) cell")
 		rstSizes = flag.String("restart-sizes", "1000,4000,16000", "restart scenario: comma-separated population sizes")
+		ingVis   = flag.Int("ingest-visits", 40, "ingest scenario: visits per entity (records = entities × this)")
+		ingBufs  = flag.Int("ingest-buffers", 8, "ingest scenario: external-sort buffer pages (resident budget = pages × page size)")
+		ingPage  = flag.Int("ingest-page", 4096, "ingest scenario: external-sort page size in bytes")
 		cacheCap = flag.Int("cache-entries", 4096, "cache scenario: query cache capacity")
 		cacheQ   = flag.Int("cache-queries", 1000, "cache scenario: Zipfian queries per cell")
 		cacheSh  = flag.Int("cache-shards", 8, "cache scenario: cluster size to measure alongside the single DB")
@@ -259,9 +305,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh", "restart", "cache", "trace":
+	case "serve", "rebuild", "refresh", "restart", "cache", "trace", "ingest":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache or trace)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache, trace or ingest)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -301,6 +347,15 @@ func main() {
 			log.Fatal(err)
 		}
 		report.RestartRuns, err = restartScenario(cfg, opts, popSizes, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		return
+	}
+
+	if *scenario == "ingest" {
+		report.IngestRuns, err = ingestScenario(*entities, *ingVis, *side, *levels, *days, *ingBufs, *ingPage, *k, *seed, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -493,7 +548,9 @@ func restartScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, 
 			queries[q] = fmt.Sprintf("entity-%d", (q*97)%pop)
 		}
 
-		// The snapshot a restart would load: built and saved once per size.
+		// The snapshots a restart would load: built and saved once per size,
+		// in both formats (v2 buffer for LoadIndex, mapped file for
+		// LoadMappedIndex).
 		src, err := fresh()
 		if err != nil {
 			return nil, fmt.Errorf("restart scenario: %w", err)
@@ -501,6 +558,19 @@ func restartScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, 
 		var snap bytes.Buffer
 		if _, err := src.SaveIndex(&snap); err != nil {
 			return nil, fmt.Errorf("restart scenario: saving %d-entity index: %w", pop, err)
+		}
+		mapFile, err := os.CreateTemp("", "bench-restart-*.map")
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
+		}
+		mapPath := mapFile.Name()
+		defer os.Remove(mapPath)
+		mapBytes, err := src.SaveMappedIndex(mapFile)
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: saving %d-entity mapped index: %w", pop, err)
+		}
+		if err := mapFile.Close(); err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
 		}
 		src = nil
 
@@ -554,6 +624,150 @@ func restartScenario(cfg digitaltraces.CityConfig, opts []digitaltraces.Option, 
 			if !reflect.DeepEqual(got, coldAnswers[q]) {
 				return nil, fmt.Errorf("restart scenario: warm answers diverge for %s: %v vs %v", name, got, coldAnswers[q])
 			}
+		}
+		warm = nil
+
+		// Mapped boot: no re-ingested log to stand up at all — an empty grid
+		// DB publishes straight off the file mapping, so the measured time is
+		// the whole restart, not just the index phase.
+		mapped, err := digitaltraces.NewGridDB(ccfg.Side, ccfg.Levels, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("restart scenario: %w", err)
+		}
+		runtime.GC()
+		t0 = time.Now()
+		if err := mapped.LoadMappedIndex(mapPath); err != nil {
+			return nil, fmt.Errorf("restart scenario: LoadMappedIndex (%d entities): %w", pop, err)
+		}
+		mmapSecs := time.Since(t0).Seconds()
+		mrun := RestartRun{Mode: "mmap", Entities: pop, Seconds: mmapSecs, SnapshotBytes: mapBytes}
+		if mmapSecs > 0 {
+			mrun.SpeedupVsCold = coldSecs / mmapSecs
+			mrun.SpeedupVsLoad = loadSecs / mmapSecs
+		}
+		log.Printf("restart scenario |E|=%d: LoadMappedIndex %.4fs (%.1f KiB mapped, %.1fx vs cold, %.1fx vs load)",
+			pop, mmapSecs, float64(mapBytes)/1024, mrun.SpeedupVsCold, mrun.SpeedupVsLoad)
+		runs = append(runs, mrun)
+
+		for q, name := range queries {
+			got, _, err := mapped.TopK(name, k)
+			if err != nil {
+				return nil, fmt.Errorf("restart scenario: mapped TopK(%s): %w", name, err)
+			}
+			if !reflect.DeepEqual(got, coldAnswers[q]) {
+				return nil, fmt.Errorf("restart scenario: mapped answers diverge for %s: %v vs %v", name, got, coldAnswers[q])
+			}
+		}
+		if err := mapped.Close(); err != nil {
+			return nil, fmt.Errorf("restart scenario: closing mapped DB: %w", err)
+		}
+	}
+	return runs, nil
+}
+
+// ingestScenario generates one shuffled (arrival-order) record file whose
+// size exceeds the external sort's buffer budget severalfold, then builds a
+// query-ready DB from it twice: in-memory (LoadRecordFile + BuildIndex) and
+// out-of-core (BulkLoadRecordFile under the budget). The two must answer
+// sampled top-k queries bit-identically, and the bulk sort's measured page
+// I/O must stay within 2× the paper's 2N·(1+⌈log_B⌈N/B⌉⌉) bound — either
+// violation is an error, not a data point.
+func ingestScenario(entities, visitsPer, side, levels, days, buffers, page, k int, seed int64, opts []digitaltraces.Option) ([]IngestRun, error) {
+	if entities < 1 || visitsPer < 1 || buffers < 1 || page < extsort.RecordSize {
+		return nil, fmt.Errorf("ingest scenario: need -entities, -ingest-visits, -ingest-buffers ≥ 1 and -ingest-page ≥ %d", extsort.RecordSize)
+	}
+	horizon := int32(days * 24)
+	venues := side * side
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, 0, entities*visitsPer)
+	for e := 0; e < entities; e++ {
+		for v := 0; v < visitsPer; v++ {
+			start := rng.Int31n(horizon - 1)
+			end := start + 1 + rng.Int31n(min(4, horizon-start-1))
+			recs = append(recs, trace.Record{
+				Entity: trace.EntityID(e),
+				Base:   spindex.BaseID(rng.Intn(venues)),
+				Start:  trace.Time(start),
+				End:    trace.Time(end),
+			})
+		}
+	}
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	f, err := os.CreateTemp("", "bench-ingest-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("ingest scenario: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := extsort.WriteRecords(path, recs); err != nil {
+		return nil, fmt.Errorf("ingest scenario: %w", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest scenario: %w", err)
+	}
+	fileBytes := info.Size()
+	budget := int64(buffers) * int64(page)
+	log.Printf("ingest scenario: %d records (%.1f KiB) over %d entities; sort budget %d×%d = %.1f KiB (file/budget %.1fx)",
+		len(recs), float64(fileBytes)/1024, entities, buffers, page, float64(budget)/1024, float64(fileBytes)/float64(budget))
+	if fileBytes < 4*budget {
+		log.Printf("ingest scenario: warning: file is under 4× the buffer budget; raise -entities or lower -ingest-buffers for a meaningful out-of-core run")
+	}
+
+	queries := make([]string, 20)
+	for q := range queries {
+		queries[q] = fmt.Sprintf("entity-%d", (q*37)%entities)
+	}
+
+	runtime.GC()
+	t0 := time.Now()
+	memDB, err := digitaltraces.LoadRecordFile(path, side, levels, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("ingest scenario: LoadRecordFile: %w", err)
+	}
+	if err := memDB.BuildIndex(); err != nil {
+		return nil, fmt.Errorf("ingest scenario: in-memory build: %w", err)
+	}
+	memSecs := time.Since(t0).Seconds()
+	runs := []IngestRun{{Mode: "memory", Records: len(recs), FileBytes: fileBytes, Seconds: memSecs}}
+	log.Printf("ingest scenario memory: query-ready in %.3fs", memSecs)
+	reference := make([][]digitaltraces.Match, len(queries))
+	for q, name := range queries {
+		if reference[q], _, err = memDB.TopK(name, k); err != nil {
+			return nil, fmt.Errorf("ingest scenario: memory TopK(%s): %w", name, err)
+		}
+	}
+	memDB = nil
+
+	runtime.GC()
+	t0 = time.Now()
+	bulkDB, stats, err := digitaltraces.BulkLoadRecordFile(path, side, levels,
+		digitaltraces.BulkConfig{PageSize: page, BufferPages: buffers}, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("ingest scenario: BulkLoadRecordFile: %w", err)
+	}
+	bulkSecs := time.Since(t0).Seconds()
+	brun := IngestRun{
+		Mode: "bulk", Records: stats.Records, FileBytes: fileBytes,
+		BufferPages: buffers, BudgetBytes: budget, Seconds: bulkSecs,
+		SortSeconds: stats.SortTime.Seconds(), BuildSeconds: stats.BuildTime.Seconds(),
+		PageIO: stats.Sort.PageIO(), TheoreticalPageIO: stats.TheoreticalPageIO,
+	}
+	runs = append(runs, brun)
+	log.Printf("ingest scenario bulk: query-ready in %.3fs (sort %.3fs, build %.3fs); %d page I/Os vs formula %d (%d runs, %d merge passes)",
+		bulkSecs, brun.SortSeconds, brun.BuildSeconds, brun.PageIO, brun.TheoreticalPageIO, stats.Sort.Runs, stats.Sort.MergePasses)
+	if brun.TheoreticalPageIO > 0 && brun.PageIO > 2*brun.TheoreticalPageIO {
+		return nil, fmt.Errorf("ingest scenario: bulk sort did %d page I/Os, over 2× the %d-page formula bound", brun.PageIO, brun.TheoreticalPageIO)
+	}
+
+	for q, name := range queries {
+		got, _, err := bulkDB.TopK(name, k)
+		if err != nil {
+			return nil, fmt.Errorf("ingest scenario: bulk TopK(%s): %w", name, err)
+		}
+		if !reflect.DeepEqual(got, reference[q]) {
+			return nil, fmt.Errorf("ingest scenario: bulk answers diverge for %s: %v vs %v", name, got, reference[q])
 		}
 	}
 	return runs, nil

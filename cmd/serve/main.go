@@ -25,6 +25,16 @@
 // paying the full rebuild. Point both at the same file:
 //
 //	serve -addr :8080 -in traces.bin -side 24 -index-save idx.snap -index-load idx.snap
+//
+// Out-of-core scale: -bulk ingests a record file larger than memory by
+// external-sorting it under a bounded buffer budget (-sort-page, -sort-buffers)
+// instead of materializing the raw log in the heap, and -index-mmap serves the
+// index straight off a read-only file mapping — the server is query-ready in
+// the time it takes to replay signatures, resident memory grows only with the
+// hot entities, and no record re-ingest is needed at all:
+//
+//	serve -addr :8080 -in huge.bin -side 24 -bulk -index-mmap idx.map   # first boot
+//	serve -addr :8080 -side 24 -index-mmap idx.map                      # restarts
 package main
 
 import (
@@ -67,6 +77,10 @@ func main() {
 		refStale  = flag.Duration("refresh-staleness", 0, "auto-refresh: fold dirt once the serving snapshot is older than this (0 = no staleness trigger)")
 		idxSave   = flag.String("index-save", "", "persist the index snapshot to this file on SIGTERM/SIGINT and on POST /index/save")
 		idxLoad   = flag.String("index-load", "", "warm restart: publish the index snapshot at this path instead of rebuilding (cold-builds when the file does not exist yet)")
+		idxMmap   = flag.String("index-mmap", "", "serve the index off a read-only mapping of this file (no re-ingest; boots without -in/-synthetic when the file exists) and save it there mapped on shutdown and POST /index/save; wins over -index-load/-index-save")
+		bulk      = flag.Bool("bulk", false, "out-of-core ingest: external-sort -in by entity under the -sort-* buffer budget instead of loading the raw log into the heap")
+		sortPage  = flag.Int("sort-page", 0, "-bulk external sort page size in bytes (0 = 4096)")
+		sortBufs  = flag.Int("sort-buffers", 0, "-bulk external sort buffer pages (0 = 64)")
 	)
 	flag.Parse()
 
@@ -99,11 +113,29 @@ func main() {
 		opts = append(opts, digitaltraces.WithAutoRefresh(*refDirty, *refStale))
 		log.Printf("auto-refresh: maxDirty=%d maxStaleness=%v", *refDirty, *refStale)
 	}
+	mappedBoot := *idxMmap != "" && fileExists(*idxMmap)
 	var (
-		db  *digitaltraces.DB
-		err error
+		db      *digitaltraces.DB
+		err     error
+		indexed bool // the load itself built and published the index
 	)
 	switch {
+	case *in != "" && *bulk:
+		log.Printf("bulk-loading %s out of core (side=%d levels=%d)", *in, *side, *levels)
+		var bstats *digitaltraces.BulkStats
+		db, bstats, err = digitaltraces.BulkLoadRecordFile(*in, *side, *levels, digitaltraces.BulkConfig{
+			PageSize:    *sortPage,
+			BufferPages: *sortBufs,
+			// Partitioning replays the visit log through the router, so a
+			// sharded bulk load must retain it; a single DB serves without.
+			RetainVisits: *shards > 1,
+		}, opts...)
+		if err == nil {
+			log.Printf("bulk load: %d records, %d entities; sort %v (%d page I/Os, theoretical bound %d), build %v",
+				bstats.Records, bstats.Entities, bstats.SortTime.Round(time.Millisecond),
+				bstats.Sort.PageIO(), bstats.TheoreticalPageIO, bstats.BuildTime.Round(time.Millisecond))
+			indexed = *shards <= 1
+		}
 	case *in != "":
 		log.Printf("loading %s (side=%d levels=%d)", *in, *side, *levels)
 		db, err = digitaltraces.LoadRecordFile(*in, *side, *levels, opts...)
@@ -121,8 +153,13 @@ func main() {
 		default:
 			log.Fatalf("unknown model %q (want im or wifi)", *model)
 		}
+	case mappedBoot:
+		// No data source at all: boot an empty grid DB and serve straight
+		// off the mapped index file — the out-of-core restart path.
+		log.Printf("booting with no data source; serving off mapped index %s", *idxMmap)
+		db, err = digitaltraces.NewGridDB(*side, *levels, opts...)
 	default:
-		log.Fatal("nothing to serve: pass -in <file> or -synthetic")
+		log.Fatal("nothing to serve: pass -in <file>, -synthetic, or -index-mmap <existing file>")
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -154,7 +191,13 @@ func main() {
 	}
 
 	start := time.Now()
-	if !warmStart(engine, *idxLoad) {
+	switch {
+	case mappedWarmStart(engine, *idxMmap, mappedBoot):
+		// Serving off the mapping: no rebuild, no re-ingest.
+	case indexed:
+		// The bulk load built and published the index already.
+	case warmStart(engine, *idxLoad):
+	default:
 		if err := engine.BuildIndex(); err != nil {
 			log.Fatal(err)
 		}
@@ -163,6 +206,9 @@ func main() {
 	log.Printf("indexed %d entities in %v: %d nodes, %d leaves, ~%.1f MiB",
 		st.Entities, time.Since(start).Round(time.Millisecond), st.Nodes, st.Leaves,
 		float64(st.MemoryBytes)/(1<<20))
+	if st.Mapped {
+		log.Printf("serving mapped: sequence pages fault in lazily from %s", *idxMmap)
+	}
 	if c, ok := engine.(*shard.Cluster); ok {
 		for _, ss := range c.ShardStats() {
 			log.Printf("  shard %d: %d entities, %d nodes", ss.Shard, ss.Entities, ss.Index.Nodes)
@@ -172,6 +218,9 @@ func main() {
 	srvOpts := []server.Option{server.WithMaxK(*maxK), server.WithMaxBatch(*maxBatch)}
 	if *idxSave != "" {
 		srvOpts = append(srvOpts, server.WithIndexPath(*idxSave))
+	}
+	if *idxMmap != "" {
+		srvOpts = append(srvOpts, server.WithMappedIndexPath(*idxMmap))
 	}
 	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /traces /healthz)", *addr)
 	srv := &http.Server{
@@ -198,7 +247,15 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		cancel()
-		if *idxSave != "" {
+		switch {
+		case *idxMmap != "":
+			t0 := time.Now()
+			n, err := server.SaveMappedIndexFile(engine, *idxMmap)
+			if err != nil {
+				log.Fatalf("saving mapped index to %s: %v", *idxMmap, err)
+			}
+			log.Printf("saved mapped index: %d bytes to %s in %v", n, *idxMmap, time.Since(t0).Round(time.Millisecond))
+		case *idxSave != "":
 			t0 := time.Now()
 			n, err := server.SaveIndexFile(engine, *idxSave)
 			if err != nil {
@@ -217,6 +274,39 @@ func main() {
 // file is a normal cold start, any other failure is fatal — a snapshot that
 // does not match the data must stop the boot, not degrade into a silent
 // rebuild the operator did not budget for.
+// mappedWarmStart publishes a mapped index over the engine: restart cost is
+// the signature replay, with sequence pages faulting in lazily as queries
+// touch them. A missing file is a normal first boot — unless the mapped file
+// was the only data source, in which case there is nothing to serve. Any
+// load failure is fatal, like warmStart.
+func mappedWarmStart(engine digitaltraces.Engine, path string, mappedOnly bool) bool {
+	if path == "" {
+		return false
+	}
+	if !fileExists(path) {
+		if mappedOnly {
+			log.Fatalf("no mapped index at %s and no -in/-synthetic data source", path)
+		}
+		log.Printf("cold start: no mapped index at %s yet", path)
+		return false
+	}
+	mp, ok := engine.(digitaltraces.MappedPersister)
+	if !ok {
+		log.Fatalf("engine %T cannot serve a mapped index", engine)
+	}
+	t0 := time.Now()
+	if err := mp.LoadMappedIndex(path); err != nil {
+		log.Fatalf("mapped restart from %s failed: %v", path, err)
+	}
+	log.Printf("mapped restart: serving off %s after %v", path, time.Since(t0).Round(time.Millisecond))
+	return true
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
 func warmStart(engine digitaltraces.Engine, path string) bool {
 	if path == "" {
 		return false

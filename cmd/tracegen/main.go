@@ -8,6 +8,13 @@
 // Usage:
 //
 //	tracegen -out traces.bin -model im -entities 2000 -side 24 -days 14
+//
+// For inputs larger than memory, -stream writes each entity's records as
+// they are generated (entity order, bounded resident memory) and -records N
+// keeps generating entities until at least N records are written — the feed
+// for serve -bulk / bench -scenario ingest:
+//
+//	tracegen -out huge.bin -stream -records 100000000 -side 24
 package main
 
 import (
@@ -15,7 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"slices"
 
 	"digitaltraces/internal/extsort"
 	"digitaltraces/internal/mobility"
@@ -34,7 +41,9 @@ func main() {
 		levels   = flag.Int("levels", 4, "sp-index height")
 		days     = flag.Int("days", 14, "horizon in days (hourly units)")
 		seed     = flag.Int64("seed", 1, "generator seed")
-		shuffle  = flag.Bool("shuffle", true, "emit records in arrival (time) order instead of entity order")
+		records  = flag.Int("records", 0, "keep generating entities until at least this many records are written (0 = exactly -entities entities)")
+		stream   = flag.Bool("stream", false, "stream records to -out as they are generated: bounded memory for arbitrarily large outputs, entity order (-shuffle is unavailable)")
+		shuffle  = flag.Bool("shuffle", true, "emit records in arrival (time) order instead of entity order (in-memory mode only)")
 		alpha    = flag.Float64("alpha", 0.6, "IM jump-displacement exponent")
 		beta     = flag.Float64("beta", 0.8, "IM stay-duration exponent")
 		gamma    = flag.Float64("gamma", 0.2, "IM exploration-decay exponent")
@@ -71,28 +80,65 @@ func main() {
 		log.Fatalf("unknown model %q (want im or wifi)", *model)
 	}
 
-	var all []trace.Record
-	for e := trace.EntityID(0); int(e) < *entities; e++ {
-		all = append(all, gen(e)...)
+	// more reports whether entity e should still be generated: until the
+	// -records floor is reached, or for exactly -entities entities.
+	more := func(e, written int) bool {
+		if *records > 0 {
+			return written < *records
+		}
+		return e < *entities
 	}
-	if *shuffle {
-		// Arrival order: by start time, then entity — the shape raw feeds
-		// have, so buildindex must external-sort first.
-		sortByArrival(all)
-	}
-	if err := extsort.WriteRecords(*out, all); err != nil {
-		log.Fatal(err)
+	written, ents := 0, 0
+	if *stream {
+		// Bounded memory: each entity's records go straight to the file.
+		// A global arrival-order shuffle would need the whole log resident,
+		// so streamed output is in entity order — the out-of-core consumers
+		// (serve -bulk, buildindex) external-sort by entity anyway.
+		if *shuffle {
+			log.Printf("note: -stream writes in entity order; -shuffle has no effect")
+		}
+		w, err := extsort.NewRecordWriter(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for e := trace.EntityID(0); more(int(e), written); e++ {
+			for _, r := range gen(e) {
+				if err := w.Write(r); err != nil {
+					log.Fatal(err)
+				}
+				written++
+			}
+			ents++
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var all []trace.Record
+		for e := trace.EntityID(0); more(int(e), len(all)); e++ {
+			all = append(all, gen(e)...)
+			ents++
+		}
+		if *shuffle {
+			// Arrival order: by start time, then entity — the shape raw feeds
+			// have, so buildindex must external-sort first.
+			sortByArrival(all)
+		}
+		if err := extsort.WriteRecords(*out, all); err != nil {
+			log.Fatal(err)
+		}
+		written = len(all)
 	}
 	info, _ := os.Stat(*out)
 	fmt.Printf("wrote %d records (%d entities, %d venues, %d hours) to %s (%d bytes)\n",
-		len(all), *entities, ix.NumBase(), horizon, *out, info.Size())
+		written, ents, ix.NumBase(), horizon, *out, info.Size())
 }
 
 func sortByArrival(recs []trace.Record) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Start != recs[j].Start {
-			return recs[i].Start < recs[j].Start
+	slices.SortFunc(recs, func(a, b trace.Record) int {
+		if a.Start != b.Start {
+			return int(a.Start - b.Start)
 		}
-		return recs[i].Entity < recs[j].Entity
+		return int(a.Entity - b.Entity)
 	})
 }

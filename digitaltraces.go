@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"digitaltraces/internal/core"
+	"digitaltraces/internal/mmap"
 	"digitaltraces/internal/obs"
 	"digitaltraces/internal/qcache"
 	"digitaltraces/internal/spindex"
@@ -350,6 +351,20 @@ type DB struct {
 	// cloneRefresh selects the pre-COW full-copy refresh path (see
 	// WithCloneRefresh); the default is the O(dirty) copy-on-write derive.
 	cloneRefresh bool
+
+	// unionFold marks a DB whose serving snapshots may cover visits the
+	// ingest log does not retain (mapped loads, bulk loads without visit
+	// retention): builders must union new visits into the previously folded
+	// sequences instead of rebuilding them from the log, which is exact
+	// because cell sets union idempotently. Guarded by buildMu (set by
+	// LoadMappedIndex / BulkLoadRecordFile, read by builders); never cleared.
+	unionFold bool
+
+	// mappings are the file mappings live snapshots may serve sequences
+	// from. A replaced mapping is never unmapped mid-flight — queries pinned
+	// to an old snapshot may still fault its pages — so they accumulate here
+	// (guarded by mu) until Close unmaps them all.
+	mappings []*mmap.Mapping
 
 	// cache is the generation-keyed hot-query cache (nil without
 	// WithQueryCache). Keyed by the serving snapshot's generation, so a
@@ -677,6 +692,13 @@ func (db *DB) KNNJoin(entities []string, k int, workers int) (map[string][]Match
 // covered count and re-signed on load instead of served stale.
 func (db *DB) SaveIndex(w io.Writer) (int64, error) {
 	db.buildMu.Lock()
+	if db.unionFold {
+		// The visit log no longer covers the index (mapped or bulk load), so
+		// the per-entity covered counts this format stores would be wrong —
+		// and LoadIndex could not reconstruct the store from the log anyway.
+		db.buildMu.Unlock()
+		return 0, fmt.Errorf("digitaltraces: SaveIndex on a mapped- or bulk-loaded DB whose visit log does not cover the index; use SaveMappedIndex, which persists the sequences themselves")
+	}
 	s := db.snap.Load()
 	var err error
 	switch {
@@ -790,6 +812,15 @@ type IndexStats struct {
 	// shard.Config.TraceSize) and at least one query was observed. An
 	// aggregated engine reports its own coordinator-level tracer's view.
 	Latencies map[string]LatencySummary
+	// Mapped reports that the serving snapshot reads sequences lazily from a
+	// mapped (or disk-backed) snapshot file instead of the heap; PoolHits
+	// and PoolMisses are its buffer pool's counters — the hit rate is the
+	// fraction of sequence reads served without touching the file. All zero
+	// on heap-served snapshots. An aggregated engine ORs Mapped and sums the
+	// counters.
+	Mapped     bool
+	PoolHits   int
+	PoolMisses int
 }
 
 // IndexStats returns current index statistics — one atomic snapshot load
@@ -816,5 +847,11 @@ func (db *DB) IndexStats() IndexStats {
 	out.Generation = s.generation
 	out.LastSwap = s.swappedAt
 	out.LastRefreshDuration = s.refreshTime
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		out.Mapped = true
+		out.PoolHits = ps.Hits
+		out.PoolMisses = ps.Misses
+	}
 	return out
 }

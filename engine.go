@@ -64,6 +64,23 @@ type Engine interface {
 
 var _ Engine = (*DB)(nil)
 
+// MappedPersister is the optional out-of-core persistence surface: engines
+// that can write the memory-mappable MSIGMAP1 snapshot format and republish
+// one straight off a read-only file mapping, skipping both the index rebuild
+// and the visit re-ingest of the SaveIndex/LoadIndex warm-restart path.
+// *DB and shard.Cluster implement it.
+type MappedPersister interface {
+	// SaveMappedIndex persists the serving index together with its sequence
+	// data in the page-aligned MSIGMAP1 layout, folding pending dirt first.
+	SaveMappedIndex(w io.Writer) (int64, error)
+	// LoadMappedIndex maps the file at path read-only and serves queries
+	// straight off it: restart cost is the signature replay plus lazy page
+	// faults, and resident memory is bounded by the hot entities.
+	LoadMappedIndex(path string) error
+}
+
+var _ MappedPersister = (*DB)(nil)
+
 // Epoch returns the start of the observation horizon and whether it has been
 // fixed yet — either by WithEpoch or by the first ingested visit. Engines
 // that partition entities across several DBs need every member to share one
@@ -78,23 +95,58 @@ func (db *DB) Epoch() (time.Time, bool) {
 // TimeUnit returns the base temporal unit visits are discretized into.
 func (db *DB) TimeUnit() time.Duration { return db.unit }
 
-// VisitsOf returns the recorded visits of an entity, with venue names and
-// absolute times reconstructed from the DB's epoch and time unit. The
-// reconstruction round-trips exactly: feeding the result to TopKByExample
-// (or re-ingesting it under the same epoch and unit) reproduces the entity's
-// stored ST-cells bit-for-bit. Package shard uses this to resolve a query
-// entity on its home shard before fanning the query out by example.
+// VisitsOf returns the visits of an entity, with venue names and absolute
+// times reconstructed from the DB's epoch and time unit. The reconstruction
+// round-trips exactly: feeding the result to TopKByExample (or re-ingesting
+// it under the same epoch and unit) reproduces the entity's stored ST-cells
+// bit-for-bit. Package shard uses this to resolve a query entity on its home
+// shard before fanning the query out by example.
+//
+// On a DB serving without a retained visit log (a mapped or bulk load), the
+// recorded history is gone, so VisitsOf instead coalesces the entity's
+// stored base ST-cells back into presence periods and appends any visits
+// ingested since the load. That loses the original record boundaries but
+// nothing the index ever saw — the result discretizes to the identical cell
+// set, so every degree computed from it is unchanged.
 func (db *DB) VisitsOf(entity string) ([]Visit, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	e, ok := db.names[entity]
 	if !ok {
+		db.mu.RUnlock()
 		return nil, fmt.Errorf("digitaltraces: unknown entity %q", entity)
 	}
-	recs := db.visits[e]
-	out := make([]Visit, len(recs))
-	for i, r := range recs {
-		out[i] = db.visitFromRecordLocked(r)
+	if !db.unionFold {
+		defer db.mu.RUnlock()
+		recs := db.visits[e]
+		out := make([]Visit, len(recs))
+		for i, r := range recs {
+			out[i] = db.visitFromRecordLocked(r)
+		}
+		return out, nil
+	}
+	db.mu.RUnlock()
+	// Union-fold mode: the full history is the serving snapshot's stored
+	// cells plus everything ingested since the load — reading the snapshot
+	// first keeps the union complete even against a concurrent fold (folds
+	// never remove retained post-load visits).
+	var seq *trace.Sequences
+	if s := db.snap.Load(); s != nil {
+		seq = s.store.Get(e)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Visit
+	if seq != nil {
+		for _, p := range seq.PresenceInstances(db.ix.Height()) {
+			out = append(out, Visit{
+				Venue: db.baseNames[db.ix.BaseOf(p.Unit)],
+				Start: db.epoch.Add(time.Duration(p.Start) * db.unit),
+				End:   db.epoch.Add(time.Duration(p.End) * db.unit),
+			})
+		}
+	}
+	for _, r := range db.visits[e] {
+		out = append(out, db.visitFromRecordLocked(r))
 	}
 	return out, nil
 }

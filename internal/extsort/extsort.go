@@ -7,8 +7,10 @@
 // The sorter works in pages of a fixed byte size with a budget of B buffer
 // pages, exactly matching the paper's cost model: run generation reads B
 // pages, sorts them, writes a run; merge passes combine up to B runs at a
-// time. Total page I/O is 2N·(1 + ⌈log_B⌈N/B⌉⌉) for N data pages, which
-// Stats reports measured and TheoreticalPageIO predicts.
+// time, each run cursor holding one page in memory. Total page I/O is
+// 2N·(1 + ⌈log_B⌈N/B⌉⌉) for N data pages, which Stats reports measured and
+// TheoreticalPageIO predicts. Resident memory is O(B·PageSize) throughout —
+// no pass ever materializes a whole run, so the input may exceed RAM.
 package extsort
 
 import (
@@ -19,7 +21,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"digitaltraces/internal/spindex"
 	"digitaltraces/internal/trace"
@@ -88,26 +90,60 @@ func DecodeRecord(buf []byte) trace.Record {
 	}
 }
 
+// RecordWriter streams records to a file in the fixed binary format without
+// buffering more than a few KiB, so producers (tracegen -stream, the ingest
+// bench) can emit files far larger than memory.
+type RecordWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf [RecordSize]byte
+	n   int
+}
+
+// NewRecordWriter creates (truncating) path for streamed record output.
+func NewRecordWriter(path string) (*RecordWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Write appends one record.
+func (rw *RecordWriter) Write(r trace.Record) error {
+	EncodeRecord(rw.buf[:], r)
+	if _, err := rw.w.Write(rw.buf[:]); err != nil {
+		return err
+	}
+	rw.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (rw *RecordWriter) Count() int { return rw.n }
+
+// Close flushes and closes the file.
+func (rw *RecordWriter) Close() error {
+	if err := rw.w.Flush(); err != nil {
+		rw.f.Close()
+		return err
+	}
+	return rw.f.Close()
+}
+
 // WriteRecords writes records to path in the fixed binary format.
 func WriteRecords(path string, recs []trace.Record) error {
-	f, err := os.Create(path)
+	rw, err := NewRecordWriter(path)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	buf := make([]byte, RecordSize)
 	for _, r := range recs {
-		EncodeRecord(buf, r)
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
+		if err := rw.Write(r); err != nil {
+			rw.f.Close()
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return rw.Close()
 }
 
 // ReadRecords reads an entire record file.
@@ -138,6 +174,17 @@ func less(a, b trace.Record) bool {
 	return a.Base < b.Base
 }
 
+func compare(a, b trace.Record) int {
+	switch {
+	case less(a, b):
+		return -1
+	case less(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // SortFile externally sorts the record file at inPath into outPath and
 // returns measured I/O statistics.
 func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
@@ -166,7 +213,8 @@ func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
 		return st, WriteRecords(outPath, nil)
 	}
 
-	// Pass 0: run generation. Read B pages at a time, sort, write a run.
+	// Pass 0: run generation. Read B pages at a time into a buffer
+	// preallocated from the Config budget, sort, write a run.
 	in, err := os.Open(inPath)
 	if err != nil {
 		return st, err
@@ -180,10 +228,7 @@ func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
 	for pending > 0 {
 		chunk = chunk[:0]
 		for len(chunk) < runCap && pending > 0 {
-			n := perPage
-			if n > pending {
-				n = pending
-			}
+			n := min(perPage, pending)
 			if _, err := io.ReadFull(in, buf[:n*RecordSize]); err != nil {
 				return st, err
 			}
@@ -193,7 +238,7 @@ func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
 			}
 			pending -= n
 		}
-		sort.Slice(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		slices.SortFunc(chunk, compare)
 		runPath := filepath.Join(dir, fmt.Sprintf("extsort-run-%d.tmp", len(runs)))
 		if err := WriteRecords(runPath, chunk); err != nil {
 			return st, err
@@ -214,10 +259,7 @@ func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
 		st.MergePasses++
 		var next []string
 		for lo := 0; lo < len(runs); lo += cfg.BufferPages {
-			hi := lo + cfg.BufferPages
-			if hi > len(runs) {
-				hi = len(runs)
-			}
+			hi := min(lo+cfg.BufferPages, len(runs))
 			outPath := filepath.Join(dir, fmt.Sprintf("extsort-merge-%d-%d.tmp", gen, lo))
 			if err := mergeRuns(runs[lo:hi], outPath, perPage, &st); err != nil {
 				return st, err
@@ -231,79 +273,249 @@ func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
 		gen++
 	}
 	if err := os.Rename(runs[0], outPath); err != nil {
-		// Cross-device rename fallback: copy.
-		data, rerr := os.ReadFile(runs[0])
+		// Cross-device rename fallback: streamed copy.
+		src, rerr := os.Open(runs[0])
 		if rerr != nil {
 			return st, err
 		}
-		if werr := os.WriteFile(outPath, data, 0o644); werr != nil {
+		dst, werr := os.Create(outPath)
+		if werr != nil {
+			src.Close()
 			return st, werr
+		}
+		if _, cerr := io.Copy(dst, src); cerr != nil {
+			src.Close()
+			dst.Close()
+			return st, cerr
+		}
+		src.Close()
+		if cerr := dst.Close(); cerr != nil {
+			return st, cerr
 		}
 	}
 	runs = nil
 	return st, nil
 }
 
-// mergeRuns k-way merges sorted run files into out, counting page I/O.
-func mergeRuns(paths []string, out string, perPage int, st *Stats) error {
-	type cursor struct {
-		recs []trace.Record
-		pos  int
+// runCursor streams one sorted run a page at a time — the per-input buffer
+// of the paper's B-way merge. Only the current page is resident.
+type runCursor struct {
+	f         *os.File
+	buf       []byte // one page
+	recs      []trace.Record
+	pos       int // next record within recs
+	remaining int // records not yet read from the file
+	perPage   int
+}
+
+func openRunCursor(path string, perPage int, st *Stats) (*runCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	cursors := make([]*cursor, len(paths))
-	for i, p := range paths {
-		recs, err := ReadRecords(p)
-		if err != nil {
-			return err
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size()%RecordSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("extsort: %s: truncated run file", path)
+	}
+	c := &runCursor{
+		f:         f,
+		buf:       make([]byte, perPage*RecordSize),
+		recs:      make([]trace.Record, 0, perPage),
+		remaining: int(info.Size() / RecordSize),
+		perPage:   perPage,
+	}
+	if err := c.fill(st); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// fill reads the next page of records, counting one page read.
+func (c *runCursor) fill(st *Stats) error {
+	c.recs = c.recs[:0]
+	c.pos = 0
+	if c.remaining == 0 {
+		return nil
+	}
+	n := min(c.perPage, c.remaining)
+	if _, err := io.ReadFull(c.f, c.buf[:n*RecordSize]); err != nil {
+		return err
+	}
+	st.PagesRead++
+	for i := 0; i < n; i++ {
+		c.recs = append(c.recs, DecodeRecord(c.buf[i*RecordSize:]))
+	}
+	c.remaining -= n
+	return nil
+}
+
+// head returns the cursor's current record; ok is false when exhausted.
+func (c *runCursor) head() (trace.Record, bool) {
+	if c.pos >= len(c.recs) {
+		return trace.Record{}, false
+	}
+	return c.recs[c.pos], true
+}
+
+// advance consumes the current record, refilling from disk when the page
+// empties.
+func (c *runCursor) advance(st *Stats) error {
+	c.pos++
+	if c.pos >= len(c.recs) && c.remaining > 0 {
+		return c.fill(st)
+	}
+	return nil
+}
+
+func (c *runCursor) close() error { return c.f.Close() }
+
+// pageWriter buffers one output page, counting a page write per flush — the
+// single output buffer of the merge.
+type pageWriter struct {
+	f       *os.File
+	buf     []byte
+	n       int // records in buf
+	perPage int
+	st      *Stats
+}
+
+func newPageWriter(path string, perPage int, st *Stats) (*pageWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &pageWriter{f: f, buf: make([]byte, perPage*RecordSize), perPage: perPage, st: st}, nil
+}
+
+func (w *pageWriter) write(r trace.Record) error {
+	EncodeRecord(w.buf[w.n*RecordSize:], r)
+	w.n++
+	if w.n == w.perPage {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *pageWriter) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf[:w.n*RecordSize]); err != nil {
+		return err
+	}
+	w.st.PagesWritten++
+	w.n = 0
+	return nil
+}
+
+func (w *pageWriter) close() error {
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// mergeRuns k-way merges sorted run files into out, holding one page per
+// input run plus one output page — O((k+1)·PageSize) memory regardless of
+// run length. Page I/O accounting is identical to the cost model: each run
+// of L records costs ⌈L/perPage⌉ reads, the merged output ⌈ΣL/perPage⌉
+// writes.
+func mergeRuns(paths []string, out string, perPage int, st *Stats) (err error) {
+	cursors := make([]*runCursor, 0, len(paths))
+	defer func() {
+		for _, c := range cursors {
+			c.close()
 		}
-		st.PagesRead += (len(recs) + perPage - 1) / perPage
-		cursors[i] = &cursor{recs: recs}
+	}()
+	for _, p := range paths {
+		c, cerr := openRunCursor(p, perPage, st)
+		if cerr != nil {
+			return cerr
+		}
+		cursors = append(cursors, c)
 	}
-	total := 0
-	for _, c := range cursors {
-		total += len(c.recs)
+	w, err := newPageWriter(out, perPage, st)
+	if err != nil {
+		return err
 	}
-	merged := make([]trace.Record, 0, total)
 	for {
 		best := -1
+		var bestRec trace.Record
 		for i, c := range cursors {
-			if c.pos >= len(c.recs) {
+			r, ok := c.head()
+			if !ok {
 				continue
 			}
-			if best == -1 || less(c.recs[c.pos], cursors[best].recs[cursors[best].pos]) {
+			if best == -1 || less(r, bestRec) {
 				best = i
+				bestRec = r
 			}
 		}
 		if best == -1 {
 			break
 		}
-		merged = append(merged, cursors[best].recs[cursors[best].pos])
-		cursors[best].pos++
+		if err := w.write(bestRec); err != nil {
+			w.f.Close()
+			return err
+		}
+		if err := cursors[best].advance(st); err != nil {
+			w.f.Close()
+			return err
+		}
 	}
-	if err := WriteRecords(out, merged); err != nil {
-		return err
-	}
-	st.PagesWritten += (len(merged) + perPage - 1) / perPage
-	return nil
+	return w.close()
 }
 
 // GroupByEntity streams a sorted record file, invoking fn once per entity
 // with its contiguous records — the bounded-memory ingestion loop of
 // Section 4.3 ("fetch one entity into memory at a time and update the
-// MinSigTree incrementally").
+// MinSigTree incrementally"). Memory is O(largest single entity's records),
+// not O(file): the file is read through a fixed buffer and only the current
+// entity's group accumulates.
 func GroupByEntity(path string, fn func(e trace.EntityID, recs []trace.Record) error) error {
-	recs, err := ReadRecords(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	start := 0
-	for i := 1; i <= len(recs); i++ {
-		if i == len(recs) || recs[i].Entity != recs[start].Entity {
-			if err := fn(recs[start].Entity, recs[start:i]); err != nil {
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size()%RecordSize != 0 {
+		return fmt.Errorf("extsort: %s: %d bytes is not a whole number of records", path, info.Size())
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var (
+		buf     [RecordSize]byte
+		group   []trace.Record
+		current trace.EntityID
+	)
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		r := DecodeRecord(buf[:])
+		if len(group) > 0 && r.Entity != current {
+			if err := fn(current, group); err != nil {
 				return err
 			}
-			start = i
+			group = group[:0]
 		}
+		current = r.Entity
+		group = append(group, r)
+	}
+	if len(group) > 0 {
+		return fn(current, group)
 	}
 	return nil
 }

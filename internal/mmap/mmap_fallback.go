@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmap
+
+import (
+	"errors"
+	"os"
+)
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("mmap: unsupported on this platform")
+}
+
+func unmapFile(data []byte) error { return nil }

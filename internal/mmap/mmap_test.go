@@ -1,0 +1,75 @@
+package mmap
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 512)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", m.Size(), len(payload))
+	}
+	buf := make([]byte, 16)
+	if _, err := m.ReadAt(buf, 32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload[32:48]) {
+		t.Fatalf("ReadAt mismatch: %q", buf)
+	}
+	// Short read at the tail must return io.EOF with the partial data.
+	n, err := m.ReadAt(buf, m.Size()-5)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("tail read: n=%d err=%v, want 5, io.EOF", n, err)
+	}
+	if _, err := m.ReadAt(buf, m.Size()); err != io.EOF {
+		t.Fatalf("past-end read: err=%v, want io.EOF", err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Fatal("empty file should use the fallback, not a zero-length map")
+	}
+	if _, err := m.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("read from empty file: err=%v, want io.EOF", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second close must not panic or unmap twice.
+	m.Close()
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

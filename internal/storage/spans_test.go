@@ -1,0 +1,119 @@
+package storage_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"digitaltraces/internal/storage"
+	"digitaltraces/internal/trace"
+)
+
+// encodeRegion serializes every entity of mem into one contiguous buffer and
+// returns the spans OpenSpans needs — the same shape the mapped snapshot
+// writer produces.
+func encodeRegion(mem *trace.Store) ([]byte, map[trace.EntityID]storage.Span, []trace.EntityID) {
+	var buf bytes.Buffer
+	spans := make(map[trace.EntityID]storage.Span)
+	order := mem.Entities()
+	for _, e := range order {
+		blob := storage.EncodeSequences(mem.Get(e))
+		spans[e] = storage.Span{Off: int64(buf.Len()), Len: int32(len(blob))}
+		buf.Write(blob)
+	}
+	return buf.Bytes(), spans, order
+}
+
+func TestOpenSpansRoundTrip(t *testing.T) {
+	ix, mem := randomStore(t, 7, 12)
+	data, spans, order := encodeRegion(mem)
+	ds, err := storage.OpenSpans(ix, bytes.NewReader(data), int64(len(data)), spans, order, storage.Options{BlockSize: 128, CapacityBlocks: 2})
+	if err != nil {
+		t.Fatalf("OpenSpans: %v", err)
+	}
+	defer ds.Close()
+	for _, e := range order {
+		want, got := mem.Get(e), ds.Get(e)
+		if got == nil {
+			t.Fatalf("entity %d: Get returned nil", e)
+		}
+		if want.TotalCells() != got.TotalCells() {
+			t.Fatalf("entity %d: %d cells, want %d", e, got.TotalCells(), want.TotalCells())
+		}
+		for l := 1; l <= want.Levels(); l++ {
+			wc, gc := want.At(l), got.At(l)
+			if len(wc) != len(gc) {
+				t.Fatalf("entity %d level %d: %d cells, want %d", e, l, len(gc), len(wc))
+			}
+			for i := range wc {
+				if wc[i] != gc[i] {
+					t.Fatalf("entity %d level %d cell %d differs", e, l, i)
+				}
+			}
+		}
+	}
+	if !ds.Has(order[0]) {
+		t.Fatal("Has(known) = false")
+	}
+	if ds.Has(trace.EntityID(1 << 20)) {
+		t.Fatal("Has(unknown) = true")
+	}
+	st := ds.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("pool saw no traffic")
+	}
+}
+
+// TestOpenSpansTruncation is the satellite-2 contract: a span extending past
+// the backing must fail at open time with the entity named, never panic in
+// a later Get.
+func TestOpenSpansTruncation(t *testing.T) {
+	ix, mem := randomStore(t, 8, 6)
+	data, spans, order := encodeRegion(mem)
+	// Chop the tail off the region: the last entity's span now dangles.
+	short := data[:len(data)-8]
+	_, err := storage.OpenSpans(ix, bytes.NewReader(short), int64(len(short)), spans, order, storage.Options{BlockSize: 64})
+	if err == nil {
+		t.Fatal("OpenSpans accepted a truncated backing")
+	}
+	last := order[len(order)-1]
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error does not mention truncation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "entity") {
+		t.Fatalf("error does not name the entity: %v", err)
+	}
+	_ = last
+
+	// Negative offsets and lengths are rejected too.
+	bad := map[trace.EntityID]storage.Span{order[0]: {Off: -1, Len: 4}}
+	if _, err := storage.OpenSpans(ix, bytes.NewReader(data), int64(len(data)), bad, order[:1], storage.Options{BlockSize: 64}); err == nil {
+		t.Fatal("OpenSpans accepted a negative offset")
+	}
+	bad = map[trace.EntityID]storage.Span{order[0]: {Off: 0, Len: -4}}
+	if _, err := storage.OpenSpans(ix, bytes.NewReader(data), int64(len(data)), bad, order[:1], storage.Options{BlockSize: 64}); err == nil {
+		t.Fatal("OpenSpans accepted a negative length")
+	}
+	// Order/spans mismatch.
+	if _, err := storage.OpenSpans(ix, bytes.NewReader(data), int64(len(data)), spans, order[:len(order)-1], storage.Options{BlockSize: 64}); err == nil {
+		t.Fatal("OpenSpans accepted mismatched order/spans")
+	}
+}
+
+func TestOpenSpansDoesNotOwnReader(t *testing.T) {
+	ix, mem := randomStore(t, 9, 3)
+	data, spans, order := encodeRegion(mem)
+	r := io.NewSectionReader(bytes.NewReader(data), 0, int64(len(data)))
+	ds, err := storage.OpenSpans(ix, r, int64(len(data)), spans, order, storage.Options{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close on a non-owning store: %v", err)
+	}
+	// Reader still usable after Close.
+	if got := ds.Get(order[0]); got == nil {
+		t.Fatal("Get failed after Close of a non-owning store")
+	}
+}

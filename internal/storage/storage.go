@@ -7,6 +7,13 @@
 // optionally each miss pays a configurable latency to stand in for the
 // thesis' EBS HDD.
 //
+// A Store can own a file it built (Build) or serve spans of any io.ReaderAt
+// (OpenSpans) — the latter is how mmap-served snapshots read entity
+// sequences straight out of a mapped index region without decoding the
+// whole file into the heap. Every span is bounds-checked against the
+// backing size at open time, so a truncated file fails with the offending
+// entity named instead of panicking mid-query.
+//
 // Store implements core.SequenceSource, so a MinSigTree can run queries
 // directly against it.
 package storage
@@ -14,6 +21,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -36,19 +44,21 @@ func (s PoolStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-type span struct {
-	off    int64
-	length int32
+// Span locates one entity's serialized sequences within the backing reader.
+type Span struct {
+	Off int64
+	Len int32
 }
 
-// Store is a block file of serialized entity sequences behind an LRU buffer
+// Store is a block view of serialized entity sequences behind an LRU buffer
 // pool. Safe for concurrent readers.
 type Store struct {
 	ix        *spindex.Index
-	f         *os.File
+	r         io.ReaderAt
+	closer    io.Closer // nil when the store does not own the backing
 	blockSize int
 	fileSize  int64
-	dir       map[trace.EntityID]span
+	dir       map[trace.EntityID]Span
 	order     []trace.EntityID
 
 	mu          sync.Mutex
@@ -91,9 +101,10 @@ func Build(path string, ix *spindex.Index, src interface {
 	}
 	st := &Store{
 		ix:        ix,
-		f:         f,
+		r:         f,
+		closer:    f,
 		blockSize: opts.BlockSize,
-		dir:       make(map[trace.EntityID]span, len(order)),
+		dir:       make(map[trace.EntityID]Span, len(order)),
 		order:     append([]trace.EntityID(nil), order...),
 		pool:      make(map[int64][]byte),
 		lruSeq:    make(map[int64]uint64),
@@ -111,7 +122,7 @@ func Build(path string, ix *spindex.Index, src interface {
 			f.Close()
 			return nil, err
 		}
-		st.dir[e] = span{off: off, length: int32(len(buf))}
+		st.dir[e] = Span{Off: off, Len: int32(len(buf))}
 		off += int64(len(buf))
 	}
 	st.fileSize = off
@@ -123,11 +134,76 @@ func Build(path string, ix *spindex.Index, src interface {
 	return st, nil
 }
 
-// Close releases the underlying file.
-func (st *Store) Close() error { return st.f.Close() }
+// OpenSpans opens a store over an existing backing reader — typically an
+// io.SectionReader windowing the sequence region of a memory-mapped index
+// file. size is the backing's length; spans locate each entity's record
+// within it (offsets relative to the backing). The store does not own the
+// reader: Close is a no-op, the caller unmaps/closes.
+//
+// Every span is validated against size here, at open time: a block file
+// that was truncated after the directory was written fails loudly with the
+// offending entity instead of panicking (or SIGBUS-ing a mapped page)
+// during some later query.
+func OpenSpans(ix *spindex.Index, r io.ReaderAt, size int64, spans map[trace.EntityID]Span, order []trace.EntityID, opts Options) (*Store, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 4096
+	}
+	if opts.BlockSize < 64 {
+		return nil, fmt.Errorf("storage: block size %d < 64", opts.BlockSize)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("storage: negative backing size %d", size)
+	}
+	if len(order) != len(spans) {
+		return nil, fmt.Errorf("storage: %d entities in order, %d spans", len(order), len(spans))
+	}
+	dir := make(map[trace.EntityID]Span, len(spans))
+	for _, e := range order {
+		sp, ok := spans[e]
+		if !ok {
+			return nil, fmt.Errorf("storage: entity %d in order but has no span", e)
+		}
+		if sp.Off < 0 || sp.Len < 0 || sp.Off+int64(sp.Len) > size {
+			return nil, fmt.Errorf("storage: entity %d span [%d,%d) exceeds backing size %d (truncated file?)",
+				e, sp.Off, sp.Off+int64(sp.Len), size)
+		}
+		dir[e] = sp
+	}
+	st := &Store{
+		ix:        ix,
+		r:         r,
+		blockSize: opts.BlockSize,
+		fileSize:  size,
+		dir:       dir,
+		order:     append([]trace.EntityID(nil), order...),
+		pool:      make(map[int64][]byte),
+		lruSeq:    make(map[int64]uint64),
+	}
+	st.capacity = opts.CapacityBlocks
+	if st.capacity <= 0 {
+		st.capacity = st.TotalBlocks()
+	}
+	st.missPenalty = opts.MissPenalty
+	return st, nil
+}
+
+// Close releases the underlying file when the store owns it (Build);
+// stores opened over a caller-provided reader (OpenSpans) leave it open.
+func (st *Store) Close() error {
+	if st.closer == nil {
+		return nil
+	}
+	return st.closer.Close()
+}
 
 // Len returns the number of stored entities.
 func (st *Store) Len() int { return len(st.dir) }
+
+// Has reports whether the store holds a record for e.
+func (st *Store) Has(e trace.EntityID) bool {
+	_, ok := st.dir[e]
+	return ok
+}
 
 // Entities returns the stored entity IDs in file order.
 func (st *Store) Entities() []trace.EntityID { return st.order }
@@ -182,10 +258,10 @@ func (st *Store) Get(e trace.EntityID) *trace.Sequences {
 	if !ok {
 		return nil
 	}
-	buf := make([]byte, sp.length)
+	buf := make([]byte, sp.Len)
 	bs := int64(st.blockSize)
-	for rel := int64(0); rel < int64(sp.length); {
-		abs := sp.off + rel
+	for rel := int64(0); rel < int64(sp.Len); {
+		abs := sp.Off + rel
 		blk := abs / bs
 		block := st.block(blk)
 		inOff := abs % bs
@@ -214,7 +290,7 @@ func (st *Store) block(id int64) []byte {
 
 	// Read outside the lock; duplicate reads on a race are harmless.
 	b := make([]byte, st.blockSize)
-	n, err := st.f.ReadAt(b, id*int64(st.blockSize))
+	n, err := st.r.ReadAt(b, id*int64(st.blockSize))
 	if err != nil && n == 0 {
 		panic(fmt.Sprintf("storage: read block %d: %v", id, err))
 	}
@@ -249,15 +325,34 @@ func (st *Store) evictLocked() {
 	}
 }
 
-// encodeSequences serializes one entity's sequences:
-// entity(4) m(4) [count(4) per level] [cells(8·count) per level].
-func encodeSequences(s *trace.Sequences) []byte {
+// EncodedSize returns the byte length EncodeSequences would produce for s,
+// letting format writers lay out offset tables without materializing every
+// blob first.
+func EncodedSize(s *trace.Sequences) int {
 	m := s.Levels()
 	size := 8 + 4*m
 	for l := 1; l <= m; l++ {
 		size += 8 * s.Size(l)
 	}
-	buf := make([]byte, size)
+	return size
+}
+
+// EncodeSequences serializes one entity's sequences in the store's record
+// format — the same blobs Build writes, exposed so the mapped snapshot
+// writer can emit a sequence region OpenSpans reads back.
+func EncodeSequences(s *trace.Sequences) []byte { return encodeSequences(s) }
+
+// DecodeSequences reverses EncodeSequences, rebuilding the coarse levels
+// from the base level and validating the recorded cell counts.
+func DecodeSequences(ix *spindex.Index, buf []byte) (*trace.Sequences, error) {
+	return decodeSequences(ix, buf)
+}
+
+// encodeSequences serializes one entity's sequences:
+// entity(4) m(4) [count(4) per level] [cells(8·count) per level].
+func encodeSequences(s *trace.Sequences) []byte {
+	m := s.Levels()
+	buf := make([]byte, EncodedSize(s))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(s.Entity))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m))
 	off := 8

@@ -1,4 +1,4 @@
-package storage
+package storage_test
 
 import (
 	"math/rand"
@@ -11,6 +11,7 @@ import (
 	"digitaltraces/internal/core"
 	"digitaltraces/internal/sighash"
 	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/storage"
 	"digitaltraces/internal/trace"
 )
 
@@ -31,10 +32,10 @@ func randomStore(t testing.TB, seed int64, entities int) (*spindex.Index, *trace
 	return ix, st
 }
 
-func buildDisk(t testing.TB, ix *spindex.Index, mem *trace.Store, opts Options) *Store {
+func buildDisk(t testing.TB, ix *spindex.Index, mem *trace.Store, opts storage.Options) *storage.Store {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "store.bin")
-	ds, err := Build(path, ix, mem, mem.Entities(), opts)
+	ds, err := storage.Build(path, ix, mem, mem.Entities(), opts)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -47,7 +48,7 @@ func buildDisk(t testing.TB, ix *spindex.Index, mem *trace.Store, opts Options) 
 func TestRoundTrip(t *testing.T) {
 	ix, mem := randomStore(t, 1, 40)
 	for _, capBlocks := range []int{1, 2, 7, 0} {
-		ds := buildDisk(t, ix, mem, Options{BlockSize: 256, CapacityBlocks: capBlocks})
+		ds := buildDisk(t, ix, mem, storage.Options{BlockSize: 256, CapacityBlocks: capBlocks})
 		for _, e := range mem.Entities() {
 			got := ds.Get(e)
 			want := mem.Get(e)
@@ -62,7 +63,7 @@ func TestRoundTrip(t *testing.T) {
 
 func TestGetUnknown(t *testing.T) {
 	ix, mem := randomStore(t, 2, 5)
-	ds := buildDisk(t, ix, mem, Options{})
+	ds := buildDisk(t, ix, mem, storage.Options{})
 	if ds.Get(999) != nil {
 		t.Error("unknown entity should return nil")
 	}
@@ -80,10 +81,10 @@ func TestGetUnknown(t *testing.T) {
 func TestBuildErrors(t *testing.T) {
 	ix, mem := randomStore(t, 3, 3)
 	dir := t.TempDir()
-	if _, err := Build(filepath.Join(dir, "x.bin"), ix, mem, []trace.EntityID{999}, Options{}); err == nil {
+	if _, err := storage.Build(filepath.Join(dir, "x.bin"), ix, mem, []trace.EntityID{999}, storage.Options{}); err == nil {
 		t.Error("unknown entity accepted")
 	}
-	if _, err := Build(filepath.Join(dir, "y.bin"), ix, mem, mem.Entities(), Options{BlockSize: 8}); err == nil {
+	if _, err := storage.Build(filepath.Join(dir, "y.bin"), ix, mem, mem.Entities(), storage.Options{BlockSize: 8}); err == nil {
 		t.Error("tiny block size accepted")
 	}
 }
@@ -92,7 +93,7 @@ func TestBuildErrors(t *testing.T) {
 // decrease as the memory fraction grows, reaching ~1 at fraction 1.0.
 func TestHitRateMonotoneInBudget(t *testing.T) {
 	ix, mem := randomStore(t, 4, 120)
-	ds := buildDisk(t, ix, mem, Options{BlockSize: 256})
+	ds := buildDisk(t, ix, mem, storage.Options{BlockSize: 256})
 	scan := func() {
 		for _, e := range ds.Entities() {
 			ds.Get(e)
@@ -122,11 +123,11 @@ func TestHitRateMonotoneInBudget(t *testing.T) {
 }
 
 func TestPoolStatsHitRate(t *testing.T) {
-	var s PoolStats
+	var s storage.PoolStats
 	if s.HitRate() != 0 {
 		t.Error("empty stats hit rate should be 0")
 	}
-	s = PoolStats{Hits: 3, Misses: 1}
+	s = storage.PoolStats{Hits: 3, Misses: 1}
 	if s.HitRate() != 0.75 {
 		t.Errorf("HitRate = %v", s.HitRate())
 	}
@@ -146,7 +147,7 @@ func TestQueriesThroughDiskStore(t *testing.T) {
 	}
 	// Leaf order approximated by entity order here; order only affects
 	// locality, not correctness.
-	ds := buildDisk(t, ix, mem, Options{BlockSize: 512, CapacityBlocks: 3})
+	ds := buildDisk(t, ix, mem, storage.Options{BlockSize: 512, CapacityBlocks: 3})
 	diskTree, err := core.Build(ix, fam, ds, ds.Entities())
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +179,7 @@ func TestQueriesThroughDiskStore(t *testing.T) {
 // correct (run with -race in CI).
 func TestConcurrentReaders(t *testing.T) {
 	ix, mem := randomStore(t, 6, 30)
-	ds := buildDisk(t, ix, mem, Options{BlockSize: 256, CapacityBlocks: 2})
+	ds := buildDisk(t, ix, mem, storage.Options{BlockSize: 256, CapacityBlocks: 2})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -200,8 +201,8 @@ func TestConcurrentReaders(t *testing.T) {
 func TestEncodeDecode(t *testing.T) {
 	ix, mem := randomStore(t, 7, 3)
 	s := mem.Get(0)
-	buf := encodeSequences(s)
-	got, err := decodeSequences(ix, buf)
+	buf := storage.EncodeSequences(s)
+	got, err := storage.DecodeSequences(ix, buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,12 +212,12 @@ func TestEncodeDecode(t *testing.T) {
 		}
 	}
 	// Corruption is detected.
-	if _, err := decodeSequences(ix, buf[:4]); err == nil {
+	if _, err := storage.DecodeSequences(ix, buf[:4]); err == nil {
 		t.Error("short buffer accepted")
 	}
 	bad := append([]byte(nil), buf...)
 	bad[4] = 9 // wrong level count
-	if _, err := decodeSequences(ix, bad); err == nil {
+	if _, err := storage.DecodeSequences(ix, bad); err == nil {
 		t.Error("wrong level count accepted")
 	}
 }

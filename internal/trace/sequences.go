@@ -88,6 +88,32 @@ func NewSequencesFromCells(ix *spindex.Index, entity EntityID, base []Cell) *Seq
 	return newSequencesFromBase(ix, entity, append([]Cell(nil), base...))
 }
 
+// NewSequencesMerged builds an entity's sequence from raw records unioned
+// with a previously folded sequence. Because cell sets are sorted-deduped
+// sets and visits are append-only, the union is exact whether recs is the
+// entity's full history, only the suffix since prev was folded, or any
+// overlapping mix — re-unioning already-folded cells is idempotent. This is
+// how mmap-loaded snapshots (which never re-ingest the visit log) fold new
+// visits on refresh. prev == nil degrades to NewSequences.
+func NewSequencesMerged(ix *spindex.Index, entity EntityID, recs []Record, prev *Sequences) *Sequences {
+	if prev == nil {
+		return NewSequences(ix, entity, recs)
+	}
+	span := len(prev.Base())
+	for _, r := range recs {
+		span += r.Span()
+	}
+	base := make([]Cell, 0, span)
+	for _, r := range recs {
+		u := ix.BaseUnit(r.Base)
+		for t := r.Start; t < r.End; t++ {
+			base = append(base, MakeCell(t, u))
+		}
+	}
+	base = append(base, prev.Base()...)
+	return newSequencesFromBase(ix, entity, base)
+}
+
 func newSequencesFromBase(ix *spindex.Index, entity EntityID, base []Cell) *Sequences {
 	m := ix.Height()
 	s := &Sequences{Entity: entity, sets: make([][]Cell, m)}
@@ -242,13 +268,32 @@ type Store struct {
 	ids     []EntityID              // entities first inserted here, in insertion order
 	base    map[EntityID]*Sequences // frozen shared layer (Derive); nil for a root store
 	baseIDs []EntityID              // the base layer's insertion order, frozen with it
-	n       int                     // live entities across both layers
+	backing Backing                 // optional lowest layer (mmap/disk); nil for pure in-heap stores
+	n       int                     // live entities across all layers
 	frozen  bool                    // set once Derive shares seqs as a child's base
+}
+
+// Backing is a read-only lowest layer of sequences living outside the heap —
+// a disk block file or a memory-mapped snapshot region. Reads that miss both
+// in-heap layers fall through to it; writes always land in the heap overlay
+// and shadow it. storage.Store satisfies this.
+type Backing interface {
+	Get(EntityID) *Sequences
+	Has(EntityID) bool
+	Entities() []EntityID
 }
 
 // NewStore returns an empty store over the given sp-index.
 func NewStore(ix *spindex.Index) *Store {
 	return &Store{ix: ix, seqs: make(map[EntityID]*Sequences)}
+}
+
+// NewBackedStore returns a store whose lowest layer is b: every entity of b
+// is readable immediately (faulted in lazily by whatever b is), and Put
+// shadows b's entries in the heap without touching them. The backing
+// survives Clone and Derive — it is the permanent floor of the layer stack.
+func NewBackedStore(ix *spindex.Index, b Backing) *Store {
+	return &Store{ix: ix, seqs: make(map[EntityID]*Sequences), backing: b, n: len(b.Entities())}
 }
 
 // Index returns the sp-index the store's sequences are built against.
@@ -263,8 +308,10 @@ func (st *Store) Put(s *Sequences) {
 	}
 	if _, ok := st.seqs[s.Entity]; !ok {
 		if _, shadowing := st.base[s.Entity]; !shadowing {
-			st.ids = append(st.ids, s.Entity)
-			st.n++
+			if st.backing == nil || !st.backing.Has(s.Entity) {
+				st.ids = append(st.ids, s.Entity)
+				st.n++
+			}
 		}
 	}
 	st.seqs[s.Entity] = s
@@ -275,7 +322,13 @@ func (st *Store) Get(e EntityID) *Sequences {
 	if s, ok := st.seqs[e]; ok {
 		return s
 	}
-	return st.base[e] // nil for a root store's nil base map
+	if s, ok := st.base[e]; ok { // nil map lookup is fine for a root store
+		return s
+	}
+	if st.backing != nil {
+		return st.backing.Get(e)
+	}
+	return nil
 }
 
 // Clone returns a flat copy — one fresh entity map resolving both layers,
@@ -283,10 +336,11 @@ func (st *Store) Get(e EntityID) *Sequences {
 // the original. Cost is O(|E|); Derive is the O(dirty) alternative.
 func (st *Store) Clone() *Store {
 	cp := &Store{
-		ix:   st.ix,
-		seqs: make(map[EntityID]*Sequences, st.n),
-		ids:  slices.Concat(st.baseIDs, st.ids),
-		n:    st.n,
+		ix:      st.ix,
+		seqs:    make(map[EntityID]*Sequences, st.n),
+		ids:     slices.Concat(st.baseIDs, st.ids),
+		backing: st.backing,
+		n:       st.n,
 	}
 	maps.Copy(cp.seqs, st.base)
 	maps.Copy(cp.seqs, st.seqs)
@@ -303,7 +357,7 @@ func (st *Store) Derive() *Store {
 	st.frozen = true
 	if st.base == nil {
 		// This store's map becomes the child's frozen base; nothing copies.
-		return &Store{ix: st.ix, seqs: map[EntityID]*Sequences{}, base: st.seqs, baseIDs: st.ids, n: st.n}
+		return &Store{ix: st.ix, seqs: map[EntityID]*Sequences{}, base: st.seqs, baseIDs: st.ids, backing: st.backing, n: st.n}
 	}
 	if OverlayNeedsCompaction(len(st.seqs), len(st.base)) {
 		// Fold both layers into a fresh root so lookups stay two probes and
@@ -316,6 +370,7 @@ func (st *Store) Derive() *Store {
 		ids:     slices.Clone(st.ids),
 		base:    st.base,
 		baseIDs: st.baseIDs,
+		backing: st.backing,
 		n:       st.n,
 	}
 }
@@ -323,14 +378,18 @@ func (st *Store) Derive() *Store {
 // Len returns the number of entities (|E|).
 func (st *Store) Len() int { return st.n }
 
-// Entities returns entity IDs in insertion order (base layer first, exactly
-// the order they were first inserted). For a root store the slice is shared
-// — do not modify; a derived store allocates the concatenation.
+// Entities returns entity IDs in insertion order: backing first (its file
+// order), then base layer, then this store's own inserts. For an unbacked
+// root store the slice is shared — do not modify; other shapes allocate the
+// concatenation.
 func (st *Store) Entities() []EntityID {
-	if st.base == nil {
+	if st.base == nil && st.backing == nil {
 		return st.ids
 	}
 	out := make([]EntityID, 0, st.n)
+	if st.backing != nil {
+		out = append(out, st.backing.Entities()...)
+	}
 	out = append(out, st.baseIDs...)
 	return append(out, st.ids...)
 }

@@ -1,0 +1,248 @@
+package digitaltraces
+
+// Out-of-core serving: SaveMappedIndex writes the index in the page-aligned
+// MSIGMAP1 layout and LoadMappedIndex serves queries straight off a read-only
+// mapping of that file. Where the warm-restart path (SaveIndex/LoadIndex)
+// still re-ingests the visit log and re-stages every entity's sequences into
+// the heap, a mapped load decodes only the header, the entity table and the
+// name region; sequence pages fault in lazily as queries touch them, so
+// time-to-first-query is O(entities · levels) signature replay and resident
+// memory is bounded by the hot entities, not the index size.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"digitaltraces/internal/core"
+	"digitaltraces/internal/mmap"
+	"digitaltraces/internal/storage"
+	"digitaltraces/internal/trace"
+)
+
+// SaveMappedIndex persists the built index to w in the memory-mappable
+// MSIGMAP1 format: the MSIGTREE2 scalars and per-entity signature digests
+// plus — unlike SaveIndex — every entity's serialized sequences, laid out in
+// page-aligned regions so LoadMappedIndex can serve queries straight off a
+// read-only mapping of the file with no visit re-ingest at all. Pending dirt
+// is folded (or the index built, if absent) before saving, exactly like
+// SaveIndex, and entities dirtied mid-save are stamped unknown rather than
+// served stale. Returns the bytes written.
+func (db *DB) SaveMappedIndex(w io.Writer) (int64, error) {
+	db.buildMu.Lock()
+	s := db.snap.Load()
+	var err error
+	switch {
+	case s == nil:
+		s, err = db.buildSnapshot()
+	case db.hasDirty():
+		var ns *snapshot
+		ns, err = db.refreshSnapshot(s)
+		if errors.Is(err, ErrBeyondHorizon) {
+			ns, err = db.buildSnapshot()
+		}
+		if err == nil {
+			s = ns
+		}
+	}
+	if err != nil {
+		db.buildMu.Unlock()
+		return 0, err
+	}
+	ents := s.tree.Entities()
+	folded := make([]uint32, len(s.byID))
+	db.mu.RLock()
+	epoch := db.epoch
+	for _, e := range ents {
+		if db.dirty[e] {
+			folded[e] = core.FoldedUnknown
+		} else {
+			// On a union-fold DB with no retained visits this records 0 — a
+			// mapped load treats an empty log as clean regardless, and a
+			// re-ingested log simply refolds (unions are idempotent).
+			folded[e] = uint32(len(db.visits[e]))
+		}
+	}
+	db.mu.RUnlock()
+	db.buildMu.Unlock()
+	meta := core.SnapshotMeta{
+		TimeUnit:   db.unit,
+		EpochNanos: epoch.UnixNano(),
+		MeasureU:   db.measureU,
+		MeasureV:   db.measureV,
+		Jaccard:    db.jaccard,
+	}
+	// The tree, store and captured tables are immutable from here; write
+	// outside every lock.
+	return s.tree.WriteMappedSnapshot(w, meta, 0, s.store, func(e trace.EntityID) (string, uint32) {
+		return s.byID[e], folded[e]
+	})
+}
+
+// LoadMappedIndex maps the MSIGMAP1 file at path read-only and publishes it
+// as the serving snapshot through the same atomic swap every builder uses.
+// Only the header, entity table and names decode eagerly; sequences are read
+// lazily through a buffer pool over the mapping (page-cache backed, so a
+// restart is query-ready after the signature replay and the resident set
+// grows with the queried entities). On platforms or files where mmap is
+// unavailable the mapping degrades to pread — same semantics, no page cache
+// residency guarantees.
+//
+// Mapped snapshots resolve entities by ID — the sequence blobs embed the
+// save-time IDs — so unlike LoadIndex there is no name-based remapping: an
+// empty registry adopts the file's names (the no-re-ingest boot), while a
+// populated one must agree on every (name, ID) pair, which holds whenever
+// the same visit log was re-ingested in its original order. Scalars (hash
+// family, time unit, epoch, measure) must match the DB's configuration; any
+// drift is a descriptive error, never a silently different answer.
+//
+// After a mapped load the DB is in union-fold mode: new visits fold in by
+// unioning into the previously folded sequences (exact — cell sets union
+// idempotently), so ingest, Refresh and queries all keep working even though
+// the visit log does not cover the index. SaveIndex is refused in this mode;
+// use SaveMappedIndex. Close unmaps the file — stop queries first.
+func (db *DB) LoadMappedIndex(path string) error {
+	m, err := mmap.Open(path)
+	if err != nil {
+		return fmt.Errorf("digitaltraces: mapping index %s: %w", path, err)
+	}
+	if err := db.loadMapped(m, m.Size()); err != nil {
+		m.Close()
+		return err
+	}
+	db.mu.Lock()
+	db.mappings = append(db.mappings, m)
+	db.mu.Unlock()
+	return nil
+}
+
+// LoadMappedIndexAt is LoadMappedIndex over an arbitrary ReaderAt — a
+// section of a larger mapping, as in shard cluster envelopes. The caller
+// owns r's lifetime and must keep it readable for as long as the DB serves
+// (and until Close, for queries pinned to old snapshots).
+func (db *DB) LoadMappedIndexAt(r io.ReaderAt, size int64) error {
+	return db.loadMapped(r, size)
+}
+
+func (db *DB) loadMapped(r io.ReaderAt, size int64) error {
+	start := time.Now()
+	db.buildMu.Lock()
+	defer db.buildMu.Unlock()
+	ms, err := core.OpenMappedSnapshot(r, size, db.ix)
+	if err != nil {
+		return fmt.Errorf("digitaltraces: loading mapped index: %w", err)
+	}
+	// Adopt the snapshot's epoch when none is fixed yet: a mapped boot has
+	// no visit to infer one from, and the stored sequences are discretized
+	// against exactly this epoch.
+	db.mu.Lock()
+	if !db.epochSet {
+		db.epoch = time.Unix(0, ms.Info.Meta.EpochNanos).UTC()
+		db.epochSet = true
+		db.epochExplicit = true
+	}
+	db.mu.Unlock()
+	if err := db.checkSnapshotInfo(ms.Info); err != nil {
+		return err
+	}
+
+	// Registry reconciliation (ID-stable; see LoadMappedIndex).
+	db.mu.Lock()
+	if len(db.byID) == 0 {
+		for i, me := range ms.Entities {
+			if int(me.ID) != i {
+				db.mu.Unlock()
+				return fmt.Errorf("digitaltraces: mapped snapshot entity IDs are not dense (ID %d at table position %d) — it cannot seed a fresh registry; re-ingest the visit log before loading", me.ID, i)
+			}
+			if _, dup := db.names[me.Name]; dup {
+				db.mu.Unlock()
+				return fmt.Errorf("digitaltraces: mapped snapshot repeats entity name %q", me.Name)
+			}
+			db.names[me.Name] = me.ID
+			db.byID = append(db.byID, me.Name)
+		}
+	} else {
+		for _, me := range ms.Entities {
+			e, ok := db.names[me.Name]
+			if !ok {
+				db.mu.Unlock()
+				return fmt.Errorf("digitaltraces: mapped snapshot entity %q is not in the registry — mapped snapshots resolve by ID, so re-ingest the visit log in its original order (or load into a fresh DB)", me.Name)
+			}
+			if e != me.ID {
+				db.mu.Unlock()
+				return fmt.Errorf("digitaltraces: mapped snapshot entity %q has ID %d in the file but %d here — mapped snapshots resolve by ID, so re-ingest the visit log in its original order", me.Name, me.ID, e)
+			}
+		}
+	}
+	byID := db.byID[:len(db.byID):len(db.byID)]
+	db.mu.Unlock()
+
+	spans := make(map[trace.EntityID]storage.Span, len(ms.Entities))
+	order := make([]trace.EntityID, len(ms.Entities))
+	for i, me := range ms.Entities {
+		spans[me.ID] = me.Seq
+		order[i] = me.ID
+	}
+	pool, err := storage.OpenSpans(db.ix, r, size, spans, order, storage.Options{BlockSize: ms.PageSize})
+	if err != nil {
+		return fmt.Errorf("digitaltraces: loading mapped index: %w", err)
+	}
+	store := trace.NewBackedStore(db.ix, pool)
+	tree, err := ms.BuildTree(db.ix, store)
+	if err != nil {
+		return fmt.Errorf("digitaltraces: loading mapped index: %w", err)
+	}
+	measure, err := db.newMeasure()
+	if err != nil {
+		return err
+	}
+	ns := &snapshot{
+		store:   store,
+		tree:    tree,
+		measure: measure,
+		horizon: ms.Info.Horizon,
+		byID:    byID,
+		pool:    pool,
+		// The load is this lineage's full construction; report its cost
+		// where a cold lineage reports BuildIndex's.
+		buildTime: time.Since(start),
+	}
+	// Publish, recompute the dirty set, and flip the DB into union-fold
+	// mode, all as one atomic step against writers. An entity is clean when
+	// it serves purely from the mapping (no retained visits) or when the
+	// retained log matches exactly what its signature covers; anything else
+	// — grown logs, save-time dirt, registry entities the file doesn't know
+	// — stays dirty and the next Refresh unions it in.
+	db.mu.Lock()
+	db.unionFold = true
+	ns.generation = 1
+	if prev := db.snap.Load(); prev != nil {
+		ns.generation = prev.generation + 1
+	}
+	ns.swappedAt = time.Now()
+	db.snap.Store(ns)
+	covered := make(map[trace.EntityID]uint32, len(ms.Entities))
+	for _, me := range ms.Entities {
+		covered[me.ID] = me.Folded
+	}
+	for id := range byID {
+		e := trace.EntityID(id)
+		folded, inFile := covered[e]
+		n := len(db.visits[e])
+		switch {
+		case !inFile:
+			if n > 0 {
+				db.dirty[e] = true
+			}
+		case n == 0:
+			delete(db.dirty, e)
+		case folded != core.FoldedUnknown && int(folded) == n:
+			delete(db.dirty, e)
+		default:
+			db.dirty[e] = true
+		}
+	}
+	db.mu.Unlock()
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,13 +48,14 @@ import (
 
 // Server is an http.Handler serving one Engine.
 type Server struct {
-	eng       digitaltraces.Engine
-	mux       *http.ServeMux
-	maxK      int
-	maxBatch  int
-	indexPath string     // /index/save target; empty disables the endpoint
-	saveMu    sync.Mutex // serializes /index/save writers to indexPath
-	started   time.Time
+	eng        digitaltraces.Engine
+	mux        *http.ServeMux
+	maxK       int
+	maxBatch   int
+	indexPath  string     // /index/save heap-snapshot target; empty disables
+	mappedPath string     // /index/save mapped-snapshot target; wins over indexPath
+	saveMu     sync.Mutex // serializes /index/save writers
+	started    time.Time
 
 	queries    atomic.Int64 // /topk requests answered
 	batches    atomic.Int64 // /topk/batch requests answered
@@ -85,6 +87,16 @@ func WithMaxBatch(n int) Option {
 // write server-local files (cmd/serve -index-save).
 func WithIndexPath(path string) Option {
 	return func(s *Server) { s.indexPath = path }
+}
+
+// WithMappedIndexPath names the file POST /index/save persists the serving
+// index to in the memory-mappable MSIGMAP1 layout (sequence data included),
+// loadable with no visit re-ingest via LoadMappedIndex (cmd/serve
+// -index-mmap). The engine must implement digitaltraces.MappedPersister (*DB
+// and *shard.Cluster both do). When both paths are configured the mapped one
+// wins — a DB serving without a retained visit log can only save mapped.
+func WithMappedIndexPath(path string) Option {
+	return func(s *Server) { s.mappedPath = path }
 }
 
 // New wraps an Engine — a *digitaltraces.DB or a *shard.Cluster — in an HTTP
@@ -328,10 +340,13 @@ func (s *Server) failVisits(w http.ResponseWriter, status, added int, err error)
 	json.NewEncoder(w).Encode(VisitsResponse{Added: added, Error: err.Error()})
 }
 
-// SaveIndexResponse is the /index/save reply.
+// SaveIndexResponse is the /index/save reply. Mapped reports which format
+// was written: the memory-mappable MSIGMAP1 layout (WithMappedIndexPath) or
+// the heap snapshot (WithIndexPath).
 type SaveIndexResponse struct {
 	Path      string  `json:"path"`
 	Bytes     int64   `json:"bytes"`
+	Mapped    bool    `json:"mapped,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -340,21 +355,32 @@ func (s *Server) handleSaveIndex(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.indexPath == "" {
-		s.fail(w, http.StatusConflict, "no snapshot path configured; start the server with an index path (cmd/serve -index-save)")
+	if s.indexPath == "" && s.mappedPath == "" {
+		s.fail(w, http.StatusConflict, "no snapshot path configured; start the server with an index path (cmd/serve -index-save or -index-mmap)")
 		return
 	}
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	start := time.Now()
-	n, err := SaveIndexFile(s.eng, s.indexPath)
+	var (
+		n    int64
+		err  error
+		path = s.indexPath
+	)
+	if s.mappedPath != "" {
+		path = s.mappedPath
+		n, err = SaveMappedIndexFile(s.eng, s.mappedPath)
+	} else {
+		n, err = SaveIndexFile(s.eng, s.indexPath)
+	}
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "saving index: %v", err)
 		return
 	}
 	s.reply(w, SaveIndexResponse{
-		Path:      s.indexPath,
+		Path:      path,
 		Bytes:     n,
+		Mapped:    s.mappedPath != "",
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	})
 }
@@ -366,7 +392,23 @@ func (s *Server) handleSaveIndex(w http.ResponseWriter, r *http.Request) {
 // complete rename wins), fsynced, and renamed into place, so a crash at any
 // point never leaves a truncated snapshot where a warm restart would look
 // for one. Shared by the /index/save handler and cmd/serve's shutdown hook.
-func SaveIndexFile(eng digitaltraces.Engine, path string) (_ int64, err error) {
+func SaveIndexFile(eng digitaltraces.Engine, path string) (int64, error) {
+	return saveAtomic(path, eng.SaveIndex)
+}
+
+// SaveMappedIndexFile is SaveIndexFile for the memory-mappable MSIGMAP1
+// format (digitaltraces.MappedPersister.SaveMappedIndex), with the same
+// atomic temp-file + rename durability. Shared by the /index/save handler
+// and cmd/serve's -index-mmap shutdown hook.
+func SaveMappedIndexFile(eng digitaltraces.Engine, path string) (int64, error) {
+	mp, ok := eng.(digitaltraces.MappedPersister)
+	if !ok {
+		return 0, fmt.Errorf("engine %T cannot write mapped index snapshots", eng)
+	}
+	return saveAtomic(path, mp.SaveMappedIndex)
+}
+
+func saveAtomic(path string, save func(w io.Writer) (int64, error)) (_ int64, err error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -381,7 +423,7 @@ func SaveIndexFile(eng digitaltraces.Engine, path string) (_ int64, err error) {
 			os.Remove(tmp)
 		}
 	}()
-	n, err := eng.SaveIndex(f)
+	n, err := save(f)
 	if err == nil {
 		err = f.Sync() // data durable before the rename can publish it
 	}
@@ -455,6 +497,14 @@ type StatsResponse struct {
 		CacheMisses    uint64 `json:"cache_misses"`
 		CacheEvictions uint64 `json:"cache_evictions"`
 		CacheEntries   int    `json:"cache_entries"`
+		// Mapped reports that the index serves off a read-only file mapping
+		// (LoadMappedIndex); the pool counters are the sequence buffer pool's
+		// block-cache traffic — PoolHitRate near 1 means the hot entities'
+		// pages are resident and queries rarely touch the file.
+		Mapped      bool    `json:"mapped,omitempty"`
+		PoolHits    int     `json:"pool_hits,omitempty"`
+		PoolMisses  int     `json:"pool_misses,omitempty"`
+		PoolHitRate float64 `json:"pool_hit_rate,omitempty"`
 		// Latencies holds per-query-kind latency summaries (p50/p90/p99/max)
 		// when the engine runs with a trace ring (WithTracing / cluster
 		// TraceSize / serve -trace N); absent otherwise.
@@ -494,6 +544,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.CacheMisses = ix.CacheMisses
 	resp.Index.CacheEvictions = ix.CacheEvictions
 	resp.Index.CacheEntries = ix.CacheEntries
+	resp.Index.Mapped = ix.Mapped
+	resp.Index.PoolHits = ix.PoolHits
+	resp.Index.PoolMisses = ix.PoolMisses
+	if t := ix.PoolHits + ix.PoolMisses; t > 0 {
+		resp.Index.PoolHitRate = float64(ix.PoolHits) / float64(t)
+	}
 	resp.Index.Latencies = toLatencies(ix.Latencies)
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()

@@ -552,6 +552,65 @@ func TestSaveIndexEndpoint(t *testing.T) {
 	}
 }
 
+// TestSaveMappedIndexEndpoint: with WithMappedIndexPath, POST /index/save
+// writes the memory-mappable format, a fresh empty DB boots off it with no
+// re-ingest, and /stats on the mapped server reports the buffer pool.
+func TestSaveMappedIndexEndpoint(t *testing.T) {
+	db, err := digitaltraces.SyntheticCity(digitaltraces.CityConfig{Side: 4, Entities: 30, Days: 3},
+		digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.map")
+	ts := httptest.NewServer(New(db, WithMappedIndexPath(path)))
+	t.Cleanup(ts.Close)
+
+	var resp SaveIndexResponse
+	if code, body := postJSON(t, ts.URL+"/index/save", struct{}{}, &resp); code != http.StatusOK {
+		t.Fatalf("POST /index/save: %d: %s", code, body)
+	}
+	if resp.Path != path || resp.Bytes <= 0 || !resp.Mapped {
+		t.Fatalf("save response = %+v, want the mapped path with bytes and mapped=true", resp)
+	}
+
+	// A fresh EMPTY DB serves straight off the file — no re-ingest.
+	fresh, err := digitaltraces.NewGridDB(4, 0, digitaltraces.WithHashFunctions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fresh.Close() })
+	if err := fresh.LoadMappedIndex(path); err != nil {
+		t.Fatalf("LoadMappedIndex from /index/save output: %v", err)
+	}
+	want, _, err := db.TopK("entity-3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fresh.TopK("entity-3", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatches(t, toMatches(got), want)
+
+	// A server over the mapped DB exposes the pool in /stats.
+	ts2 := httptest.NewServer(New(fresh))
+	t.Cleanup(ts2.Close)
+	var stats StatsResponse
+	getJSON(t, ts2.URL+"/stats", &stats)
+	if !stats.Index.Mapped {
+		t.Error("/stats mapped = false on a mapped engine")
+	}
+	if stats.Index.PoolHits+stats.Index.PoolMisses == 0 {
+		t.Error("/stats reports no buffer-pool traffic after queries")
+	}
+	if stats.Index.PoolHitRate < 0 || stats.Index.PoolHitRate > 1 {
+		t.Errorf("pool hit rate %v outside [0,1]", stats.Index.PoolHitRate)
+	}
+}
+
 // TestSaveIndexEndpointUnconfigured: without WithIndexPath the endpoint
 // refuses rather than writing somewhere surprising.
 func TestSaveIndexEndpointUnconfigured(t *testing.T) {

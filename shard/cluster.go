@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"digitaltraces"
+	"digitaltraces/internal/mmap"
 	"digitaltraces/internal/obs"
 	"digitaltraces/internal/qcache"
 )
@@ -114,9 +115,16 @@ type Cluster struct {
 	// tracer is the coordinator-level query-trace ring (nil unless
 	// Config.TraceSize > 0); see trace.go.
 	tracer *obs.Tracer
+
+	// mappings holds the read-only envelope mappings opened by
+	// LoadMappedIndex (guarded by mu); Close unmaps them after the shards.
+	mappings []*mmap.Mapping
 }
 
-var _ digitaltraces.Engine = (*Cluster)(nil)
+var (
+	_ digitaltraces.Engine          = (*Cluster)(nil)
+	_ digitaltraces.MappedPersister = (*Cluster)(nil)
+)
 
 // NewCluster creates an empty cluster of cfg.Shards shards. Shards must be
 // mutually compatible: same venue count, hierarchy height and time unit, and
@@ -700,6 +708,11 @@ func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 		agg.CacheMisses += s.CacheMisses
 		agg.CacheEvictions += s.CacheEvictions
 		agg.CacheEntries += s.CacheEntries
+		if s.Mapped {
+			agg.Mapped = true
+		}
+		agg.PoolHits += s.PoolHits
+		agg.PoolMisses += s.PoolMisses
 		if s.BuildTime > agg.BuildTime {
 			agg.BuildTime = s.BuildTime
 		}
@@ -715,13 +728,23 @@ func (c *Cluster) IndexStats() digitaltraces.IndexStats {
 
 // Close closes every shard, stopping any per-shard background auto-refresh
 // goroutines (shards constructed with digitaltraces.WithAutoRefresh fold
-// their own partitions' dirt independently). Idempotent, like DB.Close.
+// their own partitions' dirt independently), then unmaps any cluster envelope
+// opened by LoadMappedIndex — after the shards, since their snapshots read
+// through it. Idempotent, like DB.Close; a mapped cluster must not be
+// queried after Close.
 func (c *Cluster) Close() error {
 	var errs []error
 	for i, sh := range c.shards {
 		if err := sh.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
+	}
+	c.mu.Lock()
+	maps := c.mappings
+	c.mappings = nil
+	c.mu.Unlock()
+	for _, m := range maps {
+		m.Close()
 	}
 	return errors.Join(errs...)
 }

@@ -16,7 +16,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+
+	"digitaltraces/internal/mmap"
 )
 
 // clusterMagic identifies the envelope; bump the trailing digit on layout
@@ -114,4 +117,260 @@ func (c *Cluster) LoadIndex(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// clusterMappedMagic identifies the memory-mappable cluster envelope: a
+// page-aligned header, the global entity-ordinal table, then one page-aligned
+// MSIGMAP1 image per shard (zero-length for shards that held no entities).
+// Unlike MSIGCLUST1, the envelope also persists the cluster-wide first-arrival
+// ordinals — the heap path re-derives them from re-ingest, which a mapped
+// boot skips — so cross-shard degree ties break exactly as they did at save.
+const clusterMappedMagic = "MSIGCMAP1\n"
+
+// clusterMapPage is the envelope's alignment unit; the per-shard MSIGMAP1
+// images use their own (equal) default page size.
+const clusterMapPage = 4096
+
+// SaveMappedIndex persists every shard's index, with sequence data, as a
+// memory-mappable envelope loadable by Cluster.LoadMappedIndex on a cluster
+// of the same shard count. Shards serialize in parallel (each folding its own
+// pending dirt first); an empty shard contributes a zero-length section.
+// Implements the digitaltraces.MappedPersister surface.
+func (c *Cluster) SaveMappedIndex(w io.Writer) (int64, error) {
+	bufs := make([]bytes.Buffer, len(c.shards))
+	errs := make([]error, len(c.shards))
+	runPool(len(c.shards), runtime.GOMAXPROCS(0), func(i int) {
+		if c.shards[i].NumEntities() == 0 {
+			return
+		}
+		_, errs[i] = c.shards[i].SaveMappedIndex(&bufs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard: saving shard %d mapped index: %w", i, err)
+		}
+	}
+	// The global ordinal table, in first-arrival order.
+	c.mu.RLock()
+	names := make([]string, len(c.ord))
+	for name, o := range c.ord {
+		names[o] = name
+	}
+	c.mu.RUnlock()
+	var ord bytes.Buffer
+	for _, name := range names {
+		if len(name) > math.MaxUint16 {
+			return 0, fmt.Errorf("shard: entity name is %d bytes, the mapped envelope caps names at %d", len(name), math.MaxUint16)
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(name)))
+		ord.Write(l[:])
+		ord.WriteString(name)
+	}
+
+	alignUp := func(n int64) int64 {
+		return (n + clusterMapPage - 1) &^ (clusterMapPage - 1)
+	}
+	headerLen := int64(len(clusterMappedMagic)) + 4 + 8 + 8 + 8 + 16 + 16*int64(len(c.shards))
+	headerRegion := alignUp(headerLen)
+	ordOff := headerRegion
+	ordRegion := alignUp(int64(ord.Len()))
+	offs := make([]int64, len(c.shards))
+	off := ordOff + ordRegion
+	for i := range bufs {
+		offs[i] = off
+		off += alignUp(int64(bufs[i].Len())) // MSIGMAP1 images are already page-padded
+	}
+	total := off
+
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	emit := func(b []byte) error {
+		nn, err := bw.Write(b)
+		n += int64(nn)
+		return err
+	}
+	pad := func(to int64) error {
+		for n < to {
+			chunk := min(int64(clusterMapPage), to-n)
+			if err := emit(make([]byte, chunk)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, clusterMappedMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, clusterMapPage)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(total))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(c.shards)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(names)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ordOff))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ord.Len()))
+	for i := range bufs {
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(offs[i]))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(bufs[i].Len()))
+	}
+	if err := emit(hdr); err != nil {
+		return n, err
+	}
+	if err := pad(ordOff); err != nil {
+		return n, err
+	}
+	if err := emit(ord.Bytes()); err != nil {
+		return n, err
+	}
+	for i := range bufs {
+		if err := pad(offs[i]); err != nil {
+			return n, err
+		}
+		if err := emit(bufs[i].Bytes()); err != nil {
+			return n, err
+		}
+	}
+	if err := pad(total); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// LoadMappedIndex maps a SaveMappedIndex envelope read-only and publishes
+// every shard's section straight off the mapping (DB.LoadMappedIndexAt), so
+// a cluster restart is query-ready after the per-shard signature replays —
+// no visit re-ingest — and sequence pages fault in lazily per shard. The
+// envelope's shard count must equal this cluster's (routing is hash mod N),
+// and the stored global ordinals must agree with any entities already
+// registered here, so degree ties break exactly as they did at save. After a
+// mapped load every shard is in union-fold mode: new visits keep folding in
+// exactly, SaveIndex is refused cluster-wide, and persistence goes through
+// SaveMappedIndex. Close unmaps the envelope — stop queries first.
+//
+// On a mid-load failure shards already loaded keep serving their mapped
+// sections (the mapping stays open until Close); the error names the shard
+// that failed.
+func (c *Cluster) LoadMappedIndex(path string) error {
+	m, err := mmap.Open(path)
+	if err != nil {
+		return fmt.Errorf("shard: mapping cluster index %s: %w", path, err)
+	}
+	fixedLen := int64(len(clusterMappedMagic)) + 4 + 8 + 8 + 8 + 16
+	hdr := make([]byte, fixedLen)
+	if m.Size() < fixedLen {
+		m.Close()
+		return fmt.Errorf("shard: %d bytes is too short for a mapped cluster envelope header (%d)", m.Size(), fixedLen)
+	}
+	if _, err := m.ReadAt(hdr, 0); err != nil {
+		m.Close()
+		return fmt.Errorf("shard: reading mapped cluster header: %w", err)
+	}
+	if string(hdr[:len(clusterMappedMagic)]) != clusterMappedMagic {
+		m.Close()
+		return fmt.Errorf("shard: not a mapped cluster envelope (magic %q; a single-DB mapped index loads via DB.LoadMappedIndex)", hdr[:len(clusterMappedMagic)])
+	}
+	p := int64(len(clusterMappedMagic))
+	pageSize := int64(binary.LittleEndian.Uint32(hdr[p:]))
+	claimed := int64(binary.LittleEndian.Uint64(hdr[p+4:]))
+	count := binary.LittleEndian.Uint64(hdr[p+12:])
+	ordCount := binary.LittleEndian.Uint64(hdr[p+20:])
+	ordOff := int64(binary.LittleEndian.Uint64(hdr[p+28:]))
+	ordLen := int64(binary.LittleEndian.Uint64(hdr[p+36:]))
+	if pageSize != clusterMapPage {
+		m.Close()
+		return fmt.Errorf("shard: corrupt mapped cluster envelope: page size %d, want %d", pageSize, clusterMapPage)
+	}
+	if claimed != m.Size() {
+		m.Close()
+		return fmt.Errorf("shard: mapped cluster envelope is %d bytes but its header claims %d (truncated or corrupt file)", m.Size(), claimed)
+	}
+	if int(count) != len(c.shards) {
+		m.Close()
+		return fmt.Errorf("shard: mapped envelope has %d shard sections, cluster has %d shards — entity routing is hash mod N, so the shard count must match the save", count, len(c.shards))
+	}
+	secBase := fixedLen
+	if m.Size() < secBase+16*int64(count) {
+		m.Close()
+		return fmt.Errorf("shard: mapped cluster envelope truncated inside its section table")
+	}
+	secs := make([]byte, 16*count)
+	if _, err := m.ReadAt(secs, secBase); err != nil {
+		m.Close()
+		return fmt.Errorf("shard: reading mapped cluster section table: %w", err)
+	}
+	if ordOff < 0 || ordLen < 0 || ordOff+ordLen > m.Size() || ordOff%pageSize != 0 {
+		m.Close()
+		return fmt.Errorf("shard: corrupt mapped cluster envelope: ordinal region [%d,%d) outside or misaligned in a %d-byte file", ordOff, ordOff+ordLen, m.Size())
+	}
+
+	// Decode and reconcile the global ordinal table before touching any
+	// shard: an empty registry adopts it; a populated one (a re-ingested
+	// log) must agree on every stored ordinal, or cross-shard tie-breaking
+	// would silently differ from the save. Entities registered beyond the
+	// stored ones (a log grown since the save) are fine — they sort after.
+	ordBytes := make([]byte, ordLen)
+	if _, err := m.ReadAt(ordBytes, ordOff); err != nil {
+		m.Close()
+		return fmt.Errorf("shard: reading mapped cluster ordinal table: %w", err)
+	}
+	names := make([]string, 0, ordCount)
+	for q := 0; uint64(len(names)) < ordCount; {
+		if q+2 > len(ordBytes) {
+			m.Close()
+			return fmt.Errorf("shard: mapped cluster ordinal table truncated at entry %d of %d", len(names), ordCount)
+		}
+		l := int(binary.LittleEndian.Uint16(ordBytes[q:]))
+		q += 2
+		if q+l > len(ordBytes) {
+			m.Close()
+			return fmt.Errorf("shard: mapped cluster ordinal table truncated inside entry %d of %d", len(names), ordCount)
+		}
+		names = append(names, string(ordBytes[q:q+l]))
+		q += l
+	}
+	c.mu.Lock()
+	if len(c.ord) > 0 {
+		for i, name := range names {
+			if o, ok := c.ord[name]; !ok || o != i {
+				c.mu.Unlock()
+				m.Close()
+				return fmt.Errorf("shard: entity %q has global ordinal %d in the envelope but %d here — mapped envelopes resolve tie-break order by save-time arrival, so re-ingest the visit log in its original order (or load into a fresh cluster)", name, i, orValue(o, ok))
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	// The mapping must outlive every shard snapshot published below, even if
+	// a later shard fails — track it for Close before the first load.
+	c.mu.Lock()
+	c.mappings = append(c.mappings, m)
+	c.mu.Unlock()
+	for i := range c.shards {
+		off := int64(binary.LittleEndian.Uint64(secs[16*i:]))
+		length := int64(binary.LittleEndian.Uint64(secs[16*i+8:]))
+		if length == 0 {
+			continue // empty shard at save time: stays index-less, builds lazily
+		}
+		if off < 0 || length < 0 || off+length > m.Size() || off%pageSize != 0 {
+			return fmt.Errorf("shard: corrupt mapped cluster envelope: shard %d section [%d,%d) outside or misaligned in a %d-byte file", i, off, off+length, m.Size())
+		}
+		if err := c.shards[i].LoadMappedIndexAt(io.NewSectionReader(m, off, length), length); err != nil {
+			return fmt.Errorf("shard: loading shard %d mapped index: %w", i, err)
+		}
+	}
+	c.mu.Lock()
+	if len(c.ord) == 0 {
+		for i, name := range names {
+			c.ord[name] = i
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// orValue renders a registry lookup for the ordinal-mismatch error: the
+// found ordinal, or -1 when the name is not registered at all.
+func orValue(o int, ok bool) int {
+	if !ok {
+		return -1
+	}
+	return o
 }

@@ -20,7 +20,7 @@ import (
 	"digitaltraces/internal/core"
 	"digitaltraces/internal/parallel"
 	"digitaltraces/internal/sighash"
-	"digitaltraces/internal/spindex"
+	"digitaltraces/internal/storage"
 	"digitaltraces/internal/trace"
 )
 
@@ -38,6 +38,12 @@ type snapshot struct {
 	measure adm.Measure
 	horizon trace.Time
 	byID    []string // entity name by EntityID, frozen at capture
+
+	// pool is the storage buffer pool behind a mapped (or disk-backed)
+	// store — nil for heap-served snapshots. The store reads through it;
+	// it is threaded here so IndexStats can report hit rates, and so
+	// refreshes can carry it forward through derived snapshots.
+	pool *storage.Store
 
 	generation  uint64        // 1 for the first build, +1 per swap
 	buildTime   time.Duration // duration of the lineage's last full BuildIndex
@@ -127,6 +133,9 @@ func (db *DB) dirtyCount() int {
 // queries touch.
 func (db *DB) buildSnapshot() (*snapshot, error) {
 	start := time.Now()
+	if prev := db.snap.Load(); db.unionFold && prev != nil {
+		return db.rebuildUnionSnapshot(prev, start)
+	}
 	v := db.captureView(false)
 	if len(v.visits) == 0 {
 		return nil, fmt.Errorf("digitaltraces: no visits to index")
@@ -166,6 +175,66 @@ func (db *DB) buildSnapshot() (*snapshot, error) {
 		measure:   measure,
 		horizon:   horizon,
 		byID:      v.byID,
+		buildTime: time.Since(start),
+	}
+	return db.publish(ns, v), nil
+}
+
+// rebuildUnionSnapshot is the full-rebuild path for union-fold DBs (mapped or
+// bulk loads whose visit log does not retain the folded history): the
+// previous snapshot's store is the only complete record of each entity's
+// cells, so the rebuild derives from it and unions the captured visits on
+// top — exact because cell sets union idempotently, whether the log holds an
+// entity's full history, only a suffix, or nothing at all. The horizon grows
+// to cover the new visits and the whole tree re-hashes (the hash family is
+// horizon-parameterized), reading sequences through the backing as needed;
+// the buffer pool carries over. Callers must hold buildMu.
+func (db *DB) rebuildUnionSnapshot(prev *snapshot, start time.Time) (*snapshot, error) {
+	v := db.captureView(false)
+	horizon := prev.horizon
+	for _, recs := range v.visits {
+		for _, r := range recs {
+			if r.End > horizon {
+				horizon = r.End
+			}
+		}
+	}
+	store := prev.store.Derive()
+	ids := make([]trace.EntityID, 0, len(v.visits))
+	for e := range v.visits {
+		ids = append(ids, e)
+	}
+	slices.Sort(ids)
+	merged := make([]*trace.Sequences, len(ids))
+	parallel.For(len(ids), func(i int) {
+		e := ids[i]
+		merged[i] = trace.NewSequencesMerged(db.ix, e, v.visits[e], prev.store.Get(e))
+	})
+	for _, s := range merged {
+		store.Put(s)
+	}
+	all := store.Entities()
+	all = append([]trace.EntityID(nil), all...)
+	slices.Sort(all)
+	fam, err := sighash.NewFamily(db.ix, horizon, db.nh, db.seed)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Build(db.ix, fam, store, all)
+	if err != nil {
+		return nil, err
+	}
+	measure, err := db.newMeasure()
+	if err != nil {
+		return nil, err
+	}
+	ns := &snapshot{
+		store:     store,
+		tree:      tree,
+		measure:   measure,
+		horizon:   horizon,
+		byID:      v.byID,
+		pool:      prev.pool,
 		buildTime: time.Since(start),
 	}
 	return db.publish(ns, v), nil
@@ -218,14 +287,18 @@ func (db *DB) refreshSnapshot(prev *snapshot) (*snapshot, error) {
 			return nil, err
 		}
 		for _, e := range v.dirty {
-			store.AddRecords(e, v.visits[e])
+			if db.unionFold {
+				store.Put(trace.NewSequencesMerged(db.ix, e, v.visits[e], prev.store.Get(e)))
+			} else {
+				store.AddRecords(e, v.visits[e])
+			}
 			if err := tree.Update(e); err != nil {
 				return nil, err
 			}
 		}
 	} else {
 		store = prev.store.Derive()
-		for _, s := range buildDirtySequences(db.ix, v) {
+		for _, s := range db.stageDirtySequences(v, prev) {
 			store.Put(s)
 		}
 		if tree, err = prev.tree.Derive(store, v.dirty); err != nil {
@@ -238,23 +311,30 @@ func (db *DB) refreshSnapshot(prev *snapshot) (*snapshot, error) {
 		measure:     prev.measure,
 		horizon:     prev.horizon,
 		byID:        v.byID,
+		pool:        prev.pool,
 		buildTime:   prev.buildTime,
 		refreshTime: time.Since(start),
 	}
 	return db.publish(ns, v), nil
 }
 
-// buildDirtySequences converts the dirty entities' captured visit histories
+// stageDirtySequences converts the dirty entities' captured visit histories
 // into ST-cell sequences, in v.dirty order. Sequence building (cell
 // expansion plus per-level sort-dedup) is the refresh path's second-largest
 // cost after signature hashing and equally per-entity independent, so it
 // fans out across a bounded worker pool; each worker touches only its own
-// output slot.
-func buildDirtySequences(ix *spindex.Index, v view) []*trace.Sequences {
+// output slot. A union-fold DB's captured visits may be only a suffix of an
+// entity's history (the rest lives in prev's store, possibly on disk), so
+// they union into the previously folded sequence instead of replacing it.
+func (db *DB) stageDirtySequences(v view, prev *snapshot) []*trace.Sequences {
 	out := make([]*trace.Sequences, len(v.dirty))
 	parallel.For(len(v.dirty), func(i int) {
 		e := v.dirty[i]
-		out[i] = trace.NewSequences(ix, e, v.visits[e])
+		if db.unionFold {
+			out[i] = trace.NewSequencesMerged(db.ix, e, v.visits[e], prev.store.Get(e))
+		} else {
+			out[i] = trace.NewSequences(db.ix, e, v.visits[e])
+		}
 	})
 	return out
 }

@@ -67,4 +67,3 @@ func (db *DB) tracedQuery(kind obs.Kind, entity string, k int, run func() (*snap
 	db.tracer.Record(qt)
 	return out, qs, err
 }
-
