@@ -87,6 +87,19 @@
 //	bench -label ingest -scenario ingest -entities 2000 -ingest-buffers 8
 //
 // writes BENCH_ingest.json.
+//
+// The -scenario remote mode measures the network-distributed cluster: the
+// same city partitioned across an in-process N-shard cluster and an N-shard
+// cluster of loopback HTTP shard servers (shard/remote, the engine behind
+// serve -shards-remote), answers cross-checked bit-for-bit. The remote row
+// reports RPCs, pulls and pull rounds per query — the RTT-amortization
+// evidence: one round trip per gather round, not per candidate or per pull.
+// Pass -assert-remote-p99x 2.5 to exit nonzero when the loopback transport
+// costs more than 2.5× the in-process p99 (the CI guardrail):
+//
+//	bench -label remote -scenario remote -entities 2000 -remote-shards 8
+//
+// writes BENCH_remote.json.
 package main
 
 import (
@@ -263,6 +276,7 @@ type Report struct {
 	IngestRuns  []IngestRun  `json:"ingest_runs,omitempty"`
 	CacheRuns   []CacheRun   `json:"cache_runs,omitempty"`
 	TraceRuns   []TraceRun   `json:"trace_runs,omitempty"`
+	RemoteRuns  []RemoteRun  `json:"remote_runs,omitempty"`
 }
 
 func main() {
@@ -297,6 +311,8 @@ func main() {
 		trcRds   = flag.Int("trace-rounds", 6, "trace scenario: alternating off/on measurement rounds")
 		trcSh    = flag.Int("trace-shards", 4, "trace scenario: cluster size to measure alongside the single DB")
 		trcMax   = flag.Float64("assert-trace-overhead", 0, "trace scenario: exit nonzero if any traced row's p99 overhead exceeds this percentage (0 = no assertion)")
+		remSh    = flag.Int("remote-shards", 8, "remote scenario: cluster size for the in-process vs loopback-remote comparison")
+		remMax   = flag.Float64("assert-remote-p99x", 0, "remote scenario: exit nonzero if the loopback-remote p99 exceeds this multiple of the in-process p99 (0 = no assertion)")
 	)
 	flag.Parse()
 
@@ -305,9 +321,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh", "restart", "cache", "trace", "ingest":
+	case "serve", "rebuild", "refresh", "restart", "cache", "trace", "ingest", "remote":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache, trace or ingest)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache, trace, ingest or remote)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -360,6 +376,22 @@ func main() {
 			log.Fatal(err)
 		}
 		writeReport(report, *out, *label)
+		return
+	}
+
+	if *scenario == "remote" {
+		report.RemoteRuns, err = remoteScenario(cfg, opts, *side, *levels, *k, *queries, *remSh, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		if *remMax > 0 {
+			for _, run := range report.RemoteRuns {
+				if run.P99VsInProcess > *remMax {
+					log.Fatalf("remote p99 is %.2fx the in-process p99, over the %.2fx budget", run.P99VsInProcess, *remMax)
+				}
+			}
+		}
 		return
 	}
 

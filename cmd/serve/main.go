@@ -35,6 +35,18 @@
 //
 //	serve -addr :8080 -in huge.bin -side 24 -bulk -index-mmap idx.map   # first boot
 //	serve -addr :8080 -side 24 -index-mmap idx.map                      # restarts
+//
+// Network-distributed shards: -shards-remote runs this process as the
+// coordinator of shard server processes (cmd/shardserve), each hosting one
+// partition behind the pull-based remote shard protocol. Queries
+// scatter-gather over the network with the same threshold-pruned, exact
+// semantics as -shards, /healthz becomes a readiness probe over every shard,
+// and /traces rows carry each shard's address:
+//
+//	shardserve -addr :9001 -side 16 &
+//	shardserve -addr :9002 -side 16 &
+//	serve -addr :8080 -synthetic -entities 5000 -side 16 \
+//	      -shards-remote localhost:9001,localhost:9002
 package main
 
 import (
@@ -44,12 +56,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"digitaltraces"
 	"digitaltraces/server"
 	"digitaltraces/shard"
+	"digitaltraces/shard/remote"
 )
 
 func main() {
@@ -69,6 +83,9 @@ func main() {
 		u         = flag.Float64("u", 2, "ADM level exponent")
 		v         = flag.Float64("v", 2, "ADM duration exponent")
 		shards    = flag.Int("shards", 1, "entity-partitioned shards (1 = single DB; >1 builds in parallel and scatter-gathers queries)")
+		shardsRem = flag.String("shards-remote", "", "comma-separated shard server addresses (host:port, cmd/shardserve); runs this process as the coordinator of a network-distributed cluster instead of -shards")
+		remTO     = flag.Duration("remote-timeout", 0, "per-RPC deadline for remote shard calls (0 = the client default); build/refresh/index transfers get a separate long deadline")
+		remConns  = flag.Int("remote-conns", 0, "pooled keep-alive connection cap per remote shard (0 = the client default)")
 		cacheSize = flag.Int("cache", 0, "generation-keyed hot-query cache entries (0 = no cache); invalidates automatically when ingest reaches the serving index")
 		traceSize = flag.Int("trace", 0, "per-query trace ring capacity (0 = tracing off); enables GET /traces and per-kind latency quantiles in /stats")
 		maxK      = flag.Int("maxk", 1000, "largest k a request may ask for")
@@ -89,7 +106,16 @@ func main() {
 		digitaltraces.WithSeed(uint64(*seed)),
 		digitaltraces.WithPaperMeasure(*u, *v),
 	}
-	if *cacheSize > 0 && *shards <= 1 {
+	clustered := *shards > 1 || *shardsRem != ""
+	if *shardsRem != "" {
+		if *shards > 1 {
+			log.Fatal("-shards and -shards-remote are mutually exclusive: the shard servers are the partition")
+		}
+		if *idxMmap != "" {
+			log.Fatal("-index-mmap needs in-process shards: mapped cluster envelopes splice per-shard mappings, which cannot cross the network (use -index-save/-index-load for remote clusters)")
+		}
+	}
+	if *cacheSize > 0 && !clustered {
 		// Single DB: the cache lives in the DB itself. For -shards > 1 the
 		// cluster gets one cluster-level cache instead (Config.CacheSize) —
 		// per-shard caches would never be consulted by the cluster's
@@ -97,7 +123,7 @@ func main() {
 		opts = append(opts, digitaltraces.WithQueryCache(*cacheSize))
 		log.Printf("query cache: %d entries", *cacheSize)
 	}
-	if *traceSize > 0 && *shards <= 1 {
+	if *traceSize > 0 && !clustered {
 		// Like the cache, the trace ring lives wherever queries are answered:
 		// in the DB when serving one, in the cluster coordinator when sharded
 		// (Config.TraceSize) — per-shard rings would miss the fan-out shape.
@@ -128,13 +154,13 @@ func main() {
 			BufferPages: *sortBufs,
 			// Partitioning replays the visit log through the router, so a
 			// sharded bulk load must retain it; a single DB serves without.
-			RetainVisits: *shards > 1,
+			RetainVisits: clustered,
 		}, opts...)
 		if err == nil {
 			log.Printf("bulk load: %d records, %d entities; sort %v (%d page I/Os, theoretical bound %d), build %v",
 				bstats.Records, bstats.Entities, bstats.SortTime.Round(time.Millisecond),
 				bstats.Sort.PageIO(), bstats.TheoreticalPageIO, bstats.BuildTime.Round(time.Millisecond))
-			indexed = *shards <= 1
+			indexed = !clustered
 		}
 	case *in != "":
 		log.Printf("loading %s (side=%d levels=%d)", *in, *side, *levels)
@@ -158,6 +184,11 @@ func main() {
 		// off the mapped index file — the out-of-core restart path.
 		log.Printf("booting with no data source; serving off mapped index %s", *idxMmap)
 		db, err = digitaltraces.NewGridDB(*side, *levels, opts...)
+	case *shardsRem != "":
+		// A coordinator may boot with no data source: the remote cluster
+		// starts empty and fills through /visits (shard servers boot empty
+		// too — all ingest routes through the coordinator's router).
+		log.Printf("booting empty coordinator; ingest via POST /visits")
 	default:
 		log.Fatal("nothing to serve: pass -in <file>, -synthetic, or -index-mmap <existing file>")
 	}
@@ -168,7 +199,48 @@ func main() {
 	// Both load paths produce grid-backed DBs, so NewGridDB with the same
 	// parameters builds epoch-compatible empty shards to partition into.
 	engine := digitaltraces.Engine(db)
-	if *shards > 1 {
+	if *shardsRem != "" {
+		var addrs []string
+		for _, a := range strings.Split(*shardsRem, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatal("-shards-remote names no addresses")
+		}
+		if *cacheSize > 0 {
+			log.Printf("query cache: %d entries (coordinator-level)", *cacheSize)
+		}
+		if *traceSize > 0 {
+			log.Printf("query tracing: ring of %d (coordinator-level)", *traceSize)
+		}
+		backends := make([]shard.Backend, len(addrs))
+		ropts := remote.Options{CallTimeout: *remTO, MaxConns: *remConns}
+		for i, a := range addrs {
+			c, err := remote.Dial(a, ropts)
+			if err != nil {
+				log.Fatalf("dialing shard %d: %v", i, err)
+			}
+			backends[i] = c
+			log.Printf("  shard %d: %s", i, c.Addr())
+		}
+		cfg := shard.Config{Backends: backends, CacheSize: *cacheSize, TraceSize: *traceSize}
+		var (
+			cluster *shard.Cluster
+			err     error
+		)
+		if db != nil {
+			log.Printf("partitioning %d entities across %d remote shards", db.NumEntities(), len(addrs))
+			cluster, err = shard.Partition(db, cfg)
+		} else {
+			cluster, err = shard.NewCluster(cfg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = cluster
+	} else if *shards > 1 {
 		log.Printf("partitioning %d entities across %d shards", db.NumEntities(), *shards)
 		if *cacheSize > 0 {
 			log.Printf("query cache: %d entries (cluster-level)", *cacheSize)
@@ -197,6 +269,10 @@ func main() {
 	case indexed:
 		// The bulk load built and published the index already.
 	case warmStart(engine, *idxLoad):
+	case engine.NumEntities() == 0:
+		// An empty coordinator (remote shards, no data source) has nothing
+		// to index yet; the first post-ingest query or refresh folds.
+		log.Printf("no entities yet; skipping initial build")
 	default:
 		if err := engine.BuildIndex(); err != nil {
 			log.Fatal(err)

@@ -159,11 +159,15 @@ func printSlowest(tr server.TracesResponse) {
 func printShardSkew(tr server.TracesResponse) {
 	pulled := map[int]int{}
 	rounds := map[int]int{}
+	addrs := map[int]string{}
 	total := 0
 	for _, t := range tr.Traces {
 		for _, s := range t.Shards {
 			pulled[s.Shard] += s.Pulled
 			rounds[s.Shard] += s.Rounds
+			if s.Addr != "" {
+				addrs[s.Shard] = s.Addr
+			}
 			total += s.Pulled
 		}
 	}
@@ -186,6 +190,9 @@ func printShardSkew(tr server.TracesResponse) {
 		}
 		fmt.Printf("  %5d  %7d  %5.1f%%  %6d  %.2fx %s\n",
 			o, pulled[o], 100*float64(pulled[o])/float64(total), rounds[o], ratio, bar)
+		if a := addrs[o]; a != "" {
+			fmt.Printf("         @ %s\n", a)
+		}
 	}
 	fmt.Println()
 }

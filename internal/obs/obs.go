@@ -90,6 +90,10 @@ type ShardTrace struct {
 	// Bound is the shard's final admissible remainder bound — compare with
 	// the trace's KthDegree to see the margin the cut fired at.
 	Bound float64
+	// Addr names the shard's server address when the shard is remote
+	// (shard/remote); empty for in-process shards. Lets a trace reader tell
+	// which host answered slowly without an ordinal→address lookup.
+	Addr string `json:",omitempty"`
 	// Latency is the wall-clock this shard's pulls cost, summed over rounds
 	// (rounds run in parallel across shards, so these overlap; the slowest
 	// shard's Latency approximates the fan-out's critical path).

@@ -17,7 +17,10 @@
 //	GET      /traces      recent per-query traces from the engine's trace
 //	                      ring (?slowest=N, ?min_ms=, ?entity=, ?cache=miss,
 //	                      ?anomalies=1); 409 unless started with -trace N
-//	GET      /healthz     liveness probe
+//	GET      /healthz     liveness probe; on a coordinator over remote
+//	                      shards (serve -shards-remote) a readiness probe:
+//	                      every shard is pinged and an unreachable one turns
+//	                      the reply into a 503 naming the failing address
 //
 // All concurrency control lives in the engine — queries answer lock-free
 // against its atomically swapped immutable index snapshots, ingest touches
@@ -598,9 +601,61 @@ func swapTime(t time.Time) string {
 	return t.UTC().Format(time.RFC3339Nano)
 }
 
+// HealthShard is one shard's row in the /healthz readiness reply.
+type HealthShard struct {
+	Shard      int    `json:"shard"`
+	Addr       string `json:"addr,omitempty"` // empty for in-process shards
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	Entities   int    `json:"entities"`
+	Generation uint64 `json:"generation"`
+}
+
+// HealthResponse is the /healthz reply for engines that expose per-shard
+// health (a coordinator over remote shards). OK is the readiness verdict;
+// Failing names every unreachable shard's address so an operator (or an
+// orchestrator's probe log) sees which host is down without parsing rows.
+type HealthResponse struct {
+	OK      bool          `json:"ok"`
+	Failing []string      `json:"failing,omitempty"`
+	Shards  []HealthShard `json:"shards"`
+}
+
+// handleHealth is a liveness probe for single-DB and in-process-sharded
+// engines, and a real readiness probe for a coordinator over remote shards:
+// every shard is pinged concurrently, and any unreachable shard turns the
+// probe into a 503 naming the failing address.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	hp, ok := s.eng.(interface{ Health() []shard.ShardHealth })
+	if !ok {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	rows := hp.Health()
+	resp := HealthResponse{OK: true, Shards: make([]HealthShard, len(rows))}
+	for i, h := range rows {
+		resp.Shards[i] = HealthShard{
+			Shard: h.Shard, Addr: h.Addr, OK: h.OK, Error: h.Err,
+			Entities: h.Entities, Generation: h.Generation,
+		}
+		if !h.OK {
+			resp.OK = false
+			name := h.Addr
+			if name == "" {
+				name = fmt.Sprintf("shard %d", h.Shard)
+			}
+			resp.Failing = append(resp.Failing, name)
+		}
+	}
+	status := http.StatusOK
+	if !resp.OK {
+		s.errors.Add(1)
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // checkK rejects out-of-range k values before they reach the search.

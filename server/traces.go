@@ -18,6 +18,7 @@ import (
 // TraceShard is one shard's share of a traced scatter-gather on the wire.
 type TraceShard struct {
 	Shard      int     `json:"shard"`
+	Addr       string  `json:"addr,omitempty"` // remote shard server address; empty in-process
 	Generation uint64  `json:"generation"`
 	Pulled     int     `json:"pulled"`
 	Rounds     int     `json:"rounds"`
@@ -85,6 +86,7 @@ func toTrace(qt obs.QueryTrace, anomalies []string) Trace {
 	for _, st := range qt.Shards {
 		t.Shards = append(t.Shards, TraceShard{
 			Shard:      st.Shard,
+			Addr:       st.Addr,
 			Generation: st.Generation,
 			Pulled:     st.Pulled,
 			Rounds:     st.Rounds,

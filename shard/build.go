@@ -18,7 +18,7 @@ func (c *Cluster) BuildIndex() error {
 	if c.NumEntities() == 0 {
 		return fmt.Errorf("shard: no visits to index")
 	}
-	return c.eachShard(func(sh *digitaltraces.DB) error {
+	return c.eachShard(func(sh Backend) error {
 		if sh.NumEntities() == 0 {
 			return nil
 		}
@@ -35,11 +35,14 @@ func (c *Cluster) BuildIndex() error {
 // snapshot aside and atomically swaps it, so even the rebuild-one-shard
 // path serves reads from the shard's previous snapshot throughout.
 func (c *Cluster) Refresh() error {
-	return c.eachShard(func(sh *digitaltraces.DB) error {
+	return c.eachShard(func(sh Backend) error {
 		if sh.NumEntities() == 0 {
 			return nil
 		}
 		if err := sh.Refresh(); err != nil {
+			// The local adapter surfaces ErrBeyondHorizon for the cluster to
+			// escalate here; a remote shard already escalated server-side
+			// (the sentinel does not cross the wire) and never returns it.
 			if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
 				return sh.BuildIndex()
 			}
@@ -56,7 +59,7 @@ func (c *Cluster) Refresh() error {
 // would only interleave shards on the scheduler — same wall clock, but every
 // shard's measured BuildTime would absorb its neighbors' CPU time and the
 // critical-path statistic (IndexStats.BuildTime) would be meaningless.
-func (c *Cluster) eachShard(fn func(sh *digitaltraces.DB) error) error {
+func (c *Cluster) eachShard(fn func(sh Backend) error) error {
 	errs := make([]error, len(c.shards))
 	runPool(len(c.shards), runtime.GOMAXPROCS(0), func(i int) {
 		if err := fn(c.shards[i]); err != nil {

@@ -52,7 +52,7 @@ func (c *Cluster) cacheVersion() (string, bool) {
 // searchesVersion renders the generation vector a fan-out actually answered
 // over: byShard is aligned to c.shards with nil for shards that were empty
 // when the searches opened.
-func searchesVersion(byShard []*digitaltraces.Search) string {
+func searchesVersion(byShard []Stream) string {
 	buf := make([]byte, 0, 8*len(byShard))
 	for _, s := range byShard {
 		var gen uint64
@@ -82,7 +82,7 @@ func (c *Cluster) cacheGet(version string, versionOK bool, key string, start tim
 // cachePut stores a fan-out's answer, but only when the generations the
 // searches pinned are exactly the pre-checked version — see the file
 // comment.
-func (c *Cluster) cachePut(version string, versionOK bool, byShard []*digitaltraces.Search, key string, out []digitaltraces.Match) {
+func (c *Cluster) cachePut(version string, versionOK bool, byShard []Stream, key string, out []digitaltraces.Match) {
 	if c.cache == nil || !versionOK || searchesVersion(byShard) != version {
 		return
 	}

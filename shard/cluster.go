@@ -66,6 +66,16 @@ type Config struct {
 	// that every shard discretizes a visit to the same ST-cells; NewCluster
 	// rejects incompatible or pre-populated shards.
 	NewShard func(i int) (*digitaltraces.DB, error)
+	// Backends, when non-empty, supplies the shards directly instead of
+	// Shards/NewShard — the network-distributed composition: each Backend is
+	// typically a shard/remote.Client connected to a shard server process
+	// (cmd/shardserve), though in-process DBs wrapped by Local mix in freely.
+	// The same compatibility and emptiness rules apply: NewCluster verifies
+	// one shared epoch, unit and hierarchy, and rejects pre-populated
+	// backends — the coordinator's global arrival-order registry (which fixes
+	// cross-shard degree-tie order) can only be built by routing all ingest
+	// through the Cluster.
+	Backends []Backend
 	// CacheSize, when positive, equips the cluster with a generation-keyed
 	// hot-query cache of that many entries: TopK/TopKByExample answers are
 	// memoized under the vector of shard snapshot generations and served
@@ -93,7 +103,7 @@ type Config struct {
 // package comment for the exactness argument and the lock topology. Create
 // one with NewCluster (empty) or Partition (from an existing DB).
 type Cluster struct {
-	shards []*digitaltraces.DB
+	shards []Backend
 
 	// mu guards ord, the global first-arrival ordinal per entity name. The
 	// single-DB search breaks degree ties by entity ID — ingest order — so
@@ -126,22 +136,23 @@ var (
 	_ digitaltraces.MappedPersister = (*Cluster)(nil)
 )
 
-// NewCluster creates an empty cluster of cfg.Shards shards. Shards must be
-// mutually compatible: same venue count, hierarchy height and time unit, and
-// one shared epoch already fixed (an epoch inferred later from data would
-// differ per shard and skew time discretization across the partition).
+// Local wraps an in-process DB as a Backend, for mixing library-held shards
+// into a Config.Backends composition (NewCluster's Config.NewShard path wraps
+// its DBs itself).
+func Local(db *digitaltraces.DB) Backend { return local{db} }
+
+// NewCluster creates an empty cluster of cfg.Shards shards (or over the
+// supplied cfg.Backends — in-process DBs, remote shard clients, or a mix).
+// Shards must be mutually compatible: same venue count, hierarchy height and
+// time unit, and one shared epoch already fixed (an epoch inferred later from
+// data would differ per shard and skew time discretization across the
+// partition).
 //
 // On error, shards already constructed are Closed — a shard built with
 // digitaltraces.WithAutoRefresh starts a background goroutine at
 // construction, which would otherwise outlive the failed cluster.
 func NewCluster(cfg Config) (_ *Cluster, err error) {
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", cfg.Shards)
-	}
-	if cfg.NewShard == nil {
-		return nil, fmt.Errorf("shard: Config.NewShard is nil")
-	}
-	shards := make([]*digitaltraces.DB, 0, cfg.Shards)
+	var shards []Backend
 	defer func() {
 		if err == nil {
 			return
@@ -150,15 +161,36 @@ func NewCluster(cfg Config) (_ *Cluster, err error) {
 			sh.Close()
 		}
 	}()
-	for i := 0; i < cfg.Shards; i++ {
-		db, err := cfg.NewShard(i)
-		if err != nil {
-			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+	switch {
+	case len(cfg.Backends) > 0:
+		if cfg.NewShard != nil {
+			return nil, fmt.Errorf("shard: Config.Backends and Config.NewShard are mutually exclusive")
 		}
-		if db == nil {
-			return nil, fmt.Errorf("shard: NewShard(%d) returned nil", i)
+		if cfg.Shards != 0 && cfg.Shards != len(cfg.Backends) {
+			return nil, fmt.Errorf("shard: Config.Shards = %d but %d backends were supplied", cfg.Shards, len(cfg.Backends))
 		}
-		shards = append(shards, db)
+		for i, b := range cfg.Backends {
+			if b == nil {
+				return nil, fmt.Errorf("shard: Config.Backends[%d] is nil", i)
+			}
+		}
+		shards = cfg.Backends
+	case cfg.Shards < 1:
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", cfg.Shards)
+	case cfg.NewShard == nil:
+		return nil, fmt.Errorf("shard: Config.NewShard is nil")
+	default:
+		shards = make([]Backend, 0, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			db, err := cfg.NewShard(i)
+			if err != nil {
+				return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+			}
+			if db == nil {
+				return nil, fmt.Errorf("shard: NewShard(%d) returned nil", i)
+			}
+			shards = append(shards, local{db})
+		}
 	}
 	epoch, ok := shards[0].Epoch()
 	if !ok {
@@ -332,25 +364,20 @@ func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltr
 	if k < 1 {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
-	home := c.shards[c.owner(entity)]
-	// The version vector is derived on both sides of the visits read:
-	// generations only grow and an unfolded ingest leaves its shard dirty,
-	// so an identical usable vector before and after proves the visits are
-	// exactly the entity's state at that version. Pinning the version only
-	// after VisitsOf would let an ingest for this entity land in between
-	// and fold before the pin — the searches would then agree with the new
-	// generation and cachePut would store an answer computed from stale
-	// visits under it, a wrong hit served until the next bump.
+	homeOrd := c.owner(entity)
+	home := c.shards[homeOrd]
+	// The version vector is derived on both sides of the visits resolve
+	// (the home shard's OpenSearchEntity below): generations only grow and
+	// an unfolded ingest leaves its shard dirty, so an identical usable
+	// vector before and after proves the visits are exactly the entity's
+	// state at that version. Pinning the version only after the resolve
+	// would let an ingest for this entity land in between and fold before
+	// the pin — the searches would then agree with the new generation and
+	// cachePut would store an answer computed from stale visits under it, a
+	// wrong hit served until the next bump. (A cache hit needs no visits at
+	// all, so the lookup happens first; a miss for an unknown entity still
+	// errors below, since unknown entities are never cached.)
 	version, versionOK := c.cacheVersion()
-	visits, err := home.VisitsOf(entity)
-	if err != nil {
-		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
-	}
-	if versionOK {
-		if after, ok := c.cacheVersion(); !ok || after != version {
-			versionOK = false
-		}
-	}
 	key := entityCacheKey(entity, k)
 	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
 		return out, qs, gatherDetail{generations: versionGenerations(version)}, nil
@@ -363,11 +390,26 @@ func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltr
 		c.naiveCachePut(version, versionOK, key, out)
 		return out, qs, d, nil
 	}
-	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
-		return sh.SearchByExample(visits)
-	})
+	// Resolve the entity's visits and open its home-shard stream in one
+	// call (one round trip on a remote home shard), then fan the same visit
+	// snapshot out to every sibling — the merged answer never mixes two
+	// states of the query entity even when a writer races the query.
+	visits, homeStream, err := home.OpenSearchEntity(entity)
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
+	}
+	byShard, err := c.openSearches(homeOrd, homeStream, visits)
+	if err != nil {
+		homeStream.Close()
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
+	}
+	defer closeStreams(byShard)
+	if versionOK {
+		// Re-derive after every stream is open: on remote shards the open
+		// responses refreshed the client-side state this reads.
+		if after, ok := c.cacheVersion(); !ok || after != version {
+			versionOK = false
+		}
 	}
 	out, checked, d, err := c.gatherByShard(byShard, k, entity)
 	if err != nil {
@@ -405,12 +447,11 @@ func (c *Cluster) topKByExampleDetail(visits []digitaltraces.Visit, k int, start
 		c.naiveCachePut(version, versionOK, key, out)
 		return out, qs, d, nil
 	}
-	byShard, err := c.openSearches(func(sh *digitaltraces.DB) (*digitaltraces.Search, error) {
-		return sh.SearchByExample(visits)
-	})
+	byShard, err := c.openSearches(-1, nil, visits)
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
+	defer closeStreams(byShard)
 	out, checked, d, err := c.gatherByShard(byShard, k, "")
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, d, err
@@ -440,7 +481,7 @@ func (c *Cluster) topKNaiveDetail(entity string, k int) ([]digitaltraces.Match, 
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
-	lists, d, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	lists, d, checked, err := c.scatter(func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 		if sh == home {
 			return sh.TopKByExample(visits, k+1)
 		}
@@ -471,7 +512,7 @@ func (c *Cluster) topKByExampleNaive(visits []digitaltraces.Visit, k int) ([]dig
 
 func (c *Cluster) topKByExampleNaiveDetail(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	start := time.Now()
-	lists, d, checked, err := c.scatter(func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	lists, d, checked, err := c.scatter(func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
 		return sh.TopKByExample(visits, k)
 	})
 	if err != nil {
@@ -486,34 +527,48 @@ func (c *Cluster) topKByExampleNaiveDetail(visits []digitaltraces.Visit, k int) 
 	return out, c.gatherStats(checked, len(out), c.NumEntities(), start, d), d, nil
 }
 
-// openSearches opens one incremental search per non-empty shard, in
+// openSearches opens one incremental search stream per non-empty shard, in
 // parallel (opening may fold a shard's dirt, so the builds overlap like
-// scatter's searches did). The result is aligned to c.shards, nil for
-// shards that held no entities — cache.go renders the generation vector
-// from it, and gatherByShard compacts it for the bounded merge.
-func (c *Cluster) openSearches(open func(sh *digitaltraces.DB) (*digitaltraces.Search, error)) ([]*digitaltraces.Search, error) {
-	byShard := make([]*digitaltraces.Search, len(c.shards))
+// scatter's searches did; on remote shards the opens are concurrent round
+// trips). A pre-opened home stream (TopK's combined resolve-and-open) slots
+// in at homeOrd; pass homeOrd = -1 for the example path. The result is
+// aligned to c.shards, nil for shards that held no entities — cache.go
+// renders the generation vector from it, and gatherByShard compacts it for
+// the bounded merge. On error every stream opened here is closed (not the
+// caller's pre-opened one).
+func (c *Cluster) openSearches(homeOrd int, homeStream Stream, visits []digitaltraces.Visit) ([]Stream, error) {
+	byShard := make([]Stream, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	opened := 0
 	for i, sh := range c.shards {
+		if i == homeOrd {
+			byShard[i] = homeStream
+			opened++
+			continue
+		}
 		if sh.NumEntities() == 0 {
 			continue // an empty shard has no candidates (and no index to search)
 		}
 		opened++
 		wg.Add(1)
-		go func(i int, sh *digitaltraces.DB) {
+		go func(i int, sh Backend) {
 			defer wg.Done()
-			byShard[i], errs[i] = open(sh)
+			byShard[i], errs[i] = sh.OpenSearch(visits)
 		}(i, sh)
 	}
 	if opened == 0 {
 		return nil, fmt.Errorf("shard: cluster has no visits to index")
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			for j, s := range byShard {
+				if s != nil && j != homeOrd {
+					s.Close()
+				}
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
 	return byShard, nil
@@ -522,8 +577,8 @@ func (c *Cluster) openSearches(open func(sh *digitaltraces.DB) (*digitaltraces.S
 // gatherByShard compacts an openSearches result, runs the threshold-pruned
 // gather over the active streams, and maps the stream-indexed report back
 // to shard ordinals for the trace detail.
-func (c *Cluster) gatherByShard(byShard []*digitaltraces.Search, k int, exclude string) ([]digitaltraces.Match, int, gatherDetail, error) {
-	active := make([]*digitaltraces.Search, 0, len(byShard))
+func (c *Cluster) gatherByShard(byShard []Stream, k int, exclude string) ([]digitaltraces.Match, int, gatherDetail, error) {
+	active := make([]Stream, 0, len(byShard))
 	ords := make([]int, 0, len(byShard))
 	for i, s := range byShard {
 		if s != nil {
@@ -592,7 +647,7 @@ func (c *Cluster) TopKBatch(entities []string, k, workers int) (map[string][]dig
 // (generation vector included) and the summed Checked count. The first
 // error (by shard index) wins. Naive scatter rows report Rounds 1 and
 // neither Cut nor Exhausted — the shard itself truncated at its local k.
-func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, gatherDetail, int, error) {
+func (c *Cluster) scatter(query func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, gatherDetail, int, error) {
 	lists := make([][]digitaltraces.Match, len(c.shards))
 	statsArr := make([]digitaltraces.QueryStats, len(c.shards))
 	gens := make([]uint64, len(c.shards))
@@ -607,7 +662,7 @@ func (c *Cluster) scatter(query func(sh *digitaltraces.DB) ([]digitaltraces.Matc
 		queried++
 		queriedBy[i] = true
 		wg.Add(1)
-		go func(i int, sh *digitaltraces.DB) {
+		go func(i int, sh Backend) {
 			defer wg.Done()
 			lists[i], statsArr[i], errs[i] = query(sh)
 			gens[i], _ = sh.SnapshotGeneration()
@@ -675,11 +730,25 @@ func (c *Cluster) NumEntities() int {
 	return n
 }
 
-// NumVenues returns the number of venues (identical on every shard).
-func (c *Cluster) NumVenues() int { return c.shards[0].NumVenues() }
+// NumVenues returns the number of venues. NewCluster verified the value is
+// identical on every shard, so any member answers for the cluster — the
+// first one, local or remote, is asked through the Backend seam rather than
+// assuming an in-process shard 0. A zero-value Cluster reports 0.
+func (c *Cluster) NumVenues() int {
+	if len(c.shards) == 0 {
+		return 0
+	}
+	return c.shards[0].NumVenues()
+}
 
-// Levels returns the hierarchy height (identical on every shard).
-func (c *Cluster) Levels() int { return c.shards[0].Levels() }
+// Levels returns the hierarchy height (identical on every shard, like
+// NumVenues). A zero-value Cluster reports 0.
+func (c *Cluster) Levels() int {
+	if len(c.shards) == 0 {
+		return 0
+	}
+	return c.shards[0].Levels()
+}
 
 // IndexStats returns cluster totals: sums of every shard's index shape,
 // snapshot generation (total swaps cluster-wide) and dirty count (entities

@@ -463,12 +463,12 @@ func TestClusterShardStats(t *testing.T) {
 // TestRouterDeterminism pins the routing function: stable across runs and
 // uniform enough that no shard is starved on a realistic population.
 func TestRouterDeterminism(t *testing.T) {
-	if ownerOf("entity-42", 8) != ownerOf("entity-42", 8) {
+	if OwnerOf("entity-42", 8) != OwnerOf("entity-42", 8) {
 		t.Fatal("router not deterministic")
 	}
 	counts := make([]int, 8)
 	for i := 0; i < 1000; i++ {
-		counts[ownerOf(fmt.Sprintf("entity-%d", i), 8)]++
+		counts[OwnerOf(fmt.Sprintf("entity-%d", i), 8)]++
 	}
 	for s, n := range counts {
 		if n == 0 {

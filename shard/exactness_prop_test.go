@@ -14,76 +14,25 @@ import (
 	"testing"
 
 	"digitaltraces"
+	"digitaltraces/shard/internal/proptest"
 )
 
 const (
-	propSide   = 4 // 16 venues
-	propLevels = 3
-	propHash   = 16
+	propSide   = proptest.Side // 16 venues
+	propLevels = proptest.Levels
+	propHash   = proptest.Hash
 )
 
-// randomLog generates a visit log with adversarial degree structure:
-//   - base entities visit random venues at random hours inside the trial's
-//     horizon;
-//   - a slice of clone entities replays another entity's exact visits, so
-//     every query degree ties between the original and its clones and only
-//     the ingest-order tie-break separates them;
-//   - a slice of strangers visits inside a disjoint time window, producing
-//     degree-0 ties against most queries (the k-th boundary the old
-//     non-canonical termination used to resolve by tree shape).
+// randomLog delegates to the shared generator (internal/proptest), which
+// shard/remote reuses to run this identical adversarial workload against
+// loopback remote shards.
 func randomLog(rng *rand.Rand, entities, horizonHours int) []digitaltraces.VisitRecord {
-	numVenues := propSide * propSide
-	visitsOf := make([][]digitaltraces.VisitRecord, entities)
-	kind := make([]int, entities) // 0 base, 1 clone, 2 stranger
-	for e := 1; e < entities; e++ {
-		switch r := rng.Float64(); {
-		case r < 0.25:
-			kind[e] = 1
-		case r < 0.40:
-			kind[e] = 2
-		}
-	}
-	for e := 0; e < entities; e++ {
-		name := fmt.Sprintf("e%03d", e)
-		if kind[e] == 1 {
-			// Clone an earlier entity's visits verbatim under a new name.
-			src := rng.Intn(e)
-			for _, v := range visitsOf[src] {
-				visitsOf[e] = append(visitsOf[e], digitaltraces.VisitRecord{
-					Entity: name, Venue: v.Venue, Start: v.Start, End: v.End,
-				})
-			}
-			if len(visitsOf[e]) > 0 {
-				continue
-			}
-			// Source had none (can't happen — everyone gets ≥ 1 below), but
-			// fall through to a normal trace rather than an empty entity.
-		}
-		lo, span := 0, horizonHours
-		if kind[e] == 2 {
-			// Strangers live in the back half of the horizon only.
-			lo, span = horizonHours, horizonHours/2+1
-		}
-		for i := 0; i < 1+rng.Intn(5); i++ {
-			h := lo + rng.Intn(span)
-			visitsOf[e] = append(visitsOf[e], digitaltraces.VisitRecord{
-				Entity: name,
-				Venue:  digitaltraces.VenueName(rng.Intn(numVenues)),
-				Start:  digitaltraces.TimeAt(h),
-				End:    digitaltraces.TimeAt(h + 1 + rng.Intn(3)),
-			})
-		}
-	}
-	var log []digitaltraces.VisitRecord
-	for _, vs := range visitsOf {
-		log = append(log, vs...)
-	}
-	return log
+	return proptest.RandomLog(rng, entities, horizonHours)
 }
 
 func propDB(t *testing.T) *digitaltraces.DB {
 	t.Helper()
-	db, err := digitaltraces.NewGridDB(propSide, propLevels, digitaltraces.WithHashFunctions(propHash))
+	db, err := proptest.NewDB()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +44,7 @@ func propCluster(t *testing.T, src *digitaltraces.DB, n int) *Cluster {
 	c, err := Partition(src, Config{
 		Shards: n,
 		NewShard: func(i int) (*digitaltraces.DB, error) {
-			return digitaltraces.NewGridDB(propSide, propLevels, digitaltraces.WithHashFunctions(propHash))
+			return proptest.NewDB()
 		},
 	})
 	if err != nil {

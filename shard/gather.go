@@ -169,13 +169,14 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 	}
 }
 
-// gatherSearches runs boundedGather over opened per-shard searches, pulling
-// each round's requests in parallel and resolving global ordinals for the
-// pulled matches. searches must be non-nil; checked sums every search's
-// exact degree computations after termination (the quantity the pruning
-// saves versus the naive full fan-out). The report's streams are aligned
-// with searches.
-func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclude string) (out []digitaltraces.Match, checked int, rep gatherReport, err error) {
+// gatherSearches runs boundedGather over opened per-shard streams, pulling
+// each round's requests in parallel — one Stream.Pull per stream per round,
+// so a whole gather round against remote shards costs one concurrent wave of
+// round trips — and resolving global ordinals for the pulled matches.
+// streams must be non-nil; checked sums every stream's exact degree
+// computations after termination (the quantity the pruning saves versus the
+// naive full fan-out). The report's streams are aligned with streams.
+func (c *Cluster) gatherSearches(streams []Stream, k int, exclude string) (out []digitaltraces.Match, checked int, rep gatherReport, err error) {
 	pull := func(reqs []pullReq) ([]pullResp, error) {
 		resps := make([]pullResp, len(reqs))
 		errs := make([]error, len(reqs))
@@ -185,22 +186,16 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 			go func(j int) {
 				defer wg.Done()
 				pullStart := time.Now()
-				s := searches[reqs[j].stream]
-				es := make([]entry, 0, reqs[j].want)
-				live := true
-				for len(es) < reqs[j].want {
-					m, ok, err := s.Next()
-					if err != nil {
-						errs[j] = err
-						return
-					}
-					if !ok {
-						live = false
-						break
-					}
-					es = append(es, entry{m: m})
+				ms, bound, live, err := streams[reqs[j].stream].Pull(reqs[j].want)
+				if err != nil {
+					errs[j] = err
+					return
 				}
-				resps[j] = pullResp{entries: es, bound: s.Bound(), live: live, took: time.Since(pullStart)}
+				es := make([]entry, len(ms))
+				for i, m := range ms {
+					es[i] = entry{m: m}
+				}
+				resps[j] = pullResp{entries: es, bound: bound, live: live, took: time.Since(pullStart)}
 			}(j)
 		}
 		wg.Wait()
@@ -219,11 +214,11 @@ func (c *Cluster) gatherSearches(searches []*digitaltraces.Search, k int, exclud
 		c.mu.RUnlock()
 		return resps, nil
 	}
-	out, excluded, rep, err := boundedGather(len(searches), k, exclude, pull)
+	out, excluded, rep, err := boundedGather(len(streams), k, exclude, pull)
 	if err != nil {
 		return nil, 0, rep, err
 	}
-	for _, s := range searches {
+	for _, s := range streams {
 		checked += s.Checked()
 	}
 	// The home shard's example search scores the query entity itself (a

@@ -1,0 +1,58 @@
+package shard
+
+import "sync"
+
+// ShardHealth is one shard's readiness report: whether the shard is
+// reachable and what it is serving. For an in-process shard reachability is
+// trivially true; for a remote shard (shard/remote.Client) Ping round-trips
+// to the shard server, so Err reports real network or server failures with
+// the failing address named.
+type ShardHealth struct {
+	Shard      int    `json:"shard"`
+	Addr       string `json:"addr,omitempty"` // shard server address; empty in-process
+	OK         bool   `json:"ok"`
+	Err        string `json:"err,omitempty"`
+	Entities   int    `json:"entities"`
+	Generation uint64 `json:"generation"` // serving snapshot generation (0 before first build)
+}
+
+// pinger is the optional liveness surface of a Backend: a remote client
+// round-trips to its shard server; in-process shards have nothing to probe.
+type pinger interface{ Ping() error }
+
+// addressed is the optional identity surface of a remote Backend.
+type addressed interface{ Addr() string }
+
+// Health probes every shard concurrently and reports per-shard readiness, in
+// shard order. In-process shards are always OK; remote shards are pinged, so
+// an unreachable shard server shows up with OK false and its address in both
+// Addr and the error text. The server's /healthz readiness probe renders
+// this (503 when any shard is down); operators get the failing address, not
+// just "unhealthy".
+func (c *Cluster) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		out[i] = ShardHealth{Shard: i, OK: true}
+		if a, ok := sh.(addressed); ok {
+			out[i].Addr = a.Addr()
+		}
+		wg.Add(1)
+		go func(i int, sh Backend) {
+			defer wg.Done()
+			if p, ok := sh.(pinger); ok {
+				if err := p.Ping(); err != nil {
+					out[i].OK = false
+					out[i].Err = err.Error()
+					return
+				}
+			}
+			// Read shape after a successful ping so a remote shard's numbers
+			// reflect the state the ping just refreshed.
+			out[i].Entities = sh.NumEntities()
+			out[i].Generation, _ = sh.SnapshotGeneration()
+		}(i, sh)
+	}
+	wg.Wait()
+	return out
+}

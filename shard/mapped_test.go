@@ -191,7 +191,7 @@ func TestClusterMappedEnvelopeErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c1.shards[0].SaveMappedIndex(f); err != nil {
+		if _, err := c1.shards[0].(local).SaveMappedIndex(f); err != nil {
 			t.Fatal(err)
 		}
 		f.Close()

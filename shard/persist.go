@@ -127,6 +127,26 @@ func (c *Cluster) LoadIndex(r io.Reader) error {
 // boot skips — so cross-shard degree ties break exactly as they did at save.
 const clusterMappedMagic = "MSIGCMAP1\n"
 
+// mappedBackend is the optional mapped-persistence surface of a Backend. The
+// local adapter satisfies it through its embedded *digitaltraces.DB; remote
+// shards do not — a memory mapping cannot cross a process boundary, so a
+// distributed cluster persists per shard server (each host saves and maps its
+// own MSIGMAP1 image) and the coordinator's mapped envelope is refused with a
+// descriptive error instead.
+type mappedBackend interface {
+	SaveMappedIndex(w io.Writer) (int64, error)
+	LoadMappedIndexAt(r io.ReaderAt, size int64) error
+}
+
+// mappedShard asserts shard i supports mapped persistence.
+func (c *Cluster) mappedShard(i int) (mappedBackend, error) {
+	mb, ok := c.shards[i].(mappedBackend)
+	if !ok {
+		return nil, fmt.Errorf("shard: shard %d is remote — mapped cluster envelopes need in-process shards (persist each shard server's index on its own host instead)", i)
+	}
+	return mb, nil
+}
+
 // clusterMapPage is the envelope's alignment unit; the per-shard MSIGMAP1
 // images use their own (equal) default page size.
 const clusterMapPage = 4096
@@ -143,7 +163,12 @@ func (c *Cluster) SaveMappedIndex(w io.Writer) (int64, error) {
 		if c.shards[i].NumEntities() == 0 {
 			return
 		}
-		_, errs[i] = c.shards[i].SaveMappedIndex(&bufs[i])
+		mb, err := c.mappedShard(i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		_, errs[i] = mb.SaveMappedIndex(&bufs[i])
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -352,7 +377,11 @@ func (c *Cluster) LoadMappedIndex(path string) error {
 		if off < 0 || length < 0 || off+length > m.Size() || off%pageSize != 0 {
 			return fmt.Errorf("shard: corrupt mapped cluster envelope: shard %d section [%d,%d) outside or misaligned in a %d-byte file", i, off, off+length, m.Size())
 		}
-		if err := c.shards[i].LoadMappedIndexAt(io.NewSectionReader(m, off, length), length); err != nil {
+		mb, err := c.mappedShard(i)
+		if err != nil {
+			return err
+		}
+		if err := mb.LoadMappedIndexAt(io.NewSectionReader(m, off, length), length); err != nil {
 			return fmt.Errorf("shard: loading shard %d mapped index: %w", i, err)
 		}
 	}

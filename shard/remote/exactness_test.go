@@ -1,0 +1,256 @@
+package remote
+
+// The acceptance bar for the network transport: the PR 6 exactness property
+// suite, re-run with every shard behind a loopback HTTP server. Over random
+// adversarial visit logs (clones forcing exact degree ties, strangers
+// forcing zero-degree boundaries, post-build dirt), the remote pruned
+// gather, the remote naive gather, the in-process cluster and a single DB
+// must return bit-identical answers — tie order included — for
+// N ∈ {1, 2, 4, 8} shards. Nothing in the wire protocol, the positional
+// pull buffering or the client's state caching may perturb a single bit.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"digitaltraces"
+	"digitaltraces/shard"
+	"digitaltraces/shard/internal/proptest"
+)
+
+// remoteCluster builds an n-shard cluster whose every shard is a loopback
+// remote server, plus teardown hooks registered on t.
+func remoteCluster(t *testing.T, n int, cfg shard.Config) *shard.Cluster {
+	t.Helper()
+	backends := make([]shard.Backend, n)
+	for i := 0; i < n; i++ {
+		_, _, hs := newShardServer(t, ServerConfig{})
+		backends[i] = dialTest(t, hs.URL, Options{})
+	}
+	cfg.Backends = backends
+	c, err := shard.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// compareEngines asserts single ≡ local cluster ≡ remote pruned ≡ remote
+// naive for one query set, bit-for-bit.
+func compareEngines(t *testing.T, label string, db *digitaltraces.DB, local, remote, naive *shard.Cluster, entities []string, ks []int) {
+	t.Helper()
+	for _, q := range entities {
+		for _, k := range ks {
+			want, _, err := db.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: single TopK(%s,%d): %v", label, q, k, err)
+			}
+			lms, _, err := local.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: local TopK(%s,%d): %v", label, q, k, err)
+			}
+			rms, _, err := remote.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: remote TopK(%s,%d): %v", label, q, k, err)
+			}
+			nms, _, err := naive.TopK(q, k)
+			if err != nil {
+				t.Fatalf("%s: remote naive TopK(%s,%d): %v", label, q, k, err)
+			}
+			sameMatches(t, fmt.Sprintf("%s: local vs single TopK(%s,%d)", label, q, k), lms, want)
+			sameMatches(t, fmt.Sprintf("%s: remote vs single TopK(%s,%d)", label, q, k), rms, want)
+			sameMatches(t, fmt.Sprintf("%s: remote naive vs single TopK(%s,%d)", label, q, k), nms, want)
+		}
+		// Query-by-example through all four engines with the entity's own
+		// visits (the densest overlap structure available).
+		visits, err := db.VisitsOf(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ks[len(ks)-1]
+		want, _, err := db.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lms, _, err := local.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms, _, err := remote.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nms, _, err := naive.TopKByExample(visits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, fmt.Sprintf("%s: local vs single ByExample(%s,%d)", label, q, k), lms, want)
+		sameMatches(t, fmt.Sprintf("%s: remote vs single ByExample(%s,%d)", label, q, k), rms, want)
+		sameMatches(t, fmt.Sprintf("%s: remote naive vs single ByExample(%s,%d)", label, q, k), nms, want)
+	}
+}
+
+// TestRemoteGatherExactnessProperty is the randomized acceptance property
+// for the transport. Each trial builds one random log, replays it into a
+// single DB, an in-process cluster, a loopback-remote pruned cluster and a
+// loopback-remote naive cluster of N shards, compares every query path
+// bit-for-bit, then dirties a random fraction of entities and compares
+// again (each engine folds the dirt lazily on its own side of the wire).
+func TestRemoteGatherExactnessProperty(t *testing.T) {
+	trials := []struct {
+		seed         int64
+		entities     int
+		horizonHours int
+	}{
+		{seed: 21, entities: 24, horizonHours: 24},
+		{seed: 22, entities: 60, horizonHours: 12}, // dense: short horizon, many collisions
+	}
+	for _, tr := range trials {
+		tr := tr
+		t.Run(fmt.Sprintf("seed=%d/entities=%d", tr.seed, tr.entities), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(tr.seed))
+			log := proptest.RandomLog(rng, tr.entities, tr.horizonHours)
+
+			db, err := proptest.NewDB()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			if _, err := db.AddVisits(log); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+
+			entities := proptest.SampleQueries(rng, tr.entities)
+			ks := []int{1, 3, 10, tr.entities + 5}
+
+			for _, n := range []int{1, 2, 4, 8} {
+				localC, err := shard.Partition(db, shard.Config{
+					Shards:   n,
+					NewShard: func(int) (*digitaltraces.DB, error) { return proptest.NewDB() },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				remoteC := remoteCluster(t, n, shard.Config{})
+				naiveC := remoteCluster(t, n, shard.Config{NaiveGather: true})
+				for _, c := range []*shard.Cluster{remoteC, naiveC} {
+					if _, err := c.AddVisits(db.AllVisits()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, c := range []*shard.Cluster{localC, remoteC, naiveC} {
+					if err := c.BuildIndex(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				compareEngines(t, fmt.Sprintf("clean/shards=%d", n), db, localC, remoteC, naiveC, entities, ks)
+
+				// Dirty a random ~30% of entities with fresh in-horizon
+				// visits, replayed identically into every engine; answers
+				// must agree again with each side folding its own dirt.
+				if dirt := proptest.Dirt(rng, tr.entities, tr.horizonHours); len(dirt) > 0 {
+					if _, err := db.AddVisits(dirt); err != nil {
+						t.Fatal(err)
+					}
+					for _, c := range []*shard.Cluster{localC, remoteC, naiveC} {
+						if _, err := c.AddVisits(dirt); err != nil {
+							t.Fatal(err)
+						}
+					}
+					compareEngines(t, fmt.Sprintf("dirty/shards=%d", n), db, localC, remoteC, naiveC, entities, ks)
+					// Re-sync the single DB for the next cluster size: fold
+					// everything so the next replay sees one state.
+					if err := db.Refresh(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				localC.Close()
+				remoteC.Close()
+				naiveC.Close()
+			}
+		})
+	}
+}
+
+// FuzzRemotePullSchedule fuzzes the pull schedule against one remote stream:
+// whatever (possibly duplicated, possibly tiny) want-sizes the coordinator
+// asks for, the concatenated emission must equal the local stream's — the
+// positional buffering may never skip, duplicate or reorder a match.
+func FuzzRemotePullSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(3), uint8(17))
+	f.Fuzz(func(t *testing.T, seed int64, wantByte uint8) {
+		db, err := proptest.NewDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		rng := rand.New(rand.NewSource(seed))
+		log := proptest.RandomLog(rng, 20, 12)
+		if _, err := db.AddVisits(log); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BuildIndex(); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(db, ServerConfig{})
+		defer srv.Close()
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		c, err := Dial(hs.URL, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		_, lst, err := shard.Local(db).OpenSearchEntity("e000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lst.Close()
+		_, rst, err := c.OpenSearchEntity("e000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rst.Close()
+
+		// Drain both streams fully under a fuzzed schedule: the remote side
+		// uses the fuzzed want, the local side drains with a fixed large
+		// want; only the concatenations must match (the per-round split is
+		// schedule-dependent by design).
+		var local []digitaltraces.Match
+		for {
+			ms, _, live, err := lst.Pull(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local = append(local, ms...)
+			if !live {
+				break
+			}
+		}
+		want := int(wantByte%16) + 1
+		var remote []digitaltraces.Match
+		for rounds := 0; ; rounds++ {
+			ms, _, live, err := rst.Pull(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote = append(remote, ms...)
+			if !live {
+				break
+			}
+			if rounds > 10_000 {
+				t.Fatal("remote stream never exhausted")
+			}
+		}
+		sameMatches(t, fmt.Sprintf("schedule want=%d", want), remote, local)
+	})
+}

@@ -1,0 +1,479 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"digitaltraces"
+	"digitaltraces/shard"
+)
+
+// DefaultStreamTTL is how long an idle search stream survives between pulls
+// before the server expires it. A gather round is sub-second; the TTL only
+// has to outlive a coordinator hiccup, not a session.
+const DefaultStreamTTL = 2 * time.Minute
+
+// maxRequestBytes caps a binary request body read into memory. Ingest
+// batches dominate; 1 GiB of records is far beyond anything the coordinator
+// sends in one call.
+const maxRequestBytes = 1 << 30
+
+// ServerConfig tunes a shard server.
+type ServerConfig struct {
+	// StreamTTL expires search streams idle for this long (DefaultStreamTTL
+	// when zero). Expiry is the backstop for lost close requests — the
+	// client's Close is fire-and-forget — so a crashed coordinator cannot
+	// pin snapshots forever.
+	StreamTTL time.Duration
+}
+
+// Server hosts one digitaltraces.DB shard behind the pull-based search
+// protocol. Handler returns the http.Handler to mount (cmd/shardserve
+// serves it at the root); Close expires all live streams and stops the
+// sweeper. The DB stays owned by the caller — Close does not close it.
+type Server struct {
+	db  *digitaltraces.DB
+	eng shard.Backend // the DB behind the same adapter the cluster uses
+
+	mu      sync.Mutex
+	streams map[uint64]*serverStream
+	nextID  uint64
+
+	ttl  time.Duration
+	stop chan struct{}
+	once sync.Once
+}
+
+// serverStream is one open incremental search plus everything the stream
+// has emitted, buffered so a positional pull can re-serve any range
+// identically (the retry-idempotence contract). Extended only under mu —
+// the coordinator drives a stream from one goroutine, so contention is nil.
+type serverStream struct {
+	mu       sync.Mutex
+	st       shard.Stream
+	gen      uint64
+	buf      []digitaltraces.Match
+	bound    float64
+	live     bool
+	lastUsed time.Time
+}
+
+// NewServer wraps db as a shard server. The caller keeps ownership of db
+// (and typically also mounts its own ingest/build pipeline or lets the
+// coordinator drive everything over the protocol).
+func NewServer(db *digitaltraces.DB, cfg ServerConfig) *Server {
+	ttl := cfg.StreamTTL
+	if ttl <= 0 {
+		ttl = DefaultStreamTTL
+	}
+	s := &Server{
+		db:      db,
+		eng:     shard.Local(db),
+		streams: map[uint64]*serverStream{},
+		ttl:     ttl,
+		stop:    make(chan struct{}),
+	}
+	go s.sweep()
+	return s
+}
+
+// Close releases every live stream and stops the TTL sweeper. The wrapped
+// DB is not closed.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	streams := s.streams
+	s.streams = map[uint64]*serverStream{}
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.st.Close()
+	}
+}
+
+// sweep expires idle streams every TTL/2.
+func (s *Server) sweep() {
+	t := time.NewTicker(s.ttl / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			var expired []*serverStream
+			s.mu.Lock()
+			for id, st := range s.streams {
+				st.mu.Lock()
+				idle := now.Sub(st.lastUsed)
+				st.mu.Unlock()
+				if idle > s.ttl {
+					delete(s.streams, id)
+					expired = append(expired, st)
+				}
+			}
+			s.mu.Unlock()
+			for _, st := range expired {
+				st.st.Close()
+			}
+		}
+	}
+}
+
+// statsResp is the JSON body of GET /shard/stats: the static shape the
+// client caches at Dial (epoch, unit, hierarchy) plus the mutable serving
+// state and full index statistics.
+type statsResp struct {
+	EpochNS    int64                    `json:"epoch_ns"`
+	EpochOK    bool                     `json:"epoch_ok"`
+	TimeUnitNS int64                    `json:"time_unit_ns"`
+	Venues     int                      `json:"venues"`
+	Levels     int                      `json:"levels"`
+	Entities   int                      `json:"entities"`
+	Pending    int                      `json:"pending"`
+	Generation uint64                   `json:"generation"`
+	GenOK      bool                     `json:"gen_ok"`
+	Index      digitaltraces.IndexStats `json:"index"`
+}
+
+// healthResp is the JSON body of GET /shard/healthz.
+type healthResp struct {
+	OK         bool   `json:"ok"`
+	Entities   int    `json:"entities"`
+	Pending    int    `json:"pending"`
+	Generation uint64 `json:"generation"`
+	GenOK      bool   `json:"gen_ok"`
+	Streams    int    `json:"streams"`
+}
+
+// errResp is every non-200 body: {"error": "..."}.
+type errResp struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the shard protocol handler, rooted at /shard/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/open", s.handleOpen)
+	mux.HandleFunc("POST /shard/pull", s.handlePull)
+	mux.HandleFunc("POST /shard/close", s.handleClose)
+	mux.HandleFunc("POST /shard/visitsof", s.handleVisitsOf)
+	mux.HandleFunc("POST /shard/ingest", s.handleIngest)
+	mux.HandleFunc("POST /shard/topk", s.handleTopK)
+	mux.HandleFunc("GET /shard/stats", s.handleStats)
+	mux.HandleFunc("POST /shard/build", s.handleBuild)
+	mux.HandleFunc("POST /shard/refresh", s.handleRefresh)
+	mux.HandleFunc("GET /shard/index", s.handleSaveIndex)
+	mux.HandleFunc("POST /shard/index", s.handleLoadIndex)
+	mux.HandleFunc("GET /shard/healthz", s.handleHealthz)
+	return protoCheck(mux)
+}
+
+// protoCheck rejects requests from a different protocol version before any
+// payload is decoded.
+func protoCheck(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(protoHeader); v != "" && v != ProtoVersion {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("protocol version %s, this server speaks %s", v, ProtoVersion))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errResp{Error: msg})
+}
+
+func (s *Server) state() shardState {
+	gen, ok := s.db.SnapshotGeneration()
+	return shardState{
+		Entities:   uint64(s.db.NumEntities()),
+		Pending:    uint64(s.db.PendingEntities()),
+		Generation: gen,
+		GenOK:      ok,
+	}
+}
+
+// readBody slurps a bounded binary request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return nil, false
+	}
+	return b, true
+}
+
+func writeBinary(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(b)
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeOpenReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad open request: %v", err))
+		return
+	}
+	var (
+		visits []digitaltraces.Visit
+		st     shard.Stream
+	)
+	if req.Entity != "" {
+		visits, st, err = s.eng.OpenSearchEntity(req.Entity)
+	} else {
+		st, err = s.eng.OpenSearch(req.Visits)
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	ss := &serverStream{st: st, gen: st.Generation(), bound: 1, live: true, lastUsed: time.Now()}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.streams[id] = ss
+	s.mu.Unlock()
+	writeBinary(w, encodeOpenResp(openResp{StreamID: id, Generation: ss.gen, Visits: visits, State: s.state()}))
+}
+
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodePullReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad pull request: %v", err))
+		return
+	}
+	s.mu.Lock()
+	ss := s.streams[req.StreamID]
+	s.mu.Unlock()
+	if ss == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("stream %d not found (closed or expired)", req.StreamID))
+		return
+	}
+	ss.mu.Lock()
+	ss.lastUsed = time.Now()
+	if req.Offset > uint64(len(ss.buf)) {
+		off := req.Offset
+		have := len(ss.buf)
+		ss.mu.Unlock()
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("pull offset %d beyond the %d results emitted", off, have))
+		return
+	}
+	// Extend the emission buffer only past its high-water mark; any range
+	// already emitted is re-served from the buffer byte-for-byte, which is
+	// what makes a re-sent pull idempotent.
+	if need := int(req.Offset+req.Want) - len(ss.buf); need > 0 && ss.live {
+		ms, bound, live, err := ss.st.Pull(need)
+		if err != nil {
+			ss.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("pulling stream %d: %v", req.StreamID, err))
+			return
+		}
+		ss.buf = append(ss.buf, ms...)
+		ss.bound, ss.live = bound, live
+	}
+	end := min(int(req.Offset+req.Want), len(ss.buf))
+	out := encodePullResp(pullResp{
+		Matches: ss.buf[req.Offset:end],
+		Bound:   ss.bound,
+		// More remains if the stream is live or the response stopped short
+		// of the buffered high-water mark (a re-served older range).
+		Live:    ss.live || end < len(ss.buf),
+		Checked: uint64(ss.st.Checked()),
+		State:   s.state(),
+	})
+	ss.mu.Unlock()
+	writeBinary(w, out)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeCloseReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad close request: %v", err))
+		return
+	}
+	s.mu.Lock()
+	ss := s.streams[req.StreamID]
+	delete(s.streams, req.StreamID)
+	s.mu.Unlock()
+	if ss != nil {
+		ss.st.Close()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleVisitsOf(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeVisitsOfReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad visitsof request: %v", err))
+		return
+	}
+	visits, err := s.db.VisitsOf(req.Entity)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeBinary(w, encodeVisitsOfResp(visitsOfResp{Visits: visits, State: s.state()}))
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeIngestReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad ingest request: %v", err))
+		return
+	}
+	// Partial failure travels in-band (200 with FailIndex set), not as an
+	// HTTP error: the stored count is authoritative either way and the
+	// client must see both.
+	n, err := s.db.AddVisits(req.Records)
+	resp := ingestResp{Stored: uint64(n), FailIndex: -1, State: s.state()}
+	if err != nil {
+		resp.FailIndex = int64(n) // DB.AddVisits stops at the first failure
+		resp.ErrMsg = innerIngestError(err)
+	}
+	writeBinary(w, encodeIngestResp(resp))
+}
+
+// innerIngestError strips DB.AddVisits' "visit %d: " wrapper so the client
+// can re-wrap with the index it knows, keeping the cluster's merged error
+// shape identical to the in-process one.
+func innerIngestError(err error) string {
+	type unwrapper interface{ Unwrap() error }
+	if u, ok := err.(unwrapper); ok {
+		if inner := u.Unwrap(); inner != nil {
+			return inner.Error()
+		}
+	}
+	return err.Error()
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeTopKReq(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad topk request: %v", err))
+		return
+	}
+	ms, qs, err := s.db.TopKByExample(req.Visits, int(req.K))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeBinary(w, encodeTopKResp(topKResp{
+		Matches:   ms,
+		Checked:   uint64(qs.Checked),
+		PE:        qs.PE,
+		Pruned:    qs.Pruned,
+		ElapsedNS: uint64(qs.Elapsed.Nanoseconds()),
+		State:     s.state(),
+	}))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	resp := statsResp{
+		TimeUnitNS: s.db.TimeUnit().Nanoseconds(),
+		Venues:     s.db.NumVenues(),
+		Levels:     s.db.Levels(),
+		Entities:   int(st.Entities),
+		Pending:    int(st.Pending),
+		Generation: st.Generation,
+		GenOK:      st.GenOK,
+		Index:      s.db.IndexStats(),
+	}
+	if e, ok := s.db.Epoch(); ok {
+		resp.EpochNS, resp.EpochOK = e.UnixNano(), true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.BuildIndex(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	// The ErrBeyondHorizon sentinel cannot usefully cross the wire (errors
+	// travel as strings), so the escalation the cluster performs for local
+	// shards happens here instead: dirt past the indexed horizon rebuilds
+	// this one shard.
+	if err := s.db.Refresh(); err != nil {
+		if errors.Is(err, digitaltraces.ErrBeyondHorizon) {
+			if err := s.db.BuildIndex(); err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err.Error())
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSaveIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := s.db.SaveIndex(w); err != nil {
+		// Headers are gone; the client detects the short body by the
+		// snapshot format's own framing.
+		return
+	}
+}
+
+func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.LoadIndex(http.MaxBytesReader(w, r.Body, maxRequestBytes)); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	s.mu.Lock()
+	n := len(s.streams)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthResp{
+		OK:         true,
+		Entities:   int(st.Entities),
+		Pending:    int(st.Pending),
+		Generation: st.Generation,
+		GenOK:      st.GenOK,
+		Streams:    n,
+	})
+}

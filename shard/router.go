@@ -9,15 +9,27 @@ package shard
 // (ties within one shard follow that shard's own order — the k-way merge
 // never reorders within a list; see merge.go).
 
-// ownerOf routes an entity name to a shard: FNV-1a over the name, mod the
-// shard count. FNV-1a is stable across processes, platforms and Go versions
-// (unlike the runtime's seeded map hash), so a given entity always lands on
-// the same shard for a given cluster size.
-func ownerOf(entity string, shards int) int {
+import "fmt"
+
+// OwnerOf routes an entity name to a shard ordinal: 32-bit FNV-1a over the
+// raw name bytes (offset basis 2166136261, prime 16777619), mod the shard
+// count. The function is a stability contract, not an implementation detail:
+// FNV-1a is fixed across processes, platforms, architectures and Go versions
+// (unlike the runtime's per-process-seeded map hash), so any client,
+// coordinator or shard server that knows the cluster's shard count computes
+// the same placement with no lookup hop — which is what lets a distributed
+// deployment route ingest and queries client-side. Changing this mapping
+// (or the shard count) reshuffles entity ownership and invalidates every
+// saved cluster envelope, so it must never change for shards ≥ 1.
+// Panics if shards < 1, like an out-of-range slice index would.
+func OwnerOf(entity string, shards int) int {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
 	)
+	if shards < 1 {
+		panic(fmt.Sprintf("shard: OwnerOf with %d shards", shards))
+	}
 	h := uint32(offset32)
 	for i := 0; i < len(entity); i++ {
 		h ^= uint32(entity[i])
@@ -27,7 +39,7 @@ func ownerOf(entity string, shards int) int {
 }
 
 // owner returns the shard index owning the entity.
-func (c *Cluster) owner(entity string) int { return ownerOf(entity, len(c.shards)) }
+func (c *Cluster) owner(entity string) int { return OwnerOf(entity, len(c.shards)) }
 
 // register assigns global first-arrival ordinals to any names not seen
 // before, in slice order, under one lock acquisition.

@@ -69,20 +69,23 @@ func (c *Cluster) record(kind obs.Kind, entity string, k int, batchID uint64, ou
 // detailFromReport maps a gatherReport (stream-indexed) back to shard
 // ordinals and fills in what only the coordinator knows: each stream's
 // shard, pinned generation and raw checked count.
-func detailFromReport(rep gatherReport, ords []int, searches []*digitaltraces.Search) gatherDetail {
+func detailFromReport(rep gatherReport, ords []int, streams []Stream) gatherDetail {
 	d := gatherDetail{merge: rep.merge, kth: rep.kth, shards: make([]obs.ShardTrace, len(rep.streams))}
 	for i, sr := range rep.streams {
 		d.pulled += sr.pulled
 		d.shards[i] = obs.ShardTrace{
 			Shard:      ords[i],
-			Generation: searches[i].Generation(),
+			Generation: streams[i].Generation(),
 			Pulled:     sr.pulled,
 			Rounds:     sr.rounds,
-			Checked:    searches[i].Checked(),
+			Checked:    streams[i].Checked(),
 			Cut:        sr.cut,
 			Exhausted:  sr.exhausted,
 			Bound:      sr.bound,
 			Latency:    sr.latency,
+		}
+		if a, ok := streams[i].(interface{ Addr() string }); ok {
+			d.shards[i].Addr = a.Addr() // remote streams name their shard server
 		}
 	}
 	return d
@@ -91,7 +94,7 @@ func detailFromReport(rep gatherReport, ords []int, searches []*digitaltraces.Se
 // searchGenerations renders the per-shard generation vector of a fan-out,
 // aligned with c.shards (0 for shards that were empty when it opened) — the
 // []uint64 twin of cache.go's searchesVersion.
-func searchGenerations(byShard []*digitaltraces.Search) []uint64 {
+func searchGenerations(byShard []Stream) []uint64 {
 	out := make([]uint64, len(byShard))
 	for i, s := range byShard {
 		if s != nil {

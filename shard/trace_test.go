@@ -43,7 +43,7 @@ func TestClusterTraceConsistency(t *testing.T) {
 	c := tracedCluster(t, shards, 16, 0, false)
 	defer c.Close()
 
-	entity := c.shards[0].Entities()[0]
+	entity := c.shards[0].(local).Entities()[0]
 	out, qs, err := c.TopK(entity, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestClusterCacheHitTrace(t *testing.T) {
 	c := tracedCluster(t, 4, 16, 32, false)
 	defer c.Close()
 
-	entity := c.shards[0].Entities()[0]
+	entity := c.shards[0].(local).Entities()[0]
 	if _, _, err := c.TopK(entity, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestClusterNaiveTrace(t *testing.T) {
 	c := tracedCluster(t, 4, 16, 0, true)
 	defer c.Close()
 
-	entity := c.shards[0].Entities()[0]
+	entity := c.shards[0].(local).Entities()[0]
 	if _, qs, err := c.TopK(entity, 5); err != nil || qs.Shards == 0 {
 		t.Fatalf("naive query: err=%v stats=%+v", err, qs)
 	}
@@ -161,7 +161,7 @@ func TestClusterBatchTraceLinkage(t *testing.T) {
 	c := tracedCluster(t, 2, 32, 0, false)
 	defer c.Close()
 
-	names := append(append([]string{}, c.shards[0].Entities()[:2]...), c.shards[1].Entities()[0])
+	names := append(append([]string{}, c.shards[0].(local).Entities()[:2]...), c.shards[1].(local).Entities()[0])
 	if _, _, err := c.TopKBatch(names, 3, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestClusterTracingDisabled(t *testing.T) {
 	if c.Tracer() != nil {
 		t.Fatal("tracer non-nil with TraceSize 0")
 	}
-	entity := c.shards[0].Entities()[0]
+	entity := c.shards[0].(local).Entities()[0]
 	_, qs, err := c.TopK(entity, 5)
 	if err != nil {
 		t.Fatal(err)
