@@ -100,6 +100,19 @@
 //	bench -label remote -scenario remote -entities 2000 -remote-shards 8
 //
 // writes BENCH_remote.json.
+//
+// The -scenario rebalance mode measures live skew-aware slot migration: a
+// cluster bootstrapped with a deliberately hot shard (one shard owns twice
+// its fair share of the 256 routing slots) answers the same query sequence
+// quiescent, during Rebalance(0), and after, with every in-migration answer
+// cross-checked bit-for-bit against a never-rebalanced twin. Pass
+// -assert-rebalance-p99x 1.5 to exit nonzero when the migration-window p99
+// exceeds 1.5× the quiescent p99 (the CI guardrail); the scenario itself
+// fails if the rebalance does not reduce the owned-entity skew:
+//
+//	bench -label rebalance -scenario rebalance -entities 2000 -rebalance-shards 8
+//
+// writes BENCH_rebalance.json.
 package main
 
 import (
@@ -269,14 +282,15 @@ type Report struct {
 		GoMaxProcs int    `json:"gomaxprocs"`
 		GoVersion  string `json:"go_version"`
 	} `json:"config"`
-	Runs        []Run        `json:"runs,omitempty"`
-	RebuildRuns []RebuildRun `json:"rebuild_runs,omitempty"`
-	RefreshRuns []RefreshRun `json:"refresh_runs,omitempty"`
-	RestartRuns []RestartRun `json:"restart_runs,omitempty"`
-	IngestRuns  []IngestRun  `json:"ingest_runs,omitempty"`
-	CacheRuns   []CacheRun   `json:"cache_runs,omitempty"`
-	TraceRuns   []TraceRun   `json:"trace_runs,omitempty"`
-	RemoteRuns  []RemoteRun  `json:"remote_runs,omitempty"`
+	Runs          []Run          `json:"runs,omitempty"`
+	RebuildRuns   []RebuildRun   `json:"rebuild_runs,omitempty"`
+	RefreshRuns   []RefreshRun   `json:"refresh_runs,omitempty"`
+	RestartRuns   []RestartRun   `json:"restart_runs,omitempty"`
+	IngestRuns    []IngestRun    `json:"ingest_runs,omitempty"`
+	CacheRuns     []CacheRun     `json:"cache_runs,omitempty"`
+	TraceRuns     []TraceRun     `json:"trace_runs,omitempty"`
+	RemoteRuns    []RemoteRun    `json:"remote_runs,omitempty"`
+	RebalanceRuns []RebalanceRun `json:"rebalance_runs,omitempty"`
 }
 
 func main() {
@@ -313,6 +327,8 @@ func main() {
 		trcMax   = flag.Float64("assert-trace-overhead", 0, "trace scenario: exit nonzero if any traced row's p99 overhead exceeds this percentage (0 = no assertion)")
 		remSh    = flag.Int("remote-shards", 8, "remote scenario: cluster size for the in-process vs loopback-remote comparison")
 		remMax   = flag.Float64("assert-remote-p99x", 0, "remote scenario: exit nonzero if the loopback-remote p99 exceeds this multiple of the in-process p99 (0 = no assertion)")
+		rebalSh  = flag.Int("rebalance-shards", 8, "rebalance scenario: cluster size for the engineered-skew live migration")
+		rebalMax = flag.Float64("assert-rebalance-p99x", 0, "rebalance scenario: exit nonzero if the migration-window p99 exceeds this multiple of the quiescent p99 (0 = no assertion)")
 	)
 	flag.Parse()
 
@@ -321,9 +337,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "serve", "rebuild", "refresh", "restart", "cache", "trace", "ingest", "remote":
+	case "serve", "rebuild", "refresh", "restart", "cache", "trace", "ingest", "remote", "rebalance":
 	default:
-		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache, trace, ingest or remote)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, rebuild, refresh, restart, cache, trace, ingest, remote or rebalance)", *scenario)
 	}
 	opts := []digitaltraces.Option{
 		digitaltraces.WithHashFunctions(*nh),
@@ -389,6 +405,22 @@ func main() {
 			for _, run := range report.RemoteRuns {
 				if run.P99VsInProcess > *remMax {
 					log.Fatalf("remote p99 is %.2fx the in-process p99, over the %.2fx budget", run.P99VsInProcess, *remMax)
+				}
+			}
+		}
+		return
+	}
+
+	if *scenario == "rebalance" {
+		report.RebalanceRuns, err = rebalanceScenario(cfg, opts, *side, *levels, *k, *queries, *rebalSh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(report, *out, *label)
+		if *rebalMax > 0 {
+			for _, run := range report.RebalanceRuns {
+				if run.Phase == "migration" && run.P99VsQuiescent > *rebalMax {
+					log.Fatalf("rebalance scenario: migration-window p99 is %.2fx the quiescent p99, over the %.2fx budget", run.P99VsQuiescent, *rebalMax)
 				}
 			}
 		}

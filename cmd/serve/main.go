@@ -52,6 +52,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -95,6 +96,8 @@ func main() {
 		idxSave   = flag.String("index-save", "", "persist the index snapshot to this file on SIGTERM/SIGINT and on POST /index/save")
 		idxLoad   = flag.String("index-load", "", "warm restart: publish the index snapshot at this path instead of rebuilding (cold-builds when the file does not exist yet)")
 		idxMmap   = flag.String("index-mmap", "", "serve the index off a read-only mapping of this file (no re-ingest; boots without -in/-synthetic when the file exists) and save it there mapped on shutdown and POST /index/save; wins over -index-load/-index-save")
+		rebAuto   = flag.Duration("rebalance-auto", 0, "skew-aware auto-rebalance period for sharded engines (0 = manual via POST /rebalance): every period, plan slot moves from per-shard owned-entity skew and migrate them live")
+		slotsInit = flag.String("slots-initial", "", `initial slot→shard placement as shard:slots pairs summing to 256 (e.g. "0:192,1:32,2:32" gives shard 0 three quarters of the keyspace); empty = even; applied before any ingest`)
 		bulk      = flag.Bool("bulk", false, "out-of-core ingest: external-sort -in by entity under the -sort-* buffer budget instead of loading the raw log into the heap")
 		sortPage  = flag.Int("sort-page", 0, "-bulk external sort page size in bytes (0 = 4096)")
 		sortBufs  = flag.Int("sort-buffers", 0, "-bulk external sort buffer pages (0 = 64)")
@@ -225,7 +228,7 @@ func main() {
 			backends[i] = c
 			log.Printf("  shard %d: %s", i, c.Addr())
 		}
-		cfg := shard.Config{Backends: backends, CacheSize: *cacheSize, TraceSize: *traceSize}
+		cfg := shard.Config{Backends: backends, CacheSize: *cacheSize, TraceSize: *traceSize, InitialSlots: parseSlotsInitial(*slotsInit, len(backends))}
 		var (
 			cluster *shard.Cluster
 			err     error
@@ -249,9 +252,10 @@ func main() {
 			log.Printf("query tracing: ring of %d (cluster-level)", *traceSize)
 		}
 		cluster, err := shard.Partition(db, shard.Config{
-			Shards:    *shards,
-			CacheSize: *cacheSize,
-			TraceSize: *traceSize,
+			Shards:       *shards,
+			CacheSize:    *cacheSize,
+			TraceSize:    *traceSize,
+			InitialSlots: parseSlotsInitial(*slotsInit, *shards),
 			NewShard: func(i int) (*digitaltraces.DB, error) {
 				return digitaltraces.NewGridDB(*side, *levels, opts...)
 			},
@@ -298,7 +302,10 @@ func main() {
 	if *idxMmap != "" {
 		srvOpts = append(srvOpts, server.WithMappedIndexPath(*idxMmap))
 	}
-	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /traces /healthz)", *addr)
+	if *slotsInit != "" && !clustered {
+		log.Fatal("-slots-initial needs a sharded engine (-shards > 1 or -shards-remote)")
+	}
+	log.Printf("serving on %s (endpoints: /topk /topk/batch /visits /index/save /stats /traces /rebalance /healthz)", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(engine, srvOpts...),
@@ -310,6 +317,33 @@ func main() {
 	// starts from it instead of rebuilding.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *rebAuto > 0 {
+		c, ok := engine.(*shard.Cluster)
+		if !ok {
+			log.Fatal("-rebalance-auto needs a sharded engine (-shards > 1 or -shards-remote)")
+		}
+		log.Printf("auto-rebalance: every %v", *rebAuto)
+		go func() {
+			t := time.NewTicker(*rebAuto)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rep, err := c.Rebalance(0)
+					if err != nil {
+						log.Printf("auto-rebalance: %v", err)
+						continue
+					}
+					if len(rep.Moves) > 0 {
+						log.Printf("auto-rebalance: moved %d slots, skew %.2f → %.2f (max %d → %d owned)",
+							len(rep.Moves), rep.BeforeSkew, rep.AfterSkew, rep.BeforeMax, rep.AfterMax)
+					}
+				}
+			}
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -381,6 +415,36 @@ func mappedWarmStart(engine digitaltraces.Engine, path string, mappedOnly bool) 
 func fileExists(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
+}
+
+// parseSlotsInitial turns a "0:192,1:32,2:32" spec (shard:slots pairs, slots
+// summing to shard.NumSlots) into the slot→shard assignment handed to
+// shard.Config.InitialSlots: each pair claims the next run of slots in
+// order. Empty spec means the default even placement (nil).
+func parseSlotsInitial(spec string, shards int) []int {
+	if spec == "" {
+		return nil
+	}
+	assign := make([]int, 0, shard.NumSlots)
+	for _, pair := range strings.Split(spec, ",") {
+		var sh, n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(pair), "%d:%d", &sh, &n); err != nil {
+			log.Fatalf("-slots-initial: bad pair %q (want shard:slots)", pair)
+		}
+		if sh < 0 || sh >= shards {
+			log.Fatalf("-slots-initial: shard %d outside the %d-shard cluster", sh, shards)
+		}
+		if n < 0 {
+			log.Fatalf("-slots-initial: negative slot count %d for shard %d", n, sh)
+		}
+		for i := 0; i < n; i++ {
+			assign = append(assign, sh)
+		}
+	}
+	if len(assign) != shard.NumSlots {
+		log.Fatalf("-slots-initial: slot counts sum to %d, want %d", len(assign), shard.NumSlots)
+	}
+	return assign
 }
 
 func warmStart(engine digitaltraces.Engine, path string) bool {

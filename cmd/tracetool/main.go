@@ -84,7 +84,7 @@ func main() {
 	fmt.Printf("ring: %d/%d traces (capacity %d), median latency %s; showing %d\n\n",
 		traces.Total, traces.Capacity, traces.Capacity, us(traces.MedianUS), traces.Count)
 	printSlowest(traces)
-	printShardSkew(traces)
+	printShardSkew(traces, fetchStats(*base))
 	printCutEffectiveness(traces)
 	printCacheByEntity(traces)
 	printBatches(traces)
@@ -153,10 +153,28 @@ func printSlowest(tr server.TracesResponse) {
 	fmt.Println()
 }
 
+// fetchStats grabs /stats best-effort so the skew table can be annotated
+// with authoritative slot/entity ownership; nil means "no annotation", not
+// an error — the trace tables stand on their own.
+func fetchStats(base string) *server.StatsResponse {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	return &st
+}
+
 // printShardSkew aggregates pulled candidates by shard ordinal across every
 // returned trace with a fan-out, surfacing hot shards the anomaly rule only
-// flags one query at a time.
-func printShardSkew(tr server.TracesResponse) {
+// flags one query at a time. When /stats is reachable each row is annotated
+// with the shard's slot and entity ownership, so a pull imbalance can be
+// read against the placement that caused it.
+func printShardSkew(tr server.TracesResponse, st *server.StatsResponse) {
 	pulled := map[int]int{}
 	rounds := map[int]int{}
 	addrs := map[int]string{}
@@ -179,8 +197,18 @@ func printShardSkew(tr server.TracesResponse) {
 		ords = append(ords, o)
 	}
 	sort.Ints(ords)
+	byOrd := map[int]server.ShardStat{}
+	if st != nil {
+		for _, s := range st.Shards {
+			byOrd[s.Shard] = s
+		}
+	}
 	fair := float64(total) / float64(len(ords))
-	fmt.Println("per-shard pull skew (across shown traces):")
+	if st != nil && st.SlotEpoch > 0 {
+		fmt.Printf("per-shard pull skew (across shown traces; slot map epoch %d):\n", st.SlotEpoch)
+	} else {
+		fmt.Println("per-shard pull skew (across shown traces):")
+	}
 	fmt.Printf("  %5s  %7s  %6s  %6s  %s\n", "shard", "pulled", "share", "rounds", "vs fair")
 	for _, o := range ords {
 		ratio := float64(pulled[o]) / fair
@@ -188,8 +216,12 @@ func printShardSkew(tr server.TracesResponse) {
 		for i := 0.0; i+0.25 <= ratio && len(bar) < 32; i += 0.25 {
 			bar += "#"
 		}
-		fmt.Printf("  %5d  %7d  %5.1f%%  %6d  %.2fx %s\n",
-			o, pulled[o], 100*float64(pulled[o])/float64(total), rounds[o], ratio, bar)
+		note := ""
+		if s, ok := byOrd[o]; ok {
+			note = fmt.Sprintf("  [slots=%d owned=%d entities=%d]", s.Slots, s.Owned, s.Entities)
+		}
+		fmt.Printf("  %5d  %7d  %5.1f%%  %6d  %.2fx %s%s\n",
+			o, pulled[o], 100*float64(pulled[o])/float64(total), rounds[o], ratio, bar, note)
 		if a := addrs[o]; a != "" {
 			fmt.Printf("         @ %s\n", a)
 		}

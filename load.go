@@ -50,7 +50,22 @@ var ErrNoVisits = errors.New("digitaltraces: LoadIndex on an empty DB — re-ing
 // format. v1 loads validate the ID range and visit presence, but an
 // order-permuted re-ingest is undetectable and yields wrong answers; v2
 // exists to close exactly that hole.
-func (db *DB) LoadIndex(r io.Reader) error {
+func (db *DB) LoadIndex(r io.Reader) error { return db.loadIndex(r, false) }
+
+// LoadIndexLenient loads like LoadIndex but skips snapshot entities whose
+// names are not in the current visit log instead of erroring. Strict loads
+// exist to catch a drifted log on a single DB — but a slot-routed cluster
+// section legitimately describes a superset of one shard's current log: the
+// saving shard may have held entities the cluster has since migrated away,
+// or a reassigned slot map may route them elsewhere on this boot. Skipped
+// entities simply stay absent here (and warm wherever they now live); every
+// entity the names do resolve loads with LoadIndex's full validation, and
+// unresolved *residents* still land dirty via the post-load recompute, so
+// leniency can only cost warmth, never exactness. v1 sections (no names)
+// have nothing to resolve leniently and keep their strict ID-range check.
+func (db *DB) LoadIndexLenient(r io.Reader) error { return db.loadIndex(r, true) }
+
+func (db *DB) loadIndex(r io.Reader, lenient bool) error {
 	start := time.Now()
 	db.buildMu.Lock()
 	defer db.buildMu.Unlock()
@@ -97,6 +112,9 @@ func (db *DB) LoadIndex(r io.Reader) error {
 		}
 		e, ok := byName[se.Name]
 		if !ok {
+			if lenient {
+				return 0, false, nil // not this DB's entity anymore; it warms elsewhere
+			}
 			return 0, false, fmt.Errorf("digitaltraces: snapshot entity %q is not in the visit log — re-ingest the full record set before LoadIndex", se.Name)
 		}
 		recs := v.visits[e]

@@ -116,6 +116,7 @@ func New(eng digitaltraces.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("/index/save", s.handleSaveIndex)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
@@ -452,8 +453,14 @@ func saveAtomic(path string, save func(w io.Writer) (int64, error)) (_ int64, er
 // entities the router placed on the shard and its index shape, so operators
 // can spot partition skew at a glance.
 type ShardStat struct {
-	Shard         int     `json:"shard"`
-	Entities      int     `json:"entities"`
+	Shard    int `json:"shard"`
+	Entities int `json:"entities"`
+	// Owned counts entities the current slot map routes here — the load the
+	// rebalance planner levels. Entities is the physical count, which also
+	// includes stale copies left behind by slot migrations.
+	Owned int `json:"owned"`
+	// Slots is how many of the 256 routing slots the map assigns here.
+	Slots         int     `json:"slots"`
 	IndexEntities int     `json:"index_entities"`
 	Nodes         int     `json:"nodes"`
 	Leaves        int     `json:"leaves"`
@@ -517,7 +524,12 @@ type StatsResponse struct {
 	Venues   int         `json:"venues"`
 	Levels   int         `json:"levels"`
 	Shards   []ShardStat `json:"shards,omitempty"`
-	Server   struct {
+	// SlotEpoch and Slots expose a sharded engine's routing table: the
+	// slot-map publish version and the slot→shard assignment (256 entries),
+	// so operators can see exactly where a rebalance moved ownership.
+	SlotEpoch uint64 `json:"slot_epoch,omitempty"`
+	Slots     []int  `json:"slots,omitempty"`
+	Server    struct {
 		UptimeS        float64 `json:"uptime_s"`
 		Queries        int64   `json:"queries"`
 		BatchQueries   int64   `json:"batch_queries"`
@@ -557,6 +569,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Entities = s.eng.NumEntities()
 	resp.Venues = s.eng.NumVenues()
 	resp.Levels = s.eng.Levels()
+	if se, ok := s.eng.(interface {
+		SlotEpoch() uint64
+		SlotAssignment() []int
+	}); ok {
+		resp.SlotEpoch = se.SlotEpoch()
+		resp.Slots = se.SlotAssignment()
+	}
 	// Sharded engines additionally expose the per-shard breakdown; a plain
 	// DB serves the same response without the "shards" field.
 	if sh, ok := s.eng.(interface{ ShardStats() []shard.ShardStat }); ok {
@@ -564,6 +583,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Shards = append(resp.Shards, ShardStat{
 				Shard:          st.Shard,
 				Entities:       st.Entities,
+				Owned:          st.Owned,
+				Slots:          st.Slots,
 				IndexEntities:  st.Index.Entities,
 				Nodes:          st.Index.Nodes,
 				Leaves:         st.Index.Leaves,
@@ -599,6 +620,42 @@ func swapTime(t time.Time) string {
 		return ""
 	}
 	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// handleRebalance serves POST /rebalance on sharded engines: plan slot moves
+// from the current per-shard owned-entity skew and execute them live (slot
+// migrations fence ingest per slot; queries stay exact throughout — see
+// shard.MigrateSlot). The optional max_moves query parameter caps how many
+// slots one call may move; the reply is the shard.RebalanceReport: the moves
+// performed and the before/after skew. Queries keep answering during the
+// call — rebalancing is an online operation, not a maintenance window.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	rb, ok := s.eng.(interface {
+		Rebalance(maxMoves int) (shard.RebalanceReport, error)
+	})
+	if !ok {
+		s.fail(w, http.StatusConflict, "engine is not a sharded cluster — nothing to rebalance")
+		return
+	}
+	maxMoves := 0
+	if v := r.URL.Query().Get("max_moves"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, "max_moves must be a positive integer, got %q", v)
+			return
+		}
+		maxMoves = n
+	}
+	rep, err := rb.Rebalance(maxMoves)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "rebalance: %v", err)
+		return
+	}
+	s.reply(w, rep)
 }
 
 // HealthShard is one shard's row in the /healthz readiness reply.

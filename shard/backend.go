@@ -68,9 +68,13 @@ type Backend interface {
 	IndexStats() digitaltraces.IndexStats
 	// SaveIndex / LoadIndex move the shard's MSIGTREE2 snapshot bytes, for
 	// the cluster envelope (persist.go). A remote backend streams them over
-	// the wire; the shard server folds/loads on its side.
+	// the wire; the shard server folds/loads on its side. LoadIndexLenient
+	// skips section entities absent from the shard's current log instead of
+	// erroring — the slot-routed envelope load, where a saved section may
+	// describe entities the slot map now routes elsewhere.
 	SaveIndex(w io.Writer) (int64, error)
 	LoadIndex(r io.Reader) error
+	LoadIndexLenient(r io.Reader) error
 	// Close releases the backend: a local shard stops its auto-refresh
 	// goroutine, a remote client closes its pooled connections.
 	Close() error

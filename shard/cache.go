@@ -27,14 +27,20 @@ import (
 	"digitaltraces"
 )
 
-// cacheVersion returns the cluster's serving version — the vector of shard
-// snapshot generations — and whether caching may be used right now: false if
-// any non-empty shard has no snapshot yet or has unfolded visits. Empty
-// shards contribute the sentinel generation 0, which is unambiguous: a
-// shard's first publish moves it to generation 1 and any pre-publish dirt
-// makes the vector unusable instead.
+// cacheVersion returns the cluster's serving version — the slot-map epoch
+// followed by the vector of shard snapshot generations — and whether caching
+// may be used right now: false if any non-empty shard has no snapshot yet or
+// has unfolded visits. Empty shards contribute the sentinel generation 0,
+// which is unambiguous: a shard's first publish moves it to generation 1 and
+// any pre-publish dirt makes the vector unusable instead. The epoch prefix
+// makes a slot migration invalidate exactly like a generation bump: answers
+// are placement-independent (degrees and global ordinals don't move with an
+// entity), so this is defense-in-depth rather than a correctness need — but
+// it means a migration's effect on the cache is the same observable event a
+// refresh is, and cachePut's equality check inherits it for free.
 func (c *Cluster) cacheVersion() (string, bool) {
-	buf := make([]byte, 0, 8*len(c.shards))
+	buf := make([]byte, 0, 8+8*len(c.shards))
+	buf = binary.LittleEndian.AppendUint64(buf, c.slotmap().epoch)
 	for _, sh := range c.shards {
 		if sh.NumEntities() == 0 {
 			buf = binary.LittleEndian.AppendUint64(buf, 0)
@@ -79,11 +85,17 @@ func (c *Cluster) cacheGet(version string, versionOK bool, key string, start tim
 	return out, digitaltraces.QueryStats{CacheHit: true, Elapsed: time.Since(start)}, true
 }
 
-// cachePut stores a fan-out's answer, but only when the generations the
-// searches pinned are exactly the pre-checked version — see the file
-// comment.
+// cachePut stores a fan-out's answer, but only when the current epoch plus
+// the generations the searches pinned are exactly the pre-checked version —
+// see the file comment. (A migration publishing mid-query changes the
+// epoch, so the store is skipped; the answer was still exact.)
 func (c *Cluster) cachePut(version string, versionOK bool, byShard []Stream, key string, out []digitaltraces.Match) {
-	if c.cache == nil || !versionOK || searchesVersion(byShard) != version {
+	if c.cache == nil || !versionOK {
+		return
+	}
+	var pre [8]byte
+	binary.LittleEndian.PutUint64(pre[:], c.slotmap().epoch)
+	if string(pre[:])+searchesVersion(byShard) != version {
 		return
 	}
 	stored := make([]digitaltraces.Match, len(out))

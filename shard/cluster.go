@@ -20,6 +20,13 @@
 // the same data — the invariant TestClusterExactness locks in for
 // N ∈ {1, 2, 4, 8}.
 //
+// Placement itself is a versioned slot map rather than a fixed hash
+// (slotmap.go): every query pins one map for its whole fan-out, filters
+// every pulled candidate by that map's ownership, and treats shards whose
+// local order a past migration disturbed as loose (uncapped, re-sorted under
+// the global order) — so answers stay bit-identical before, during and after
+// a live MigrateSlot, the invariant the migration property suite locks in.
+//
 // Two mechanical preconditions make the degree computations line up:
 // every shard must share one epoch and time unit (NewCluster verifies this),
 // and the fan-out must reproduce the query entity's stored cells exactly,
@@ -47,6 +54,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -90,6 +98,13 @@ type Config struct {
 	// property suite locks in); the switch exists so cmd/bench -scenario
 	// cache can A/B the two gathers on the same host and data.
 	NaiveGather bool
+	// InitialSlots, when non-nil, is the slot→shard assignment the cluster
+	// starts from instead of the default s mod N table: NumSlots entries,
+	// each a valid shard ordinal, applied (via AssignSlots) before anything
+	// is ingested. This is the bootstrap hook for engineered placements —
+	// deliberately skewed benchmark clusters, or a restored deployment
+	// re-creating the map its envelope recorded before re-ingesting.
+	InitialSlots []int
 	// TraceSize, when positive, equips the cluster with a coordinator-level
 	// query-trace ring of that many slots (internal/obs): every cluster
 	// query records a structured trace with the per-shard scatter-gather
@@ -104,6 +119,17 @@ type Config struct {
 // one with NewCluster (empty) or Partition (from an existing DB).
 type Cluster struct {
 	shards []Backend
+
+	// slots is the atomically published slot→shard routing table
+	// (slotmap.go). Readers pin one map per operation; MigrateSlot and
+	// AssignSlots publish successors under a bumped epoch.
+	slots slotsPtr
+
+	// slotMu is the per-slot ingest fence: AddVisit/AddVisits hold the read
+	// side for each visited slot while routing, and MigrateSlot holds the
+	// write side across ship-and-publish, so the entity state a move ships
+	// is frozen and no visit lands on the old owner after the flip.
+	slotMu [NumSlots]sync.RWMutex
 
 	// mu guards ord, the global first-arrival ordinal per entity name. The
 	// single-DB search breaks degree ties by entity ID — ingest order — so
@@ -213,6 +239,12 @@ func NewCluster(cfg Config) (_ *Cluster, err error) {
 		}
 	}
 	c := &Cluster{shards: shards, ord: map[string]int{}, naive: cfg.NaiveGather, tracer: obs.New(cfg.TraceSize)}
+	c.slots.Store(DefaultSlotMap(len(shards)))
+	if cfg.InitialSlots != nil {
+		if err := c.AssignSlots(cfg.InitialSlots); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.CacheSize > 0 {
 		c.cache = qcache.New[[]digitaltraces.Match](cfg.CacheSize)
 	}
@@ -257,12 +289,22 @@ func Partition(src *digitaltraces.DB, cfg Config) (_ *Cluster, err error) {
 	return c, nil
 }
 
-// AddVisit records one visit, routed to the entity's owning shard. Only that
-// shard's locks are taken, so ingest for different shards proceeds in
-// parallel.
+// AddVisit records one visit, routed to the entity's owning shard under the
+// current slot map. Only that entity's slot fence (read side, shared with
+// all concurrent ingest) and the owning shard's locks are taken, so ingest
+// for different shards — and different slots — proceeds in parallel; a
+// migration of this entity's slot briefly blocks the visit until the new
+// owner is published, which is what keeps the shipped state complete.
 func (c *Cluster) AddVisit(entity, venue string, start, end time.Time) error {
+	slot := SlotOf(entity)
+	c.slotMu[slot].RLock()
+	defer c.slotMu[slot].RUnlock()
+	// Resolve the map only after the fence: a migration publishes its new
+	// map while holding the write side, so a post-fence read can never see
+	// an owner the migration is about to drain.
+	sm := c.slotmap()
 	c.register([]string{entity})
-	return c.shards[c.owner(entity)].AddVisit(entity, venue, start, end)
+	return c.shards[sm.assign[slot]].AddVisit(entity, venue, start, end)
 }
 
 // AddVisits bulk-ingests visits: records are grouped by owning shard
@@ -280,11 +322,26 @@ func (c *Cluster) AddVisit(entity, venue string, start, end time.Time) error {
 // new entities are later replayed to a single DB in a different order.
 func (c *Cluster) AddVisits(visits []digitaltraces.VisitRecord) (int, error) {
 	n := len(c.shards)
+	// Fence every slot this batch touches (read side, ascending slot order
+	// so concurrent batches and MigrateSlot's single write lock can't
+	// deadlock), then resolve the routing map: the whole batch routes under
+	// one map version, and no slot in it can migrate mid-dispatch.
+	var inBatch [NumSlots]bool
+	for _, v := range visits {
+		inBatch[SlotOf(v.Entity)] = true
+	}
+	for s := range inBatch {
+		if inBatch[s] {
+			c.slotMu[s].RLock()
+			defer c.slotMu[s].RUnlock()
+		}
+	}
+	sm := c.slotmap()
 	groups := make([][]digitaltraces.VisitRecord, n)
 	origIdx := make([][]int, n)
 	names := make([]string, len(visits))
 	for i, v := range visits {
-		s := c.owner(v.Entity)
+		s := sm.Owner(v.Entity)
 		groups[s] = append(groups[s], v)
 		origIdx[s] = append(origIdx[s], i)
 		names[i] = v.Entity
@@ -364,7 +421,12 @@ func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltr
 	if k < 1 {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
-	homeOrd := c.owner(entity)
+	// Pin one slot map for the whole query: home resolution, the per-pull
+	// ownership filter and the loose-stream decision all read this map, so
+	// a migration publishing mid-query can never split the query's view of
+	// who owns what (slotmap.go's exactness argument).
+	sm := c.slotmap()
+	homeOrd := sm.Owner(entity)
 	home := c.shards[homeOrd]
 	// The version vector is derived on both sides of the visits resolve
 	// (the home shard's OpenSearchEntity below): generations only grow and
@@ -404,6 +466,9 @@ func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltr
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
 	defer closeStreams(byShard)
+	if err := c.checkSlotEpoch(); err != nil {
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
+	}
 	if versionOK {
 		// Re-derive after every stream is open: on remote shards the open
 		// responses refreshed the client-side state this reads.
@@ -411,7 +476,7 @@ func (c *Cluster) topKDetail(entity string, k int, start time.Time) ([]digitaltr
 			versionOK = false
 		}
 	}
-	out, checked, d, err := c.gatherByShard(byShard, k, entity)
+	out, checked, d, err := c.gatherByShard(sm, byShard, k, entity)
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, d, err
 	}
@@ -434,6 +499,7 @@ func (c *Cluster) topKByExampleDetail(visits []digitaltraces.Visit, k int, start
 	if k < 1 {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
+	sm := c.slotmap()
 	version, versionOK := c.cacheVersion()
 	key := exampleCacheKey(visits, k)
 	if out, qs, ok := c.cacheGet(version, versionOK, key, start); ok {
@@ -452,7 +518,10 @@ func (c *Cluster) topKByExampleDetail(visits []digitaltraces.Visit, k int, start
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
 	defer closeStreams(byShard)
-	out, checked, d, err := c.gatherByShard(byShard, k, "")
+	if err := c.checkSlotEpoch(); err != nil {
+		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
+	}
+	out, checked, d, err := c.gatherByShard(sm, byShard, k, "")
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, d, err
 	}
@@ -476,16 +545,18 @@ func (c *Cluster) topKNaiveDetail(entity string, k int) ([]digitaltraces.Match, 
 	if k < 1 {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, fmt.Errorf("shard: k = %d < 1", k)
 	}
-	home := c.shards[c.owner(entity)]
-	visits, err := home.VisitsOf(entity)
+	sm := c.slotmap()
+	homeOrd := sm.Owner(entity)
+	visits, err := c.shards[homeOrd].VisitsOf(entity)
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
 	}
-	lists, d, checked, err := c.scatter(func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
-		if sh == home {
-			return sh.TopKByExample(visits, k+1)
+	lists, d, checked, err := c.scatter(func(i int, sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+		K := k
+		if i == homeOrd {
+			K = k + 1 // the home example search ranks the query entity itself
 		}
-		return sh.TopKByExample(visits, k)
+		return c.naiveLocalTopK(i, sh, sm, visits, K)
 	})
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
@@ -512,8 +583,9 @@ func (c *Cluster) topKByExampleNaive(visits []digitaltraces.Visit, k int) ([]dig
 
 func (c *Cluster) topKByExampleNaiveDetail(visits []digitaltraces.Visit, k int) ([]digitaltraces.Match, digitaltraces.QueryStats, gatherDetail, error) {
 	start := time.Now()
-	lists, d, checked, err := c.scatter(func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
-		return sh.TopKByExample(visits, k)
+	sm := c.slotmap()
+	lists, d, checked, err := c.scatter(func(i int, sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+		return c.naiveLocalTopK(i, sh, sm, visits, k)
 	})
 	if err != nil {
 		return nil, digitaltraces.QueryStats{}, gatherDetail{}, err
@@ -525,6 +597,87 @@ func (c *Cluster) topKByExampleNaiveDetail(visits []digitaltraces.Visit, k int) 
 		d.kth = out[k-1].Degree
 	}
 	return out, c.gatherStats(checked, len(out), c.NumEntities(), start, d), d, nil
+}
+
+// naiveLocalTopK is one shard's share of a naive scatter under the pinned
+// slot map sm: the shard's local top-K restricted to the entities sm says it
+// owns. On an untouched shard the plain TopKByExample list is simply
+// filtered — foreign copies only appear there when a migration ship races
+// this very query, and if the filter dropped anything from a full
+// (truncated) list the truncation may have hidden owned candidates, so that
+// rare case falls through to the loose fetch. On a touched shard local
+// order and local truncation are both unreliable, so the loose fetch runs
+// directly.
+func (c *Cluster) naiveLocalTopK(i int, sh Backend, sm *SlotMap, visits []digitaltraces.Visit, K int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	if !sm.touched[i] {
+		ms, qs, err := sh.TopKByExample(visits, K)
+		if err != nil {
+			return nil, qs, err
+		}
+		owned := ms[:0:0]
+		for _, m := range ms {
+			if sm.Owner(m.Entity) == i {
+				owned = append(owned, m)
+			}
+		}
+		if len(owned) == len(ms) || len(ms) < K {
+			// Nothing foreign, or the shard ran dry before K — the filtered
+			// list is the shard's complete owned top-K, still in the shard's
+			// exact (aligned) order.
+			return owned, qs, nil
+		}
+	}
+	return c.looseLocalTopK(i, sh, sm, visits, K)
+}
+
+// looseLocalTopK computes a touched shard's owned top-K through the stream
+// interface: pull in doubling batches until K *owned* results are pulled and
+// the stream's bound is strictly below the K-th owned degree (or the stream
+// runs dry) — so every unpulled entity is strictly dominated by K owned
+// entities of this shard alone and can never reach the global top-k — then
+// sort the owned results under the global total order, repairing the local
+// ID misalignment a migration left behind.
+func (c *Cluster) looseLocalTopK(i int, sh Backend, sm *SlotMap, visits []digitaltraces.Visit, K int) ([]digitaltraces.Match, digitaltraces.QueryStats, error) {
+	begin := time.Now()
+	st, err := sh.OpenSearch(visits)
+	if err != nil {
+		return nil, digitaltraces.QueryStats{}, err
+	}
+	defer st.Close()
+	var owned []entry
+	bound := 1.0
+	live := true
+	batch := K
+	for live && (len(owned) < K || bound >= owned[K-1].m.Degree) {
+		ms, b, more, err := st.Pull(batch)
+		if err != nil {
+			return nil, digitaltraces.QueryStats{}, err
+		}
+		for _, m := range ms {
+			if sm.Owner(m.Entity) == i {
+				owned = append(owned, entry{m: m})
+			}
+		}
+		bound, live = b, more
+		if len(ms) == 0 {
+			live = false
+		}
+		batch *= 2
+	}
+	c.mu.RLock()
+	for j := range owned {
+		owned[j].rank = c.rankLocked(owned[j].m.Entity)
+	}
+	c.mu.RUnlock()
+	sort.SliceStable(owned, func(a, b int) bool { return entryBefore(owned[a], owned[b]) })
+	if len(owned) > K {
+		owned = owned[:K]
+	}
+	out := make([]digitaltraces.Match, len(owned))
+	for j, e := range owned {
+		out[j] = e.m
+	}
+	return out, digitaltraces.QueryStats{Checked: st.Checked(), Elapsed: time.Since(begin)}, nil
 }
 
 // openSearches opens one incremental search stream per non-empty shard, in
@@ -575,9 +728,9 @@ func (c *Cluster) openSearches(homeOrd int, homeStream Stream, visits []digitalt
 }
 
 // gatherByShard compacts an openSearches result, runs the threshold-pruned
-// gather over the active streams, and maps the stream-indexed report back
-// to shard ordinals for the trace detail.
-func (c *Cluster) gatherByShard(byShard []Stream, k int, exclude string) ([]digitaltraces.Match, int, gatherDetail, error) {
+// gather over the active streams under the query's pinned slot map, and maps
+// the stream-indexed report back to shard ordinals for the trace detail.
+func (c *Cluster) gatherByShard(sm *SlotMap, byShard []Stream, k int, exclude string) ([]digitaltraces.Match, int, gatherDetail, error) {
 	active := make([]Stream, 0, len(byShard))
 	ords := make([]int, 0, len(byShard))
 	for i, s := range byShard {
@@ -586,7 +739,7 @@ func (c *Cluster) gatherByShard(byShard []Stream, k int, exclude string) ([]digi
 			ords = append(ords, i)
 		}
 	}
-	out, checked, rep, err := c.gatherSearches(active, k, exclude)
+	out, checked, rep, err := c.gatherSearches(sm, active, ords, k, exclude)
 	if err != nil {
 		return nil, 0, gatherDetail{}, err
 	}
@@ -647,7 +800,7 @@ func (c *Cluster) TopKBatch(entities []string, k, workers int) (map[string][]dig
 // (generation vector included) and the summed Checked count. The first
 // error (by shard index) wins. Naive scatter rows report Rounds 1 and
 // neither Cut nor Exhausted — the shard itself truncated at its local k.
-func (c *Cluster) scatter(query func(sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, gatherDetail, int, error) {
+func (c *Cluster) scatter(query func(i int, sh Backend) ([]digitaltraces.Match, digitaltraces.QueryStats, error)) ([][]digitaltraces.Match, gatherDetail, int, error) {
 	lists := make([][]digitaltraces.Match, len(c.shards))
 	statsArr := make([]digitaltraces.QueryStats, len(c.shards))
 	gens := make([]uint64, len(c.shards))
@@ -664,7 +817,7 @@ func (c *Cluster) scatter(query func(sh Backend) ([]digitaltraces.Match, digital
 		wg.Add(1)
 		go func(i int, sh Backend) {
 			defer wg.Done()
-			lists[i], statsArr[i], errs[i] = query(sh)
+			lists[i], statsArr[i], errs[i] = query(i, sh)
 			gens[i], _ = sh.SnapshotGeneration()
 		}(i, sh)
 	}
@@ -720,14 +873,14 @@ func (c *Cluster) gatherStats(checked, returned, n int, start time.Time, d gathe
 // NumShards returns the number of partitions.
 func (c *Cluster) NumShards() int { return len(c.shards) }
 
-// NumEntities returns the cluster-wide entity count (each entity lives on
-// exactly one shard).
+// NumEntities returns the cluster-wide entity count: the size of the global
+// arrival registry. Summing per-shard counts would double-count after a
+// migration — the source shard keeps its stale copies forever — while every
+// entity registers exactly once however its slot moves.
 func (c *Cluster) NumEntities() int {
-	n := 0
-	for _, sh := range c.shards {
-		n += sh.NumEntities()
-	}
-	return n
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ord)
 }
 
 // NumVenues returns the number of venues. NewCluster verified the value is
@@ -819,19 +972,31 @@ func (c *Cluster) Close() error {
 }
 
 // ShardStat describes one shard, for partition-skew monitoring: how many
-// entities the router placed there and the shape of its built index.
+// entities the shard physically holds (stale migrated-away copies included),
+// how many it currently owns under the slot map, how many slots route to it,
+// and the shape of its built index.
 type ShardStat struct {
 	Shard    int                      // shard ordinal
-	Entities int                      // entities routed to this shard
+	Entities int                      // entities physically on this shard (incl. stale copies)
+	Owned    int                      // entities the current slot map assigns here
+	Slots    int                      // slots the current slot map assigns here
 	Index    digitaltraces.IndexStats // built-index shape (zero before build)
 }
 
 // ShardStats returns per-shard statistics, in shard order. The server's
-// /stats endpoint exposes these so operators can spot partition skew.
+// /stats endpoint exposes these so operators can spot partition skew; the
+// Rebalance planner reads the same Owned counts to repair it.
 func (c *Cluster) ShardStats() []ShardStat {
+	slots := c.slotsOwned()
+	loads := c.SlotLoads()
+	sm := c.slotmap()
+	owned := make([]int, len(c.shards))
+	for s, cnt := range loads {
+		owned[sm.assign[s]] += cnt
+	}
 	out := make([]ShardStat, len(c.shards))
 	for i, sh := range c.shards {
-		out[i] = ShardStat{Shard: i, Entities: sh.NumEntities(), Index: sh.IndexStats()}
+		out[i] = ShardStat{Shard: i, Entities: sh.NumEntities(), Owned: owned[i], Slots: slots[i], Index: sh.IndexStats()}
 	}
 	return out
 }

@@ -44,6 +44,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,11 +57,16 @@ type pullReq struct {
 	want   int
 }
 
-// pullResp carries one stream's round: the results pulled (in stream order),
-// the stream's bound after the pull, whether more results may remain, and
-// the wall-clock the pull cost (attributed to the stream's shard).
+// pullResp carries one stream's round: the results pulled (in stream order,
+// after the slot-ownership filter), how many the stream actually surrendered
+// before filtering (raw — liveness must be judged pre-filter, or a stream
+// whose whole batch was foreign copies would be declared dry with owned
+// candidates still unpulled), the stream's bound after the pull, whether
+// more results may remain, and the wall-clock the pull cost (attributed to
+// the stream's shard).
 type pullResp struct {
 	entries []entry
+	raw     int
 	bound   float64
 	live    bool
 	took    time.Duration
@@ -92,7 +98,19 @@ type gatherReport struct {
 // fulfill every request of a round (it may fan out in parallel) and return
 // responses in request order. Returns the merged answer, the number of
 // excluded entries skipped, and the per-stream gather report.
-func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, error)) ([]digitaltraces.Match, int, gatherReport, error) {
+//
+// loose (nil = none) marks streams whose shard-local emission order no
+// longer matches the global arrival order restricted to the shard — shards
+// a slot migration has touched (slotmap.go). A loose stream loses the k+1
+// cap (the cap's "≥ k same-shard entries precede every unpulled element
+// *globally*" step needs the alignment) and its buffer is re-sorted under
+// the global total order after every append, which restores the merge's
+// sorted-input precondition: a pulled prefix is still tie-complete at the
+// strict threshold cut — every unpulled element is strictly below the
+// merged k-th degree — so sorting the prefix agrees with sorting the full
+// list on everything that can reach the answer. For an aligned stream the
+// sort is a no-op, so loose streams trade only pruning, never exactness.
+func boundedGather(n, k int, exclude string, loose []bool, pull func([]pullReq) ([]pullResp, error)) ([]digitaltraces.Match, int, gatherReport, error) {
 	bufs := make([][]entry, n)
 	bounds := make([]float64, n)
 	live := make([]bool, n)
@@ -102,8 +120,11 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 		live[i] = true
 		bounds[i] = 1 // degrees live in [0, 1]; an unpulled stream may hold anything
 	}
+	isLoose := func(i int) bool { return loose != nil && loose[i] }
 	// The self entity consumes one slot wherever it ranks, so k+1 entries
 	// from one shard always contain that shard's full possible contribution.
+	// pulled counts post-filter (owned) entries, so the cap argument counts
+	// the same entries the merge sees even when foreign copies interleave.
 	limit := k + 1
 	batch := (k + n - 1) / n
 	if batch < 1 {
@@ -115,16 +136,18 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 		rep.merge += time.Since(mergeStart)
 		var reqs []pullReq
 		for i := 0; i < n; i++ {
-			if !live[i] || pulled[i] >= limit {
+			if !live[i] || (!isLoose(i) && pulled[i] >= limit) {
 				continue
 			}
 			// Pull while the stream could still contribute: the answer is
 			// short of k, or the stream's bound ties-or-beats the k-th
 			// merged degree (ties can win on ordinal, so ≥, cut on <).
 			if len(merged) < k || bounds[i] >= merged[k-1].Degree {
-				want := limit - pulled[i]
-				if want > batch {
-					want = batch
+				want := batch
+				if !isLoose(i) {
+					if w := limit - pulled[i]; w < want {
+						want = w
+					}
 				}
 				reqs = append(reqs, pullReq{stream: i, want: want})
 			}
@@ -159,10 +182,17 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 			pulled[i] += len(resps[j].entries)
 			rep.streams[i].rounds++
 			rep.streams[i].latency += resps[j].took
-			if len(resps[j].entries) == 0 {
+			if resps[j].raw == 0 {
 				// No progress from a live stream would loop forever; a
-				// stream with nothing to give is done.
+				// stream that surrendered nothing (pre-filter) is done.
 				live[i] = false
+			}
+			if isLoose(i) && len(resps[j].entries) > 0 {
+				// Restore the merge's sorted-input precondition under the
+				// global order; stable, so equal entries keep stream order.
+				sort.SliceStable(bufs[i], func(a, b int) bool {
+					return entryBefore(bufs[i][a], bufs[i][b])
+				})
 			}
 		}
 		batch *= 2
@@ -173,10 +203,18 @@ func boundedGather(n, k int, exclude string, pull func([]pullReq) ([]pullResp, e
 // each round's requests in parallel — one Stream.Pull per stream per round,
 // so a whole gather round against remote shards costs one concurrent wave of
 // round trips — and resolving global ordinals for the pulled matches.
-// streams must be non-nil; checked sums every stream's exact degree
-// computations after termination (the quantity the pruning saves versus the
-// naive full fan-out). The report's streams are aligned with streams.
-func (c *Cluster) gatherSearches(streams []Stream, k int, exclude string) (out []digitaltraces.Match, checked int, rep gatherReport, err error) {
+// streams must be non-nil and ords maps each stream to its shard ordinal;
+// every pulled match is filtered by sm's ownership (an entity mid-migration
+// is physically on two shards — exactly the copy sm says is the owner
+// survives), and streams on sm-touched shards run loose. checked sums every
+// stream's exact degree computations after termination (the quantity the
+// pruning saves versus the naive full fan-out). The report's streams are
+// aligned with streams.
+func (c *Cluster) gatherSearches(sm *SlotMap, streams []Stream, ords []int, k int, exclude string) (out []digitaltraces.Match, checked int, rep gatherReport, err error) {
+	loose := make([]bool, len(streams))
+	for si, o := range ords {
+		loose[si] = sm.touched[o]
+	}
 	pull := func(reqs []pullReq) ([]pullResp, error) {
 		resps := make([]pullResp, len(reqs))
 		errs := make([]error, len(reqs))
@@ -191,11 +229,15 @@ func (c *Cluster) gatherSearches(streams []Stream, k int, exclude string) (out [
 					errs[j] = err
 					return
 				}
-				es := make([]entry, len(ms))
-				for i, m := range ms {
-					es[i] = entry{m: m}
+				ord := ords[reqs[j].stream]
+				es := make([]entry, 0, len(ms))
+				for _, m := range ms {
+					if sm.Owner(m.Entity) != ord {
+						continue // foreign copy: migrated away, or shipped here under a newer map
+					}
+					es = append(es, entry{m: m})
 				}
-				resps[j] = pullResp{entries: es, bound: bound, live: live, took: time.Since(pullStart)}
+				resps[j] = pullResp{entries: es, raw: len(ms), bound: bound, live: live, took: time.Since(pullStart)}
 			}(j)
 		}
 		wg.Wait()
@@ -214,7 +256,7 @@ func (c *Cluster) gatherSearches(streams []Stream, k int, exclude string) (out [
 		c.mu.RUnlock()
 		return resps, nil
 	}
-	out, excluded, rep, err := boundedGather(len(streams), k, exclude, pull)
+	out, excluded, rep, err := boundedGather(len(streams), k, exclude, loose, pull)
 	if err != nil {
 		return nil, 0, rep, err
 	}

@@ -28,12 +28,15 @@ import (
 )
 
 // gatherCase is a decoded fuzz input: full per-shard lists in shard-exact
-// order, the query k, the excluded entity, and per-stream bound slack.
+// order, the query k, the excluded entity, per-stream bound slack, and
+// per-stream looseness (a migration-touched shard: degree order only, ties
+// in arbitrary — not global — order, no k+1 cap).
 type gatherCase struct {
 	lists   [][]entry
 	k       int
 	exclude string
 	slack   []float64
+	loose   []bool
 }
 
 // decodeGatherCase maps fuzz bytes onto a gather case. Every byte string
@@ -53,11 +56,13 @@ func decodeGatherCase(data []byte) gatherCase {
 	n := 1 + int(next())%6
 	g.lists = make([][]entry, n)
 	g.slack = make([]float64, n)
+	g.loose = make([]bool, n)
 	for i := 0; i < n; i++ {
 		m := int(next()) % 10
 		// Slack in {0, 0.15, 0.3, 0.45}: bounds stay admissible (they only
 		// ever overestimate), exercising termination under loose bounds.
 		g.slack[i] = float64(int(next())%4) * 0.15
+		g.loose[i] = next()%4 == 0
 		for j := 0; j < m; j++ {
 			g.lists[i] = append(g.lists[i], entry{
 				m: digitaltraces.Match{
@@ -71,10 +76,19 @@ func decodeGatherCase(data []byte) gatherCase {
 				rank: int(next()) % 32,
 			})
 		}
-		// Streams emit in shard-exact order.
-		sort.SliceStable(g.lists[i], func(a, b int) bool {
-			return entryBefore(g.lists[i][a], g.lists[i][b])
-		})
+		if g.loose[i] {
+			// A touched shard still emits in exact degree order, but its tie
+			// order is its own (migration reassigned local IDs) — keep the
+			// decode order within equal degrees, which entryBefore wouldn't.
+			sort.SliceStable(g.lists[i], func(a, b int) bool {
+				return g.lists[i][a].m.Degree > g.lists[i][b].m.Degree
+			})
+		} else {
+			// Streams emit in shard-exact order.
+			sort.SliceStable(g.lists[i], func(a, b int) bool {
+				return entryBefore(g.lists[i][a], g.lists[i][b])
+			})
+		}
 	}
 	// Sometimes exclude an entity that exists, sometimes one that doesn't.
 	switch next() % 4 {
@@ -115,11 +129,11 @@ func runBoundedGather(t *testing.T, g gatherCase) ([]digitaltraces.Match, []int)
 			if end < len(l) {
 				bound = l[end].m.Degree + g.slack[r.stream]
 			}
-			resps[j] = pullResp{entries: es, bound: bound, live: end < len(l)}
+			resps[j] = pullResp{entries: es, raw: len(es), bound: bound, live: end < len(l)}
 		}
 		return resps, nil
 	}
-	got, _, rep, err := boundedGather(len(g.lists), g.k, g.exclude, pull)
+	got, _, rep, err := boundedGather(len(g.lists), g.k, g.exclude, g.loose, pull)
 	if err != nil {
 		t.Fatalf("boundedGather: %v", err)
 	}
@@ -147,7 +161,20 @@ func FuzzBoundedGather(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := decodeGatherCase(data)
 		got, _ := runBoundedGather(t, g)
-		want, _ := mergeEntries(g.lists, g.k, g.exclude)
+		// The oracle merges each stream's full list in global order: for a
+		// loose stream the gather promises the answer *as if* the list were
+		// globally sorted (that is exactly the repair the buffer re-sort
+		// performs), while an aligned stream's list already is.
+		wantLists := make([][]entry, len(g.lists))
+		for i, l := range g.lists {
+			wantLists[i] = append([]entry(nil), l...)
+			if g.loose != nil && g.loose[i] {
+				sort.SliceStable(wantLists[i], func(a, b int) bool {
+					return entryBefore(wantLists[i][a], wantLists[i][b])
+				})
+			}
+		}
+		want, _ := mergeEntries(wantLists, g.k, g.exclude)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("pruned gather diverged from full merge\ncase: %+v\ngot:  %v\nwant: %v", g, got, want)
 		}
@@ -193,7 +220,7 @@ func TestBoundedGatherPrunes(t *testing.T) {
 // TestBoundedGatherPullError verifies pull failures surface to the caller.
 func TestBoundedGatherPullError(t *testing.T) {
 	pull := func([]pullReq) ([]pullResp, error) { return nil, fmt.Errorf("shard down") }
-	if _, _, _, err := boundedGather(2, 3, "", pull); err == nil || err.Error() != "shard down" {
+	if _, _, _, err := boundedGather(2, 3, "", nil, pull); err == nil || err.Error() != "shard down" {
 		t.Fatalf("err = %v, want shard down", err)
 	}
 }

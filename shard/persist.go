@@ -2,13 +2,16 @@ package shard
 
 // Cluster persistence: a cluster snapshot is an envelope of independent
 // per-shard DB snapshots (the MSIGTREE2 format of the root package),
-// length-prefixed so each section is self-delimiting. Warm-restarting a
-// cluster is therefore "re-ingest the log through the router, then
-// LoadIndex": the shard count pins the routing function (ownership is FNV
-// mod N), each section replays onto the shard the router owns its entities
-// on, and every shard's own LoadIndex re-maps by entity name — so a section
-// fed to the wrong shard fails on the first unresolvable name instead of
-// answering for the wrong partition.
+// length-prefixed so each section is self-delimiting, preceded by the slot
+// map that placed the entities. Warm-restarting a cluster is "re-ingest the
+// log through the router, then LoadIndex": the current slot map routes the
+// re-ingest, and the envelope's saved map tells the load which saved section
+// best warms which current shard — sections are matched to shards by slot
+// overlap and loaded leniently (entities a section names that the current
+// map routes elsewhere are skipped, warming where they now live instead), so
+// the shard count is free to change between save and load. Each shard's own
+// LoadIndex re-maps by entity name and validates every resolved entity in
+// full; a mismatched section can only cost warmth, never exactness.
 
 import (
 	"bufio"
@@ -24,19 +27,27 @@ import (
 
 // clusterMagic identifies the envelope; bump the trailing digit on layout
 // changes. The payload format inside each section is versioned separately
-// (by the root package's snapshot magic).
-const clusterMagic = "MSIGCLUST1\n"
+// (by the root package's snapshot magic). V2 prepends the slot map (epoch,
+// 256×uint16 assignment, per-shard touched flags) to the V1 layout.
+const clusterMagic = "MSIGCLUST2\n"
+
+// clusterMagicV1 is the pre-slot-map envelope: no slot map, sections loaded
+// strictly i→i, shard count pinned to the save.
+const clusterMagicV1 = "MSIGCLUST1\n"
 
 // maxShardSection caps a section length read from the envelope before
 // allocation — corrupt headers must not look like a 2^60-byte index.
 const maxShardSection = 1 << 34 // 16 GiB
 
 // SaveIndex persists every shard's index to w as a length-prefixed envelope
-// loadable by LoadIndex on a cluster of the same shard count. Shards are
-// saved in parallel (each shard's SaveIndex folds its own pending dirt
-// first); a shard with no entities writes an empty section. Implements the
-// digitaltraces.Engine persistence surface.
+// loadable by LoadIndex on a cluster of any shard count: the envelope opens
+// with the slot map that placed the entities, so a load can match saved
+// sections to current shards by slot overlap. Shards are saved in parallel
+// (each shard's SaveIndex folds its own pending dirt first); a shard with no
+// entities writes an empty section. Implements the digitaltraces.Engine
+// persistence surface.
 func (c *Cluster) SaveIndex(w io.Writer) (int64, error) {
+	sm := c.slotmap()
 	bufs := make([]bytes.Buffer, len(c.shards))
 	errs := make([]error, len(c.shards))
 	runPool(len(c.shards), runtime.GOMAXPROCS(0), func(i int) {
@@ -52,50 +63,170 @@ func (c *Cluster) SaveIndex(w io.Writer) (int64, error) {
 	}
 	bw := bufio.NewWriter(w)
 	n := int64(0)
-	if _, err := bw.WriteString(clusterMagic); err != nil {
+	emit := func(b []byte) error {
+		nn, err := bw.Write(b)
+		n += int64(nn)
+		return err
+	}
+	hdr := make([]byte, 0, len(clusterMagic)+8+2*NumSlots+8+len(c.shards))
+	hdr = append(hdr, clusterMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, sm.epoch)
+	for _, sh := range sm.assign {
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(sh))
+	}
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(c.shards)))
+	for _, t := range sm.touched {
+		b := byte(0)
+		if t {
+			b = 1
+		}
+		hdr = append(hdr, b)
+	}
+	if err := emit(hdr); err != nil {
 		return n, err
 	}
-	n += int64(len(clusterMagic))
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.shards))); err != nil {
-		return n, err
-	}
-	n += 8
 	for i := range bufs {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(bufs[i].Len())); err != nil {
+		var l [8]byte
+		binary.LittleEndian.PutUint64(l[:], uint64(bufs[i].Len()))
+		if err := emit(l[:]); err != nil {
 			return n, err
 		}
-		n += 8
-		nn, err := bw.Write(bufs[i].Bytes())
-		n += int64(nn)
-		if err != nil {
+		if err := emit(bufs[i].Bytes()); err != nil {
 			return n, err
 		}
 	}
 	return n, bw.Flush()
 }
 
-// LoadIndex warm-restarts the cluster from a SaveIndex envelope: every
-// section is loaded onto its shard in order, after the cluster's visit log
-// has been re-ingested through the router. The envelope's shard count must
-// equal this cluster's — entity ownership is a pure function of the shard
-// count, so a different partitioning would route every section's entities
-// to shards that do not hold their visits. Shards whose section is empty
-// (no entities at save time) stay index-less and build lazily.
+// LoadIndex warm-restarts the cluster from a SaveIndex envelope, after the
+// cluster's visit log has been re-ingested through the router. The load
+// never adopts the envelope's slot map — re-ingest already placed every
+// entity under the *current* map — the saved map only says which entities
+// each saved section describes, so every current shard loads the saved
+// section sharing the most slots with it (ties to the lowest section),
+// leniently: section entities the current map routes elsewhere are skipped
+// and warm where they now live. A 4-shard envelope therefore loads into an
+// 8-shard cluster (and vice versa); only entities whose section landed
+// elsewhere pay a rebuild on their first refresh. Shards empty under the
+// current routing stay index-less and build lazily.
+//
+// Legacy MSIGCLUST1 envelopes carry no slot map: their sections load i→i,
+// so the shard count must match the save's.
 func (c *Cluster) LoadIndex(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(clusterMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return fmt.Errorf("shard: reading cluster snapshot magic: %w", err)
 	}
-	if string(magic) != clusterMagic {
+	switch string(magic) {
+	case clusterMagic:
+	case clusterMagicV1:
+		return c.loadIndexV1(br)
+	default:
 		return fmt.Errorf("shard: not a cluster index snapshot (magic %q; a single-DB snapshot loads via DB.LoadIndex)", magic)
+	}
+	var epoch uint64
+	if err := binary.Read(br, binary.LittleEndian, &epoch); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot slot-map epoch: %w", err)
+	}
+	assignB := make([]byte, 2*NumSlots)
+	if _, err := io.ReadFull(br, assignB); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot slot assignment: %w", err)
 	}
 	var count uint64
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return fmt.Errorf("shard: reading cluster snapshot shard count: %w", err)
 	}
+	if count == 0 || count > math.MaxUint16 {
+		return fmt.Errorf("shard: snapshot claims %d shard sections — corrupt envelope", count)
+	}
+	var saved [NumSlots]int
+	for s := range saved {
+		saved[s] = int(binary.LittleEndian.Uint16(assignB[2*s:]))
+		if saved[s] >= int(count) {
+			return fmt.Errorf("shard: snapshot slot %d assigned to shard %d of %d — corrupt envelope", s, saved[s], count)
+		}
+	}
+	// Touched flags describe the save-time cluster's ingest-order alignment;
+	// a heap load re-ingested the log fresh, so this cluster's own flags are
+	// authoritative and the saved ones are skipped.
+	if _, err := io.ReadFull(br, make([]byte, count)); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot touched flags: %w", err)
+	}
+
+	// Match each current shard to the saved section it shares the most slots
+	// with: that section names the largest set of entities the current map
+	// still routes here, so loading it leniently warms the most entities.
+	cur := c.slotmap()
+	overlap := make([][]int, len(c.shards))
+	for o := range overlap {
+		overlap[o] = make([]int, count)
+	}
+	for s := 0; s < NumSlots; s++ {
+		overlap[cur.assign[s]][saved[s]]++
+	}
+	best := make([]int, len(c.shards))
+	for o := range best {
+		best[o] = -1
+		m := 0
+		for i, ov := range overlap[o] {
+			if ov > m {
+				m, best[o] = ov, i
+			}
+		}
+		if c.shards[o].NumEntities() == 0 {
+			best[o] = -1 // nothing re-ingested here: LoadIndex has no log to resolve against
+		}
+	}
+	for i := 0; i < int(count); i++ {
+		var length uint64
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return fmt.Errorf("shard: snapshot truncated at section %d header: %w", i, err)
+		}
+		if length == 0 {
+			continue
+		}
+		if length > maxShardSection {
+			return fmt.Errorf("shard: snapshot section %d claims %d bytes — corrupt envelope", i, length)
+		}
+		var wanters []int
+		for o := range best {
+			if best[o] == i {
+				wanters = append(wanters, o)
+			}
+		}
+		if len(wanters) == 0 {
+			if _, err := io.CopyN(io.Discard, br, int64(length)); err != nil {
+				return fmt.Errorf("shard: snapshot truncated inside section %d (want %d bytes): %w", i, length, err)
+			}
+			continue
+		}
+		section := make([]byte, length)
+		if _, err := io.ReadFull(br, section); err != nil {
+			return fmt.Errorf("shard: snapshot truncated inside section %d (want %d bytes): %w", i, length, err)
+		}
+		for _, o := range wanters {
+			if err := c.shards[o].LoadIndexLenient(bytes.NewReader(section)); err != nil {
+				return fmt.Errorf("shard: loading section %d onto shard %d: %w", i, o, err)
+			}
+		}
+	}
+	return nil
+}
+
+// loadIndexV1 loads a pre-slot-map envelope: sections were saved under the
+// implicit default map of their shard count and carry no assignment, so they
+// can only be matched i→i — the shard count must equal the save's. The load
+// is still lenient (the current cluster's map may have migrated slots since
+// the re-ingest), so a matched count always loads; re-save to get a
+// MSIGCLUST2 envelope that survives topology changes.
+func (c *Cluster) loadIndexV1(br *bufio.Reader) error {
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("shard: reading cluster snapshot shard count: %w", err)
+	}
 	if int(count) != len(c.shards) {
-		return fmt.Errorf("shard: snapshot has %d shard sections, cluster has %d shards — entity routing is hash mod N, so the shard count must match the save", count, len(c.shards))
+		return fmt.Errorf("shard: legacy (MSIGCLUST1) snapshot has %d shard sections, cluster has %d shards — pre-slot-map envelopes pin their shard count; load into a %d-shard cluster and re-save to get a slot-mapped envelope that loads at any count", count, len(c.shards), count)
 	}
 	for i := range c.shards {
 		var length uint64
@@ -112,7 +243,10 @@ func (c *Cluster) LoadIndex(r io.Reader) error {
 		if _, err := io.ReadFull(br, section); err != nil {
 			return fmt.Errorf("shard: snapshot truncated inside shard %d section (want %d bytes): %w", i, length, err)
 		}
-		if err := c.shards[i].LoadIndex(bytes.NewReader(section)); err != nil {
+		if c.shards[i].NumEntities() == 0 {
+			continue // nothing re-ingested here under the current map
+		}
+		if err := c.shards[i].LoadIndexLenient(bytes.NewReader(section)); err != nil {
 			return fmt.Errorf("shard: loading shard %d index: %w", i, err)
 		}
 	}
@@ -120,12 +254,21 @@ func (c *Cluster) LoadIndex(r io.Reader) error {
 }
 
 // clusterMappedMagic identifies the memory-mappable cluster envelope: a
-// page-aligned header, the global entity-ordinal table, then one page-aligned
-// MSIGMAP1 image per shard (zero-length for shards that held no entities).
-// Unlike MSIGCLUST1, the envelope also persists the cluster-wide first-arrival
-// ordinals — the heap path re-derives them from re-ingest, which a mapped
-// boot skips — so cross-shard degree ties break exactly as they did at save.
-const clusterMappedMagic = "MSIGCMAP1\n"
+// page-aligned header (carrying the slot map: epoch, 256×uint16 assignment,
+// per-shard touched flags), the global entity-ordinal table, then one
+// page-aligned MSIGMAP1 image per shard (zero-length for shards that held no
+// entities). Unlike the heap envelope, this one also persists the
+// cluster-wide first-arrival ordinals — the heap path re-derives them from
+// re-ingest, which a mapped boot skips — so cross-shard degree ties break
+// exactly as they did at save. For the same reason the shard count cannot
+// change across a mapped load: sections are physical images served in place,
+// not name-resolved replays (change topology through a heap envelope).
+const clusterMappedMagic = "MSIGCMAP2\n"
+
+// clusterMappedMagicV1 is the pre-slot-map mapped envelope: no slot map in
+// the header; loadable only while the cluster's map is still the default
+// assignment its implicit hash-mod-N placement assumed.
+const clusterMappedMagicV1 = "MSIGCMAP1\n"
 
 // mappedBackend is the optional mapped-persistence surface of a Backend. The
 // local adapter satisfies it through its embedded *digitaltraces.DB; remote
@@ -196,7 +339,8 @@ func (c *Cluster) SaveMappedIndex(w io.Writer) (int64, error) {
 	alignUp := func(n int64) int64 {
 		return (n + clusterMapPage - 1) &^ (clusterMapPage - 1)
 	}
-	headerLen := int64(len(clusterMappedMagic)) + 4 + 8 + 8 + 8 + 16 + 16*int64(len(c.shards))
+	sm := c.slotmap()
+	headerLen := int64(len(clusterMappedMagic)) + 4 + 8 + 8 + 8 + 16 + 8 + 2*NumSlots + int64(len(c.shards)) + 16*int64(len(c.shards))
 	headerRegion := alignUp(headerLen)
 	ordOff := headerRegion
 	ordRegion := alignUp(int64(ord.Len()))
@@ -232,6 +376,17 @@ func (c *Cluster) SaveMappedIndex(w io.Writer) (int64, error) {
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(names)))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ordOff))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ord.Len()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, sm.epoch)
+	for _, sh := range sm.assign {
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(sh))
+	}
+	for _, t := range sm.touched {
+		b := byte(0)
+		if t {
+			b = 1
+		}
+		hdr = append(hdr, b)
+	}
 	for i := range bufs {
 		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(offs[i]))
 		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(bufs[i].Len()))
@@ -288,7 +443,13 @@ func (c *Cluster) LoadMappedIndex(path string) error {
 		m.Close()
 		return fmt.Errorf("shard: reading mapped cluster header: %w", err)
 	}
-	if string(hdr[:len(clusterMappedMagic)]) != clusterMappedMagic {
+	var version int
+	switch string(hdr[:len(clusterMappedMagic)]) {
+	case clusterMappedMagic:
+		version = 2
+	case clusterMappedMagicV1:
+		version = 1
+	default:
 		m.Close()
 		return fmt.Errorf("shard: not a mapped cluster envelope (magic %q; a single-DB mapped index loads via DB.LoadMappedIndex)", hdr[:len(clusterMappedMagic)])
 	}
@@ -309,9 +470,30 @@ func (c *Cluster) LoadMappedIndex(path string) error {
 	}
 	if int(count) != len(c.shards) {
 		m.Close()
-		return fmt.Errorf("shard: mapped envelope has %d shard sections, cluster has %d shards — entity routing is hash mod N, so the shard count must match the save", count, len(c.shards))
+		return fmt.Errorf("shard: mapped envelope has %d shard sections, cluster has %d shards — a mapped image serves sections in place, so its shard count is pinned; to change topology, save a heap (SaveIndex) envelope and re-ingest the log at the new count", count, len(c.shards))
 	}
+	// The slot-map gate: a mapped image is served physically, so the serving
+	// map must match the placement the image froze.
 	secBase := fixedLen
+	if version == 2 {
+		extra := make([]byte, 8+2*NumSlots+int64(count))
+		if m.Size() < fixedLen+int64(len(extra)) {
+			m.Close()
+			return fmt.Errorf("shard: mapped cluster envelope truncated inside its slot map")
+		}
+		if _, err := m.ReadAt(extra, fixedLen); err != nil {
+			m.Close()
+			return fmt.Errorf("shard: reading mapped cluster slot map: %w", err)
+		}
+		if err := c.reconcileMappedSlotMap(extra, int(count)); err != nil {
+			m.Close()
+			return err
+		}
+		secBase = fixedLen + int64(len(extra))
+	} else if !c.slotmap().isDefault() {
+		m.Close()
+		return fmt.Errorf("shard: legacy (MSIGCMAP1) mapped envelope carries no slot map, but this cluster's slot assignment is not the default hash-mod-%d placement the save assumed — re-save with the current format", count)
+	}
 	if m.Size() < secBase+16*int64(count) {
 		m.Close()
 		return fmt.Errorf("shard: mapped cluster envelope truncated inside its section table")
@@ -392,6 +574,65 @@ func (c *Cluster) LoadMappedIndex(path string) error {
 		}
 	}
 	c.mu.Unlock()
+	return nil
+}
+
+// reconcileMappedSlotMap applies a v2 mapped envelope's slot map (epoch,
+// 256×uint16 assignment, per-shard touched flags, concatenated in extra)
+// against the cluster's. A populated registry (a re-ingested log) must
+// already be routed exactly as the image was saved — the image is served
+// physically, so a divergent map would filter answers under ownership the
+// sections do not reflect. An empty cluster adopts the saved map wholesale.
+// Either way the saved touched flags are honored: they mark shards whose
+// image's local ingest order is misaligned with the global order, a property
+// the mapped load preserves byte-for-byte.
+func (c *Cluster) reconcileMappedSlotMap(extra []byte, count int) error {
+	savedEpoch := binary.LittleEndian.Uint64(extra)
+	var saved [NumSlots]int
+	for s := range saved {
+		saved[s] = int(binary.LittleEndian.Uint16(extra[8+2*s:]))
+		if saved[s] >= count {
+			return fmt.Errorf("shard: corrupt mapped cluster envelope: slot %d assigned to shard %d of %d", s, saved[s], count)
+		}
+	}
+	touched := make([]bool, count)
+	for i := range touched {
+		touched[i] = extra[8+2*NumSlots+i] != 0
+	}
+	c.mu.RLock()
+	populated := len(c.ord) > 0
+	c.mu.RUnlock()
+	cur := c.slotmap()
+	if !populated {
+		// Fresh boot straight off the image: the saved placement becomes the
+		// serving placement. The epoch stays monotone past any AssignSlots
+		// publishes that preceded this load.
+		next := &SlotMap{epoch: max(savedEpoch, cur.epoch+1), touched: touched}
+		copy(next.assign[:], saved[:])
+		c.publishSlotMap(next)
+		return nil
+	}
+	for s := range saved {
+		if cur.assign[s] != saved[s] {
+			return fmt.Errorf("shard: mapped envelope assigns slot %d to shard %d but this cluster routes it to shard %d — the log was re-ingested under a different slot map than the image froze; restore the saved map (AssignSlots before ingest) or load into a fresh cluster", s, saved[s], cur.assign[s])
+		}
+	}
+	merge := false
+	for i, t := range touched {
+		if t && !cur.touched[i] {
+			merge = true
+		}
+	}
+	if merge {
+		next := cur.clone()
+		next.epoch++
+		for i, t := range touched {
+			if t {
+				next.touched[i] = true
+			}
+		}
+		c.publishSlotMap(next)
+	}
 	return nil
 }
 

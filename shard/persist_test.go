@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"reflect"
 	"strings"
@@ -84,12 +85,13 @@ func TestClusterSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-// TestClusterLoadIndexShardCountMismatch: an envelope saved at one shard
-// count must be refused by a cluster of another — the routing function is
-// keyed by N, so the sections would land on shards that do not own their
-// entities.
-func TestClusterLoadIndexShardCountMismatch(t *testing.T) {
-	log := cityLog(t, 20)
+// TestClusterLoadIndexShardCountChange: a slot-mapped envelope saved at one
+// shard count loads into a cluster of another — sections are matched to
+// shards by slot overlap and loaded leniently — and the restarted cluster
+// answers bit-identically to the one that saved it.
+func TestClusterLoadIndexShardCountChange(t *testing.T) {
+	log := cityLog(t, 40)
+	queries := []string{"entity-0", "entity-7", "entity-19", "entity-33"}
 	c4 := persistCluster(t, 4, log)
 	if err := c4.BuildIndex(); err != nil {
 		t.Fatal(err)
@@ -98,10 +100,55 @@ func TestClusterLoadIndexShardCountMismatch(t *testing.T) {
 	if _, err := c4.SaveIndex(&buf); err != nil {
 		t.Fatal(err)
 	}
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("into=%d", shards), func(t *testing.T) {
+			c2 := persistCluster(t, shards, log)
+			if err := c2.LoadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("LoadIndex 4→%d: %v", shards, err)
+			}
+			for _, q := range queries {
+				w, _, err := c4.TopK(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, _, err := c2.TopK(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("TopK(%s) diverges after 4→%d reload:\n  loaded: %v\n  saved:  %v", q, shards, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterLoadIndexLegacyShardCountMismatch: a pre-slot-map (MSIGCLUST1)
+// envelope carries no slot map, so its sections can only load i→i and a
+// different shard count is refused with an error that names the way out.
+func TestClusterLoadIndexLegacyShardCountMismatch(t *testing.T) {
+	log := cityLog(t, 20)
+	// Synthesize a legacy envelope: the V1 layout is magic + shard count +
+	// per-shard length-prefixed sections, with no slot map.
+	var legacy bytes.Buffer
+	legacy.WriteString("MSIGCLUST1\n")
+	binary.Write(&legacy, binary.LittleEndian, uint64(4))
+	for i := 0; i < 4; i++ {
+		binary.Write(&legacy, binary.LittleEndian, uint64(0))
+	}
 	c2 := persistCluster(t, 2, log)
-	err := c2.LoadIndex(bytes.NewReader(buf.Bytes()))
+	err := c2.LoadIndex(bytes.NewReader(legacy.Bytes()))
 	if err == nil || !strings.Contains(err.Error(), "shard count") {
 		t.Fatalf("want shard-count mismatch error, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "re-save") {
+		t.Fatalf("legacy refusal should point at re-saving under the slot-mapped format, got: %v", err)
+	}
+	// At the matching count the same legacy envelope loads (empty sections:
+	// every shard just stays index-less).
+	c4 := persistCluster(t, 4, log)
+	if err := c4.LoadIndex(bytes.NewReader(legacy.Bytes())); err != nil {
+		t.Fatalf("legacy envelope at matching count: %v", err)
 	}
 }
 

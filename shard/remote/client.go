@@ -94,6 +94,12 @@ type Client struct {
 	mu sync.Mutex
 	st shardState
 
+	// slotEpoch is the max slot-map epoch seen on any response, held apart
+	// from st: adopt replaces st wholesale on a generation advance, and the
+	// epoch must never regress with it (a lower echoed epoch only means that
+	// response raced an epoch push, not that the map went backwards).
+	slotEpoch atomic.Uint64
+
 	rpcs    atomic.Int64
 	pulls   atomic.Int64
 	retries atomic.Int64
@@ -165,6 +171,12 @@ func (c *Client) Metrics() Metrics {
 // bumps the generation), so newest-by-generation with per-field max inside
 // a generation is always current-or-conservative.
 func (c *Client) adopt(st shardState) {
+	for {
+		cur := c.slotEpoch.Load()
+		if st.SlotEpoch <= cur || c.slotEpoch.CompareAndSwap(cur, st.SlotEpoch) {
+			break
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
@@ -175,6 +187,28 @@ func (c *Client) adopt(st shardState) {
 		c.st.Pending = max(c.st.Pending, st.Pending)
 		c.st.GenOK = c.st.GenOK || st.GenOK
 	}
+}
+
+// SlotEpoch reports the max slot-map epoch observed on any response from
+// this shard server — the coordinator compares it against its own map's
+// epoch before answering (shard.Cluster's stale-coordinator check).
+func (c *Client) SlotEpoch() uint64 { return c.slotEpoch.Load() }
+
+// PushSlotEpoch tells the shard server the coordinator's slot map advanced
+// to epoch. The server keeps the max and echoes it on every response, so any
+// other coordinator still routing by an older map sees the newer epoch and
+// refuses to answer rather than wrong-route.
+func (c *Client) PushSlotEpoch(epoch uint64) error {
+	_, err := c.call(fmt.Sprintf("/shard/epoch?epoch=%d", epoch), []byte{}, c.callT, true)
+	if err == nil {
+		for {
+			cur := c.slotEpoch.Load()
+			if epoch <= cur || c.slotEpoch.CompareAndSwap(cur, epoch) {
+				break
+			}
+		}
+	}
+	return err
 }
 
 // errTransport marks failures that happened below HTTP — candidates for an
@@ -271,7 +305,7 @@ func (c *Client) refreshStats() error {
 	}
 	c.unit = time.Duration(st.TimeUnitNS)
 	c.venues, c.levels = st.Venues, st.Levels
-	c.adopt(shardState{Entities: uint64(st.Entities), Pending: uint64(st.Pending), Generation: st.Generation, GenOK: st.GenOK})
+	c.adopt(shardState{Entities: uint64(st.Entities), Pending: uint64(st.Pending), Generation: st.Generation, GenOK: st.GenOK, SlotEpoch: st.SlotEpoch})
 	return nil
 }
 
@@ -443,7 +477,7 @@ func (c *Client) IndexStats() digitaltraces.IndexStats {
 	if json.Unmarshal(out, &st) != nil {
 		return digitaltraces.IndexStats{}
 	}
-	c.adopt(shardState{Entities: uint64(st.Entities), Pending: uint64(st.Pending), Generation: st.Generation, GenOK: st.GenOK})
+	c.adopt(shardState{Entities: uint64(st.Entities), Pending: uint64(st.Pending), Generation: st.Generation, GenOK: st.GenOK, SlotEpoch: st.SlotEpoch})
 	return st.Index
 }
 
@@ -476,10 +510,20 @@ func (c *Client) SaveIndex(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-func (c *Client) LoadIndex(r io.Reader) error {
+func (c *Client) LoadIndex(r io.Reader) error { return c.loadIndex(r, "/shard/index") }
+
+// LoadIndexLenient streams a snapshot like LoadIndex but asks the server to
+// skip section entities absent from its current log (DB.LoadIndexLenient) —
+// the slot-routed cluster envelope path, where a saved section may describe
+// entities the slot map now routes elsewhere.
+func (c *Client) LoadIndexLenient(r io.Reader) error {
+	return c.loadIndex(r, "/shard/index?lenient=1")
+}
+
+func (c *Client) loadIndex(r io.Reader, path string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.ctrlT)
 	defer cancel()
-	if _, err := c.do(ctx, http.MethodPost, "/shard/index", nil, r); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, path, nil, r); err != nil {
 		return fmt.Errorf("shard %s: %w", c.addr, err)
 	}
 	return c.refreshStats()
@@ -498,7 +542,7 @@ func (c *Client) Ping() error {
 	if err := json.Unmarshal(out, &h); err != nil {
 		return fmt.Errorf("shard %s: decoding health: %w", c.addr, err)
 	}
-	c.adopt(shardState{Entities: uint64(h.Entities), Pending: uint64(h.Pending), Generation: h.Generation, GenOK: h.GenOK})
+	c.adopt(shardState{Entities: uint64(h.Entities), Pending: uint64(h.Pending), Generation: h.Generation, GenOK: h.GenOK, SlotEpoch: h.SlotEpoch})
 	return nil
 }
 

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"digitaltraces"
@@ -43,6 +45,12 @@ type Server struct {
 	mu      sync.Mutex
 	streams map[uint64]*serverStream
 	nextID  uint64
+
+	// slotEpoch is the newest slot-map epoch a coordinator has pushed
+	// (POST /shard/epoch). The server does not interpret it — shards hold
+	// entities, not routing state — it only echoes it on every response so
+	// a coordinator behind the pusher detects its own staleness.
+	slotEpoch atomic.Uint64
 
 	ttl  time.Duration
 	stop chan struct{}
@@ -136,6 +144,7 @@ type statsResp struct {
 	Pending    int                      `json:"pending"`
 	Generation uint64                   `json:"generation"`
 	GenOK      bool                     `json:"gen_ok"`
+	SlotEpoch  uint64                   `json:"slot_epoch"`
 	Index      digitaltraces.IndexStats `json:"index"`
 }
 
@@ -146,6 +155,7 @@ type healthResp struct {
 	Pending    int    `json:"pending"`
 	Generation uint64 `json:"generation"`
 	GenOK      bool   `json:"gen_ok"`
+	SlotEpoch  uint64 `json:"slot_epoch"`
 	Streams    int    `json:"streams"`
 }
 
@@ -168,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /shard/refresh", s.handleRefresh)
 	mux.HandleFunc("GET /shard/index", s.handleSaveIndex)
 	mux.HandleFunc("POST /shard/index", s.handleLoadIndex)
+	mux.HandleFunc("POST /shard/epoch", s.handleEpoch)
 	mux.HandleFunc("GET /shard/healthz", s.handleHealthz)
 	return protoCheck(mux)
 }
@@ -197,6 +208,7 @@ func (s *Server) state() shardState {
 		Pending:    uint64(s.db.PendingEntities()),
 		Generation: gen,
 		GenOK:      ok,
+		SlotEpoch:  s.slotEpoch.Load(),
 	}
 }
 
@@ -408,6 +420,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pending:    int(st.Pending),
 		Generation: st.Generation,
 		GenOK:      st.GenOK,
+		SlotEpoch:  st.SlotEpoch,
 		Index:      s.db.IndexStats(),
 	}
 	if e, ok := s.db.Epoch(); ok {
@@ -455,9 +468,35 @@ func (s *Server) handleSaveIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
-	if err := s.db.LoadIndex(http.MaxBytesReader(w, r.Body, maxRequestBytes)); err != nil {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	load := s.db.LoadIndex
+	if r.URL.Query().Get("lenient") == "1" {
+		// The slot-routed envelope path: the section may name entities the
+		// slot map no longer routes to this shard; skip them instead of
+		// refusing the whole load.
+		load = s.db.LoadIndexLenient
+	}
+	if err := load(body); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleEpoch records the coordinator's newest slot-map epoch, monotonically
+// — out-of-order pushes (or a stale coordinator's) never regress it — and is
+// echoed on every subsequent response's piggybacked state.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	e, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad epoch parameter: %v", err))
+		return
+	}
+	for {
+		cur := s.slotEpoch.Load()
+		if e <= cur || s.slotEpoch.CompareAndSwap(cur, e) {
+			break
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

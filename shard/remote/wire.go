@@ -52,7 +52,7 @@ import (
 // ProtoVersion identifies the wire protocol; requests carry it in the
 // X-Shard-Proto header and the server rejects mismatches, so a rolling
 // upgrade fails loudly instead of misdecoding.
-const ProtoVersion = "1"
+const ProtoVersion = "2"
 
 // protoHeader is the HTTP header carrying ProtoVersion.
 const protoHeader = "X-Shard-Proto"
@@ -88,6 +88,12 @@ type shardState struct {
 	Pending    uint64
 	Generation uint64
 	GenOK      bool
+	// SlotEpoch is the newest slot-map epoch this shard has been told about
+	// (Server.PushSlotEpoch / POST /shard/epoch). The coordinator piggybacks
+	// it back so a *different*, staler coordinator wrong-routing through an
+	// old slot map trips shard.Cluster's epoch check instead of answering
+	// from a partition that migrated away.
+	SlotEpoch uint64
 }
 
 // openReq opens an incremental search stream. Entity != "" resolves that
@@ -230,7 +236,8 @@ func appendState(b []byte, st shardState) []byte {
 	b = binary.AppendUvarint(b, st.Entities)
 	b = binary.AppendUvarint(b, st.Pending)
 	b = binary.AppendUvarint(b, st.Generation)
-	return appendBool(b, st.GenOK)
+	b = appendBool(b, st.GenOK)
+	return binary.AppendUvarint(b, st.SlotEpoch)
 }
 
 func encodeOpenReq(m openReq) []byte {
@@ -466,6 +473,7 @@ func (r *reader) state() shardState {
 		Pending:    r.uvarint(),
 		Generation: r.uvarint(),
 		GenOK:      r.boolean(),
+		SlotEpoch:  r.uvarint(),
 	}
 }
 

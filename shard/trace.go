@@ -105,12 +105,14 @@ func searchGenerations(byShard []Stream) []uint64 {
 }
 
 // versionGenerations decodes a cache version string (8-byte little-endian
-// generation per shard, cache.go) back into the generation vector, so
-// cache-hit traces still report which index states answered.
+// slot-map epoch, then one 8-byte generation per shard, cache.go) back into
+// the generation vector, so cache-hit traces still report which index
+// states answered. The epoch prefix is stripped — it is not a shard.
 func versionGenerations(version string) []uint64 {
-	if len(version) == 0 || len(version)%8 != 0 {
+	if len(version) < 8 || len(version)%8 != 0 {
 		return nil
 	}
+	version = version[8:]
 	out := make([]uint64, len(version)/8)
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint64([]byte(version[i*8 : i*8+8]))
